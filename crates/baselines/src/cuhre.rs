@@ -1,0 +1,322 @@
+//! Sequential Cuhre: the fastest open-source deterministic adaptive method (§2.1).
+//!
+//! Cuhre follows the generic sequential adaptive loop (Algorithm 1): keep every region
+//! in a priority queue ordered by error estimate, repeatedly split the worst region in
+//! two along the axis chosen by the Genz–Malik rule, and stop when the cumulative
+//! relative error satisfies the tolerance or the evaluation budget runs out.  The
+//! error estimates are refined with Berntsen's two-level estimate, matching the
+//! `final=1` setting the paper uses for Cuba.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use pagani_quadrature::two_level::refine_error;
+use pagani_quadrature::{
+    EvalScratch, GenzMalik, IntegrationResult, Integrand, Region, Termination, Tolerances,
+};
+
+/// Configuration of the sequential Cuhre baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CuhreConfig {
+    /// Relative / absolute error targets.
+    pub tolerances: Tolerances,
+    /// Maximum number of integrand evaluations (the paper sets 10⁹).
+    pub max_evaluations: u64,
+    /// Whether to apply the two-level error refinement to children estimates.
+    pub two_level_errors: bool,
+}
+
+impl CuhreConfig {
+    /// Configuration with the paper's defaults for a given tolerance.
+    #[must_use]
+    pub fn new(tolerances: Tolerances) -> Self {
+        Self {
+            tolerances,
+            max_evaluations: 1_000_000_000,
+            two_level_errors: true,
+        }
+    }
+
+    /// Configuration targeting `digits` decimal digits of relative precision.
+    #[must_use]
+    pub fn digits(digits: f64) -> Self {
+        Self::new(Tolerances::digits(digits))
+    }
+
+    /// Cap the evaluation budget (useful for tests and benchmark sweeps).
+    #[must_use]
+    pub fn with_max_evaluations(mut self, max: u64) -> Self {
+        self.max_evaluations = max;
+        self
+    }
+}
+
+impl Default for CuhreConfig {
+    fn default() -> Self {
+        Self::new(Tolerances::default())
+    }
+}
+
+/// A region in the Cuhre heap.
+#[derive(Debug, Clone)]
+struct HeapRegion {
+    region: Region,
+    integral: f64,
+    error: f64,
+    split_axis: usize,
+}
+
+impl PartialEq for HeapRegion {
+    fn eq(&self, other: &Self) -> bool {
+        self.error == other.error
+    }
+}
+impl Eq for HeapRegion {}
+impl PartialOrd for HeapRegion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapRegion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.error
+            .partial_cmp(&other.error)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// The sequential Cuhre integrator.
+#[derive(Debug, Clone)]
+pub struct Cuhre {
+    config: CuhreConfig,
+}
+
+impl Cuhre {
+    /// Create an integrator with `config`.
+    #[must_use]
+    pub fn new(config: CuhreConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &CuhreConfig {
+        &self.config
+    }
+
+    /// Integrate `f` over its default bounds.
+    pub fn integrate<F: Integrand + ?Sized>(&self, f: &F) -> IntegrationResult {
+        let (lo, hi) = f.default_bounds();
+        self.integrate_region(f, &Region::new(lo, hi))
+    }
+
+    /// Integrate `f` over an explicit region.
+    ///
+    /// # Panics
+    /// Panics if the region and integrand dimensions differ or the dimension is
+    /// outside the Genz–Malik range (2..=30).
+    pub fn integrate_region<F: Integrand + ?Sized>(
+        &self,
+        f: &F,
+        region: &Region,
+    ) -> IntegrationResult {
+        assert_eq!(region.dim(), f.dim(), "region/integrand dimension mismatch");
+        let start = Instant::now();
+        let dim = f.dim();
+        let rule = GenzMalik::new(dim);
+        let mut scratch = EvalScratch::new(dim);
+        let tolerances = self.config.tolerances;
+
+        let first = rule.evaluate(f, region, &mut scratch);
+        let mut evaluations = first.evaluations as u64;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapRegion {
+            region: region.clone(),
+            integral: first.integral,
+            error: first.error,
+            split_axis: first.split_axis,
+        });
+        let mut total_integral = first.integral;
+        let mut total_error = first.error;
+        let mut regions_generated = 1u64;
+        let mut iterations = 0usize;
+        let termination;
+
+        loop {
+            if tolerances.satisfied_by(total_integral, total_error) {
+                termination = Termination::Converged;
+                break;
+            }
+            if evaluations >= self.config.max_evaluations {
+                termination = Termination::MaxEvaluations;
+                break;
+            }
+            let Some(worst) = heap.pop() else {
+                termination = Termination::MaxIterations;
+                break;
+            };
+            iterations += 1;
+            let (left, right) = worst.region.split(worst.split_axis);
+            let left_est = rule.evaluate(f, &left, &mut scratch);
+            let right_est = rule.evaluate(f, &right, &mut scratch);
+            evaluations += (left_est.evaluations + right_est.evaluations) as u64;
+            regions_generated += 2;
+
+            let (left_err, right_err) = if self.config.two_level_errors {
+                (
+                    refine_error(
+                        left_est.integral,
+                        left_est.error,
+                        right_est.integral,
+                        right_est.error,
+                        worst.integral,
+                    ),
+                    refine_error(
+                        right_est.integral,
+                        right_est.error,
+                        left_est.integral,
+                        left_est.error,
+                        worst.integral,
+                    ),
+                )
+            } else {
+                (left_est.error, right_est.error)
+            };
+
+            total_integral += left_est.integral + right_est.integral - worst.integral;
+            total_error += left_err + right_err - worst.error;
+
+            heap.push(HeapRegion {
+                region: left,
+                integral: left_est.integral,
+                error: left_err,
+                split_axis: left_est.split_axis,
+            });
+            heap.push(HeapRegion {
+                region: right,
+                integral: right_est.integral,
+                error: right_err,
+                split_axis: right_est.split_axis,
+            });
+        }
+
+        IntegrationResult {
+            estimate: total_integral,
+            error_estimate: total_error,
+            termination,
+            iterations,
+            function_evaluations: evaluations,
+            regions_generated,
+            active_regions_final: heap.len(),
+            wall_time: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagani_integrands::paper::PaperIntegrand;
+    use pagani_integrands::workloads::GaussianLikelihood;
+    use pagani_quadrature::FnIntegrand;
+
+    fn cuhre(rel: f64) -> Cuhre {
+        Cuhre::new(CuhreConfig::new(Tolerances::rel(rel)).with_max_evaluations(20_000_000))
+    }
+
+    #[test]
+    fn constant_converges_without_splitting() {
+        let result = cuhre(1e-6).integrate(&FnIntegrand::new(3, |_: &[f64]| 2.0));
+        assert!(result.converged());
+        assert!((result.estimate - 2.0).abs() < 1e-10);
+        assert_eq!(result.iterations, 0);
+        assert_eq!(result.regions_generated, 1);
+    }
+
+    #[test]
+    fn gaussian_3d_reaches_requested_digits() {
+        let f = PaperIntegrand::f4(3);
+        for digits in [3.0, 5.0] {
+            let result = cuhre(10f64.powf(-digits)).integrate(&f);
+            assert!(result.converged(), "digits {digits}");
+            assert!(
+                result.true_relative_error(f.reference_value()) < 10f64.powf(-digits),
+                "digits {digits}: true error {}",
+                result.true_relative_error(f.reference_value())
+            );
+        }
+    }
+
+    #[test]
+    fn corner_peak_3d_is_accurate() {
+        let f = PaperIntegrand::f3(3);
+        let result = cuhre(1e-6).integrate(&f);
+        assert!(result.converged());
+        assert!(result.true_relative_error(f.reference_value()) < 1e-6);
+    }
+
+    #[test]
+    fn c0_ridge_3d_is_accurate() {
+        let f = PaperIntegrand::f5(3);
+        let result = cuhre(1e-4).integrate(&f);
+        assert!(result.converged());
+        assert!(result.true_relative_error(f.reference_value()) < 1e-4);
+    }
+
+    #[test]
+    fn oscillatory_3d_is_accurate() {
+        let f = PaperIntegrand::f1(3);
+        let result = cuhre(1e-5).integrate(&f);
+        assert!(result.converged());
+        assert!(result.true_relative_error(f.reference_value()) < 1e-5);
+    }
+
+    #[test]
+    fn evaluation_budget_is_respected() {
+        let f = PaperIntegrand::f4(5);
+        let budget = 50_000;
+        let result = Cuhre::new(
+            CuhreConfig::new(Tolerances::rel(1e-10)).with_max_evaluations(budget),
+        )
+        .integrate(&f);
+        assert!(!result.converged());
+        assert_eq!(result.termination, Termination::MaxEvaluations);
+        // One extra region evaluation pair may be in flight when the budget trips.
+        let per_region = GenzMalik::new(5).num_points() as u64;
+        assert!(result.function_evaluations <= budget + 2 * per_region);
+    }
+
+    #[test]
+    fn likelihood_matches_closed_form() {
+        let like = GaussianLikelihood::cosmology_like(3);
+        let result = cuhre(1e-6).integrate(&like);
+        assert!(result.converged());
+        assert!(result.true_relative_error(like.reference_value()) < 1e-6);
+    }
+
+    #[test]
+    fn tighter_tolerance_needs_more_regions() {
+        let f = PaperIntegrand::f4(3);
+        let loose = cuhre(1e-3).integrate(&f);
+        let tight = cuhre(1e-6).integrate(&f);
+        assert!(tight.regions_generated > loose.regions_generated);
+        assert!(tight.function_evaluations > loose.function_evaluations);
+    }
+
+    #[test]
+    fn two_level_refinement_changes_error_estimates() {
+        let f = PaperIntegrand::f5(3);
+        let with = Cuhre::new(CuhreConfig::new(Tolerances::rel(1e-4))).integrate(&f);
+        let without = Cuhre::new(CuhreConfig {
+            two_level_errors: false,
+            ..CuhreConfig::new(Tolerances::rel(1e-4))
+        })
+        .integrate(&f);
+        // Both must be accurate; the refined error estimate is more conservative so it
+        // typically needs at least as many regions.
+        assert!(with.true_relative_error(f.reference_value()) < 1e-3);
+        assert!(without.true_relative_error(f.reference_value()) < 1e-3);
+        assert!(with.regions_generated >= without.regions_generated);
+    }
+}

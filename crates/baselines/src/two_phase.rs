@@ -1,0 +1,485 @@
+//! The two-phase parallel adaptive method of Arumugam et al. (§2.2.1).
+//!
+//! Phase I expands the sub-region tree breadth-first — every region is split each
+//! iteration unless its own relative error already satisfies the tolerance — until the
+//! list is large enough for a 1-1 mapping onto the device's parallel processors
+//! (2¹⁵ blocks in the paper's configuration).  Phase II then hands each surviving
+//! region to an independent processor that runs the sequential Cuhre loop with a
+//! bounded local heap (2048 regions per block) and **no global coordination**: the
+//! processor stops when its *local* error looks good relative to its own estimates or
+//! its memory/evaluation budget runs out.  Those local, globally-blind termination
+//! conditions are exactly why the method loses digits on hard integrands and fails
+//! outright when the per-processor memory runs out — the behaviour Figures 4, 5 and 9
+//! of the paper document and this reproduction reproduces.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use pagani_device::{reduce, Device};
+use pagani_quadrature::two_level::refine_generation;
+use pagani_quadrature::{
+    EvalScratch, GenzMalik, IntegrationResult, Integrand, Region, Termination, Tolerances,
+};
+
+/// Configuration of the two-phase baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoPhaseConfig {
+    /// Relative / absolute error targets.
+    pub tolerances: Tolerances,
+    /// Phase I stops expanding once at least this many active regions exist
+    /// (the paper uses 2¹⁵, the number of blocks that fit the V100).
+    pub phase1_region_target: usize,
+    /// Maximum phase I iterations (safety bound).
+    pub max_phase1_iterations: usize,
+    /// Local heap capacity of each phase II processor (2048 regions in the paper).
+    pub phase2_heap_capacity: usize,
+    /// Local evaluation budget of each phase II processor.
+    pub phase2_max_evaluations: u64,
+}
+
+impl TwoPhaseConfig {
+    /// Configuration with the paper's defaults for a given tolerance.
+    #[must_use]
+    pub fn new(tolerances: Tolerances) -> Self {
+        Self {
+            tolerances,
+            phase1_region_target: 1 << 15,
+            max_phase1_iterations: 60,
+            phase2_heap_capacity: 2048,
+            phase2_max_evaluations: 2_000_000,
+        }
+    }
+
+    /// Configuration targeting `digits` decimal digits of relative precision.
+    #[must_use]
+    pub fn digits(digits: f64) -> Self {
+        Self::new(Tolerances::digits(digits))
+    }
+
+    /// Shrink the targets for unit tests.
+    #[must_use]
+    pub fn test_small(tolerances: Tolerances) -> Self {
+        Self {
+            phase1_region_target: 512,
+            phase2_heap_capacity: 128,
+            phase2_max_evaluations: 200_000,
+            ..Self::new(tolerances)
+        }
+    }
+}
+
+impl Default for TwoPhaseConfig {
+    fn default() -> Self {
+        Self::new(Tolerances::default())
+    }
+}
+
+/// Outcome of one phase II processor.
+#[derive(Debug, Clone, Copy)]
+struct ProcessorOutcome {
+    integral: f64,
+    error: f64,
+    evaluations: u64,
+    regions: u64,
+    memory_exhausted: bool,
+}
+
+/// The two-phase integrator.
+#[derive(Debug, Clone)]
+pub struct TwoPhase {
+    device: Device,
+    config: TwoPhaseConfig,
+}
+
+impl TwoPhase {
+    /// Create an integrator on `device` with `config`.
+    #[must_use]
+    pub fn new(device: Device, config: TwoPhaseConfig) -> Self {
+        Self { device, config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &TwoPhaseConfig {
+        &self.config
+    }
+
+    /// Integrate `f` over its default bounds.
+    pub fn integrate<F: Integrand + ?Sized>(&self, f: &F) -> IntegrationResult {
+        let (lo, hi) = f.default_bounds();
+        self.integrate_region(f, &Region::new(lo, hi))
+    }
+
+    /// Integrate `f` over an explicit region.
+    ///
+    /// # Panics
+    /// Panics if the region and integrand dimensions differ.
+    pub fn integrate_region<F: Integrand + ?Sized>(
+        &self,
+        f: &F,
+        region: &Region,
+    ) -> IntegrationResult {
+        assert_eq!(region.dim(), f.dim(), "region/integrand dimension mismatch");
+        let start = Instant::now();
+        let dim = f.dim();
+        let rule = GenzMalik::new(dim);
+        let tolerances = self.config.tolerances;
+
+        // ----- Phase I: breadth-first expansion with relative-error filtering. -----
+        let d = initial_splits(dim, self.config.phase1_region_target);
+        let mut active: Vec<Region> = region.uniform_split(d);
+        let mut finished_estimate = 0.0f64;
+        let mut finished_error = 0.0f64;
+        let mut function_evaluations = 0u64;
+        let mut regions_generated = active.len() as u64;
+        let mut phase1_iterations = 0usize;
+        let mut parent_integrals: Option<Vec<f64>> = None;
+        let mut converged_in_phase1 = false;
+
+        loop {
+            phase1_iterations += 1;
+            let estimates = self
+                .device
+                .launch_map("two_phase.evaluate", active.len(), |ctx| {
+                    let mut scratch = EvalScratch::new(dim);
+                    rule.evaluate(f, &active[ctx.block_idx], &mut scratch)
+                })
+                .expect("phase I launch cannot be empty");
+            function_evaluations += estimates.iter().map(|e| e.evaluations as u64).sum::<u64>();
+            let integrals: Vec<f64> = estimates.iter().map(|e| e.integral).collect();
+            let mut errors: Vec<f64> = estimates.iter().map(|e| e.error).collect();
+            let axes: Vec<usize> = estimates.iter().map(|e| e.split_axis).collect();
+            if let Some(parents) = &parent_integrals {
+                if parents.len() * 2 == integrals.len() {
+                    refine_generation(&integrals, &mut errors, parents);
+                }
+            }
+
+            let iter_estimate = reduce::sum(&integrals);
+            let iter_error = reduce::sum(&errors);
+            let total_estimate = iter_estimate + finished_estimate;
+            let total_error = iter_error + finished_error;
+            if tolerances.satisfied_by(total_estimate, total_error) {
+                finished_estimate = total_estimate;
+                finished_error = total_error;
+                converged_in_phase1 = true;
+                break;
+            }
+            if phase1_iterations >= self.config.max_phase1_iterations {
+                finished_estimate = total_estimate;
+                finished_error = total_error;
+                break;
+            }
+
+            // Local termination: regions meeting their own relative error are finished
+            // and leave memory.
+            let mut survivors: Vec<Region> = Vec::new();
+            let mut survivor_integrals: Vec<f64> = Vec::new();
+            let mut survivor_axes: Vec<usize> = Vec::new();
+            for (i, reg) in active.iter().enumerate() {
+                if tolerances.satisfied_by(integrals[i], errors[i]) {
+                    finished_estimate += integrals[i];
+                    finished_error += errors[i];
+                } else {
+                    survivors.push(reg.clone());
+                    survivor_integrals.push(integrals[i]);
+                    survivor_axes.push(axes[i]);
+                }
+            }
+            if survivors.is_empty() {
+                converged_in_phase1 =
+                    tolerances.satisfied_by(finished_estimate, finished_error);
+                break;
+            }
+            if survivors.len() >= self.config.phase1_region_target {
+                // Enough regions for the 1-1 processor mapping: move to phase II.
+                active = survivors;
+                break;
+            }
+
+            // Split every surviving region along its chosen axis (left halves first,
+            // matching the sibling layout the two-level refinement expects).
+            let mut next = Vec::with_capacity(survivors.len() * 2);
+            let mut rights = Vec::with_capacity(survivors.len());
+            for (reg, &axis) in survivors.iter().zip(&survivor_axes) {
+                let (left, right) = reg.split(axis);
+                next.push(left);
+                rights.push(right);
+            }
+            next.extend(rights);
+            regions_generated += next.len() as u64;
+            parent_integrals = Some(survivor_integrals);
+            active = next;
+        }
+
+        if converged_in_phase1 || finished_estimate != 0.0 && active.is_empty() {
+            let termination = if tolerances.satisfied_by(finished_estimate, finished_error) {
+                Termination::Converged
+            } else {
+                Termination::MaxIterations
+            };
+            return IntegrationResult {
+                estimate: finished_estimate,
+                error_estimate: finished_error,
+                termination,
+                iterations: phase1_iterations,
+                function_evaluations,
+                regions_generated,
+                active_regions_final: 0,
+                wall_time: start.elapsed(),
+            };
+        }
+
+        // ----- Phase II: independent sequential Cuhre per region. -------------------
+        let heap_capacity = self.config.phase2_heap_capacity;
+        let local_budget = self.config.phase2_max_evaluations;
+        let outcomes = self
+            .device
+            .launch_map("two_phase.phase2", active.len(), |ctx| {
+                phase2_processor(
+                    f,
+                    &rule,
+                    &active[ctx.block_idx],
+                    tolerances,
+                    heap_capacity,
+                    local_budget,
+                )
+            })
+            .expect("phase II launch cannot be empty");
+
+        let mut estimate = finished_estimate;
+        let mut error = finished_error;
+        let mut any_memory_exhausted = false;
+        let mut phase2_regions = 0u64;
+        for outcome in &outcomes {
+            estimate += outcome.integral;
+            error += outcome.error;
+            function_evaluations += outcome.evaluations;
+            phase2_regions += outcome.regions;
+            any_memory_exhausted |= outcome.memory_exhausted;
+        }
+        regions_generated += phase2_regions;
+
+        let termination = if tolerances.satisfied_by(estimate, error) {
+            Termination::Converged
+        } else if any_memory_exhausted {
+            Termination::MemoryExhausted
+        } else {
+            Termination::MaxEvaluations
+        };
+        IntegrationResult {
+            estimate,
+            error_estimate: error,
+            termination,
+            iterations: phase1_iterations,
+            function_evaluations,
+            regions_generated,
+            active_regions_final: outcomes.len(),
+            wall_time: start.elapsed(),
+        }
+    }
+}
+
+/// Number of parts per axis for the initial uniform split, mirroring PAGANI's rule.
+fn initial_splits(dim: usize, target: usize) -> usize {
+    let mut d = 2usize;
+    loop {
+        let next = d + 1;
+        let Some(count) = next.checked_pow(dim as u32) else {
+            break;
+        };
+        if count > target.max(2) {
+            break;
+        }
+        d = next;
+    }
+    d
+}
+
+#[derive(Debug, Clone)]
+struct LocalRegion {
+    region: Region,
+    integral: f64,
+    error: f64,
+    split_axis: usize,
+}
+
+impl PartialEq for LocalRegion {
+    fn eq(&self, other: &Self) -> bool {
+        self.error == other.error
+    }
+}
+impl Eq for LocalRegion {}
+impl PartialOrd for LocalRegion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LocalRegion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.error
+            .partial_cmp(&other.error)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// One phase II processor: a locally-bounded sequential Cuhre on a single region.
+fn phase2_processor<F: Integrand + ?Sized>(
+    f: &F,
+    rule: &GenzMalik,
+    region: &Region,
+    tolerances: Tolerances,
+    heap_capacity: usize,
+    max_evaluations: u64,
+) -> ProcessorOutcome {
+    let mut scratch = EvalScratch::new(rule.dim());
+    let first = rule.evaluate(f, region, &mut scratch);
+    let mut evaluations = first.evaluations as u64;
+    let mut regions = 1u64;
+    let mut heap = BinaryHeap::new();
+    heap.push(LocalRegion {
+        region: region.clone(),
+        integral: first.integral,
+        error: first.error,
+        split_axis: first.split_axis,
+    });
+    let mut total_integral = first.integral;
+    let mut total_error = first.error;
+    let mut memory_exhausted = false;
+
+    loop {
+        // Local termination: the processor only sees its own estimates.
+        if tolerances.satisfied_by(total_integral, total_error) {
+            break;
+        }
+        if evaluations >= max_evaluations {
+            break;
+        }
+        if heap.len() + 1 > heap_capacity {
+            memory_exhausted = true;
+            break;
+        }
+        let Some(worst) = heap.pop() else { break };
+        let (left, right) = worst.region.split(worst.split_axis);
+        let left_est = rule.evaluate(f, &left, &mut scratch);
+        let right_est = rule.evaluate(f, &right, &mut scratch);
+        evaluations += (left_est.evaluations + right_est.evaluations) as u64;
+        regions += 2;
+        let left_err = pagani_quadrature::two_level::refine_error(
+            left_est.integral,
+            left_est.error,
+            right_est.integral,
+            right_est.error,
+            worst.integral,
+        );
+        let right_err = pagani_quadrature::two_level::refine_error(
+            right_est.integral,
+            right_est.error,
+            left_est.integral,
+            left_est.error,
+            worst.integral,
+        );
+        total_integral += left_est.integral + right_est.integral - worst.integral;
+        total_error += left_err + right_err - worst.error;
+        heap.push(LocalRegion {
+            region: left,
+            integral: left_est.integral,
+            error: left_err,
+            split_axis: left_est.split_axis,
+        });
+        heap.push(LocalRegion {
+            region: right,
+            integral: right_est.integral,
+            error: right_err,
+            split_axis: right_est.split_axis,
+        });
+    }
+
+    ProcessorOutcome {
+        integral: total_integral,
+        error: total_error,
+        evaluations,
+        regions,
+        memory_exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagani_device::Device;
+    use pagani_integrands::paper::PaperIntegrand;
+    use pagani_quadrature::FnIntegrand;
+
+    fn two_phase(rel: f64) -> TwoPhase {
+        TwoPhase::new(
+            Device::test_small(),
+            TwoPhaseConfig::test_small(Tolerances::rel(rel)),
+        )
+    }
+
+    #[test]
+    fn constant_converges_in_phase1() {
+        let result = two_phase(1e-6).integrate(&FnIntegrand::new(3, |_: &[f64]| 1.5));
+        assert!(result.converged());
+        assert!((result.estimate - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_3d_low_precision_is_accurate() {
+        let f = PaperIntegrand::f4(3);
+        let result = two_phase(1e-3).integrate(&f);
+        assert!(result.converged());
+        assert!(result.true_relative_error(f.reference_value()) < 1e-3);
+    }
+
+    #[test]
+    fn corner_peak_3d_moderate_precision() {
+        let f = PaperIntegrand::f3(3);
+        let result = two_phase(1e-5).integrate(&f);
+        assert!(result.converged());
+        assert!(result.true_relative_error(f.reference_value()) < 1e-5);
+    }
+
+    #[test]
+    fn initial_splits_match_pagani_rule() {
+        assert_eq!(initial_splits(8, 1 << 15), 3);
+        assert_eq!(initial_splits(5, 1 << 15), 8);
+        assert_eq!(initial_splits(3, 512), 8);
+    }
+
+    #[test]
+    fn tiny_phase2_heap_causes_memory_exhaustion_on_hard_integrand() {
+        // A sharply-peaked 4D Gaussian at a demanding tolerance: the tiny local heaps
+        // cannot resolve the peak, which is the failure mode the paper documents.
+        let f = PaperIntegrand::f4(4);
+        let config = TwoPhaseConfig {
+            phase1_region_target: 64,
+            phase2_heap_capacity: 8,
+            phase2_max_evaluations: 5_000,
+            ..TwoPhaseConfig::new(Tolerances::rel(1e-8))
+        };
+        let result = TwoPhase::new(Device::test_small(), config).integrate(&f);
+        assert!(!result.converged());
+        assert_eq!(result.termination, Termination::MemoryExhausted);
+    }
+
+    #[test]
+    fn two_phase_reports_region_counts() {
+        let f = PaperIntegrand::f4(3);
+        let result = two_phase(1e-4).integrate(&f);
+        assert!(result.regions_generated > 0);
+        assert!(result.function_evaluations > 0);
+    }
+
+    #[test]
+    fn phase1_alone_handles_easy_integrands_like_pagani() {
+        // For an easy polynomial the run should converge without phase II
+        // (phase I's relative-error filtering finishes everything).
+        let f = FnIntegrand::new(2, |x: &[f64]| 1.0 + x[0] * x[1]);
+        let result = two_phase(1e-6).integrate(&f);
+        assert!(result.converged());
+        assert!(result.true_relative_error(1.25) < 1e-6);
+    }
+}

@@ -1,0 +1,47 @@
+//! Ablations of the design choices called out in DESIGN.md beyond Figure 8:
+//! the two-level error refinement and the granularity of the initial uniform split.
+
+use pagani_bench::{banner, bench_device, millis};
+use pagani_core::{Pagani, PaganiConfig};
+use pagani_integrands::paper::PaperIntegrand;
+use pagani_quadrature::Tolerances;
+
+fn main() {
+    banner("Ablations", "two-level error refinement and initial-split granularity");
+    let device = bench_device();
+    let integrand = PaperIntegrand::f4(5);
+    let reference = integrand.reference_value();
+    let tolerances = Tolerances::digits(5.0);
+
+    println!("-- two-level error refinement (5D f4 at 5 digits) --");
+    for (name, enabled) in [("two-level ON (paper)", true), ("two-level OFF", false)] {
+        let config = PaganiConfig {
+            two_level_errors: enabled,
+            ..PaganiConfig::new(tolerances)
+        };
+        let out = Pagani::new(device.clone(), config).integrate(&integrand);
+        println!(
+            "  {:<22} time {:>9.1} ms  regions {:>10}  est.rel.err {:>9.2e}  true.rel.err {:>9.2e}  converged {}",
+            name,
+            millis(out.result.wall_time),
+            out.result.regions_generated,
+            out.result.relative_error_estimate(),
+            out.result.true_relative_error(reference),
+            out.result.converged(),
+        );
+    }
+
+    println!("\n-- initial uniform split granularity d (5D f4 at 5 digits) --");
+    for d in [2usize, 4, 6, 8] {
+        let config = PaganiConfig::new(tolerances).with_splits_per_axis(d);
+        let out = Pagani::new(device.clone(), config).integrate(&integrand);
+        println!(
+            "  d = {d}: initial regions {:>8}  time {:>9.1} ms  iterations {:>4}  total regions {:>10}  converged {}",
+            d.pow(5),
+            millis(out.result.wall_time),
+            out.result.iterations,
+            out.result.regions_generated,
+            out.result.converged(),
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! §4.3.2 performance breakdown: the share of execution time per kernel category.
+//!
+//! PAGANI is run on the 5-D Gaussian and the 8-D box integral at the top of the digits
+//! sweep, and the device profile is aggregated into the four categories the paper
+//! discusses: region evaluation, post-processing (two-level refinement, classification
+//! and reductions), threshold classification, and filtering + sub-division.  The paper
+//! reports evaluation taking more than 90 % of the time on a V100; the same dominance
+//! (the precise share depends on the host CPU) is what this harness prints.
+
+use pagani_bench::{banner, bench_device, digits_sweep, run_pagani};
+use pagani_integrands::paper::PaperIntegrand;
+
+fn main() {
+    banner("§4.3.2", "per-kernel-category execution-time breakdown");
+    let digits = digits_sweep().last().copied().unwrap_or(5.0);
+    for integrand in [PaperIntegrand::f4(5), PaperIntegrand::f7(8)] {
+        // A fresh device per case so the profile covers exactly one run.
+        let device = bench_device();
+        let out = run_pagani(&device, &integrand, digits);
+        let profile = device.profile();
+        let evaluate = profile.fraction_for_prefix("evaluate");
+        let postprocess = profile.fraction_for_prefix("postprocess");
+        let threshold = profile.fraction_for_prefix("threshold");
+        let filter_split = profile.fraction_for_prefix("filter");
+        println!(
+            "{} at {digits} digits (converged: {}, iterations: {}):",
+            integrand.label(),
+            out.result.converged(),
+            out.result.iterations
+        );
+        println!("  evaluate              {:>6.1}%", evaluate * 100.0);
+        println!("  post-processing       {:>6.1}%", postprocess * 100.0);
+        println!("  threshold classify    {:>6.1}%", threshold * 100.0);
+        println!("  filter + sub-division {:>6.1}%", filter_split * 100.0);
+        println!("  kernel launches:");
+        for (name, timing) in profile.snapshot() {
+            println!(
+                "    {:<26} launches {:>6}  total {:>10.2} ms",
+                name,
+                timing.launches,
+                timing.total.as_secs_f64() * 1e3
+            );
+        }
+        println!();
+    }
+}

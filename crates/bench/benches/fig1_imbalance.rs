@@ -1,0 +1,58 @@
+//! Figure 1: work-load imbalance of naive static parallelisation.
+//!
+//! The paper motivates PAGANI by showing that assigning a static partition of the
+//! integration space to independent processors leads to wildly different amounts of
+//! adaptive work per processor.  This benchmark splits the domain of the 5-D Gaussian
+//! f4 into 16 equal sub-domains (a 4×4 grid over the first two axes), runs an
+//! independent sequential Cuhre on each, and prints the number of sub-regions every
+//! "processor" had to generate.
+
+use pagani_baselines::{Cuhre, CuhreConfig};
+use pagani_bench::banner;
+use pagani_integrands::paper::PaperIntegrand;
+use pagani_quadrature::{Region, Tolerances};
+
+fn main() {
+    banner(
+        "Figure 1",
+        "per-processor subdivision counts under a static 16-way partition (5D f4)",
+    );
+    let integrand = PaperIntegrand::f4(5);
+    // A 4×4 static grid over the first two axes; the remaining axes span [0,1].
+    let mut partitions = Vec::with_capacity(16);
+    for i in 0..4 {
+        for j in 0..4 {
+            let mut lo = vec![0.0; 5];
+            let mut hi = vec![1.0; 5];
+            lo[0] = i as f64 * 0.25;
+            hi[0] = (i + 1) as f64 * 0.25;
+            lo[1] = j as f64 * 0.25;
+            hi[1] = (j + 1) as f64 * 0.25;
+            partitions.push(Region::new(lo, hi));
+        }
+    }
+
+    let cuhre = Cuhre::new(
+        CuhreConfig::new(Tolerances::rel(1e-6)).with_max_evaluations(10_000_000),
+    );
+    let counts: Vec<u64> = partitions
+        .iter()
+        .map(|region| cuhre.integrate_region(&integrand, region).regions_generated)
+        .collect();
+
+    let total: u64 = counts.iter().sum();
+    for (processor, &regions) in counts.iter().enumerate() {
+        println!(
+            "processor {processor:>2}: regions {:>8}   share of total work {:>5.1}%",
+            regions,
+            100.0 * regions as f64 / total.max(1) as f64
+        );
+    }
+    let max = counts.iter().copied().max().unwrap_or(1);
+    let min = counts.iter().copied().min().unwrap_or(1);
+    println!("\nsummary: total regions {total}, busiest processor {max}, idlest {min}");
+    println!(
+        "imbalance (max/min): {:.1}x — the motivation for PAGANI's global breadth-first scheme",
+        max as f64 / min.max(1) as f64
+    );
+}

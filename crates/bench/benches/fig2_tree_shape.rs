@@ -1,0 +1,49 @@
+//! Figure 2: the shape of the sub-region tree produced by the three adaptive methods.
+//!
+//! PAGANI grows a wide, shallow tree (every active region splits each iteration),
+//! sequential Cuhre grows a narrow, deep one (one split per iteration), and the
+//! two-phase method sits in between.  This benchmark prints PAGANI's tree width per
+//! depth (from its execution trace) next to the total number of tree nodes generated
+//! by each method on the same integrand and tolerance.
+
+use pagani_bench::{banner, bench_device, run_cuhre, run_pagani, run_two_phase};
+use pagani_integrands::paper::PaperIntegrand;
+
+fn main() {
+    banner("Figure 2", "sub-region tree shapes on 5D f4 at 5 digits of precision");
+    let integrand = PaperIntegrand::f4(5);
+    let digits = 5.0;
+    let device = bench_device();
+
+    let pagani = run_pagani(&device, &integrand, digits);
+    println!("PAGANI tree width per depth (iteration -> live regions):");
+    for (depth, width) in pagani.trace.tree_widths().iter().enumerate() {
+        println!("  depth {depth:>3}: {width:>9} regions");
+    }
+    println!(
+        "PAGANI    : depth {:>4}, total nodes {:>10}, converged {}",
+        pagani.result.iterations,
+        pagani.result.regions_generated,
+        pagani.result.converged()
+    );
+
+    let two_phase = run_two_phase(&device, &integrand, digits);
+    println!(
+        "two-phase : phase-I depth {:>4}, total nodes {:>10}, converged {}",
+        two_phase.iterations,
+        two_phase.regions_generated,
+        two_phase.converged()
+    );
+
+    let cuhre = run_cuhre(&integrand, digits);
+    println!(
+        "Cuhre     : splits {:>9}, total nodes {:>10}, converged {}",
+        cuhre.iterations,
+        cuhre.regions_generated,
+        cuhre.converged()
+    );
+    println!(
+        "\nshape: PAGANI's tree is ~{}x wider at its widest level than Cuhre's (which is always 1 split wide)",
+        pagani.trace.peak_regions()
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 3: the threshold search on the five-dimensional Gaussian.
+//!
+//! Reproduces the dotted-line trace of the paper's Figure 3: every candidate threshold
+//! tried by `Threshold-Classify`, the percentage of regions it would remove and the
+//! percentage of the error budget those regions would consume, until a candidate
+//! satisfies both the memory and the accuracy requirement.
+
+use pagani_bench::{banner, digits_sweep, run_pagani};
+use pagani_device::{Device, DeviceConfig};
+use pagani_integrands::paper::PaperIntegrand;
+
+fn main() {
+    banner("Figure 3", "threshold-search trace on 5D f4");
+    let integrand = PaperIntegrand::f4(5);
+    let digits = digits_sweep().last().copied().unwrap_or(5.0).max(6.0);
+    // A deliberately small device so the memory-pressure trigger fires early.
+    let device = Device::new(DeviceConfig::v100_like().with_memory_capacity(24 << 20));
+    let output = run_pagani(&device, &integrand, digits);
+
+    println!(
+        "run: {} at {digits} digits — converged: {}, iterations: {}, regions: {}\n",
+        integrand.label(),
+        output.result.converged(),
+        output.result.iterations,
+        output.result.regions_generated
+    );
+    if output.trace.threshold_searches.is_empty() {
+        println!("no threshold search was required at this precision (increase PAGANI_BENCH_MAX_DIGITS)");
+        return;
+    }
+    for search in &output.trace.threshold_searches {
+        println!(
+            "iteration {:>3}  trigger {:?}  successful {}",
+            search.iteration, search.trigger, search.successful
+        );
+        for probe in &search.probes {
+            println!(
+                "    threshold {:>12.4e}   regions removed {:>5.1}%   error budget used {:>6.1}%   {}",
+                probe.threshold,
+                probe.fraction_finished * 100.0,
+                probe.budget_fraction * 100.0,
+                if probe.accepted { "ACCEPTED" } else { "rejected" }
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 4: true relative error versus user-specified digits of precision.
+//!
+//! For 5D f4, 6D f6 and 8D f7 (the paper's Figure 4 panels) every method is run across
+//! the digits sweep; a row reports the true relative error and whether it falls below
+//! the requested tolerance (below the dotted line in the paper's plot).  The §4.2
+//! digits-of-precision summary table is printed at the end.
+
+use pagani_bench::{
+    banner, bench_device, digits_sweep, full_sweep, print_result_row, run_cuhre, run_pagani,
+    run_two_phase,
+};
+use pagani_integrands::paper::PaperIntegrand;
+
+fn main() {
+    banner(
+        "Figure 4",
+        "true relative error vs requested digits (5D f4, 6D f6, 8D f7)",
+    );
+    let mut cases = vec![PaperIntegrand::f4(5), PaperIntegrand::f6(), PaperIntegrand::f7(8)];
+    if full_sweep() {
+        cases.push(PaperIntegrand::f3(8));
+        cases.push(PaperIntegrand::f5(8));
+    }
+    let device = bench_device();
+    // Highest digits at which each (integrand, method) still satisfied the tolerance.
+    let mut attained: Vec<(String, &'static str, f64)> = Vec::new();
+
+    for integrand in &cases {
+        for digits in digits_sweep() {
+            let target = 10f64.powf(-digits);
+
+            let pagani = run_pagani(&device, integrand, digits);
+            print_result_row(integrand, "PAGANI", digits, &pagani.result);
+            if pagani.result.converged()
+                && pagani.result.true_relative_error(integrand.reference_value()) <= target
+            {
+                record(&mut attained, integrand, "PAGANI", digits);
+            }
+
+            let two_phase = run_two_phase(&device, integrand, digits);
+            print_result_row(integrand, "two-phase", digits, &two_phase);
+            if two_phase.converged()
+                && two_phase.true_relative_error(integrand.reference_value()) <= target
+            {
+                record(&mut attained, integrand, "two-phase", digits);
+            }
+
+            let cuhre = run_cuhre(integrand, digits);
+            print_result_row(integrand, "cuhre", digits, &cuhre);
+            if cuhre.converged()
+                && cuhre.true_relative_error(integrand.reference_value()) <= target
+            {
+                record(&mut attained, integrand, "cuhre", digits);
+            }
+        }
+        println!();
+    }
+
+    println!("\n§4.2 summary — highest digits of precision attained (within the sweep):");
+    for (label, method, digits) in &attained_summary(&attained) {
+        println!("  {label:<8} {method:<10} {digits} digits");
+    }
+}
+
+fn record(
+    attained: &mut Vec<(String, &'static str, f64)>,
+    integrand: &PaperIntegrand,
+    method: &'static str,
+    digits: f64,
+) {
+    attained.push((integrand.label(), method, digits));
+}
+
+fn attained_summary(raw: &[(String, &'static str, f64)]) -> Vec<(String, &'static str, f64)> {
+    let mut best: Vec<(String, &'static str, f64)> = Vec::new();
+    for (label, method, digits) in raw {
+        match best
+            .iter_mut()
+            .find(|(l, m, _)| l == label && m == method)
+        {
+            Some(entry) => entry.2 = entry.2.max(*digits),
+            None => best.push((label.clone(), method, *digits)),
+        }
+    }
+    best
+}

@@ -1,0 +1,45 @@
+//! Figure 5: execution-time comparison of Cuhre, PAGANI and the two-phase method.
+//!
+//! Same integrand panels as Figure 4 (5D f4, 6D f6, 8D f7); each row reports the wall
+//! time of one method at one requested precision.  Absolute numbers depend on the host
+//! CPU rather than a V100, but the shapes — PAGANI and two-phase close at low
+//! precision, Cuhre's time exploding with digits, two-phase dropping out early — are
+//! the comparison the paper plots.
+
+use pagani_bench::{
+    banner, bench_device, digits_sweep, full_sweep, millis, run_cuhre, run_pagani, run_two_phase,
+};
+use pagani_integrands::paper::PaperIntegrand;
+
+fn main() {
+    banner("Figure 5", "execution time vs requested digits (5D f4, 6D f6, 8D f7)");
+    let mut cases = vec![PaperIntegrand::f4(5), PaperIntegrand::f6(), PaperIntegrand::f7(8)];
+    if full_sweep() {
+        cases.push(PaperIntegrand::f3(8));
+    }
+    let device = bench_device();
+
+    println!(
+        "{:<8} {:>6} {:>14} {:>14} {:>14}",
+        "case", "digits", "cuhre[ms]", "PAGANI[ms]", "two-phase[ms]"
+    );
+    for integrand in &cases {
+        for digits in digits_sweep() {
+            let cuhre = run_cuhre(integrand, digits);
+            let pagani = run_pagani(&device, integrand, digits);
+            let two_phase = run_two_phase(&device, integrand, digits);
+            println!(
+                "{:<8} {:>6} {:>14.1} {:>14.1} {:>14.1}   (converged: cuhre {}, pagani {}, two-phase {})",
+                integrand.label(),
+                digits,
+                millis(cuhre.wall_time),
+                millis(pagani.result.wall_time),
+                millis(two_phase.wall_time),
+                cuhre.converged(),
+                pagani.result.converged(),
+                two_phase.converged(),
+            );
+        }
+        println!();
+    }
+}

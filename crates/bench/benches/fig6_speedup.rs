@@ -1,0 +1,43 @@
+//! Figure 6: PAGANI speedup over sequential Cuhre (left panel) and over the two-phase
+//! method (right panel) on 5D f5, 6D f6 and 8D f7.
+//!
+//! A square marker in the paper indicates precisions where only PAGANI satisfied the
+//! requested accuracy; this harness prints an `only-PAGANI` flag for the same cases.
+
+use pagani_bench::{
+    banner, bench_device, digits_sweep, millis, run_cuhre, run_pagani, run_two_phase,
+};
+use pagani_integrands::paper::PaperIntegrand;
+
+fn main() {
+    banner("Figure 6", "PAGANI speedup over Cuhre and over the two-phase method");
+    let cases = vec![PaperIntegrand::f5(5), PaperIntegrand::f6(), PaperIntegrand::f7(8)];
+    let device = bench_device();
+
+    println!(
+        "{:<8} {:>6} {:>18} {:>22}",
+        "case", "digits", "speedup vs cuhre", "speedup vs two-phase"
+    );
+    for integrand in &cases {
+        for digits in digits_sweep() {
+            let pagani = run_pagani(&device, integrand, digits);
+            let cuhre = run_cuhre(integrand, digits);
+            let two_phase = run_two_phase(&device, integrand, digits);
+            let pagani_ms = millis(pagani.result.wall_time).max(1e-3);
+            let speedup_cuhre = millis(cuhre.wall_time) / pagani_ms;
+            let speedup_two_phase = millis(two_phase.wall_time) / pagani_ms;
+            let only_pagani_cuhre = pagani.result.converged() && !cuhre.converged();
+            let only_pagani_two = pagani.result.converged() && !two_phase.converged();
+            println!(
+                "{:<8} {:>6} {:>15.1}x{} {:>19.1}x{}",
+                integrand.label(),
+                digits,
+                speedup_cuhre,
+                if only_pagani_cuhre { " [only-PAGANI]" } else { "" },
+                speedup_two_phase,
+                if only_pagani_two { " [only-PAGANI]" } else { "" },
+            );
+        }
+        println!();
+    }
+}

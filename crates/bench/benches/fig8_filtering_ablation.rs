@@ -1,0 +1,44 @@
+//! Figure 8: PAGANI execution time with and without the heuristic filtering.
+//!
+//! Three modes, matching the paper's legend: full PAGANI (threshold classification on
+//! integral-estimate convergence or memory pressure), `Mem-exhaustion` (threshold
+//! classification only under memory pressure) and `No filtering` (relative-error
+//! filtering only).  Panels: 5D f4, 8D f4 and 8D f5 (the latter two only in the full
+//! sweep — they are the paper's hardest cases).
+
+use pagani_bench::{banner, bench_device, digits_sweep, full_sweep, millis, run_pagani_with_filtering};
+use pagani_core::HeuristicFiltering;
+use pagani_integrands::paper::PaperIntegrand;
+
+fn main() {
+    banner("Figure 8", "filtering ablation: PAGANI vs mem-exhaustion-only vs no filtering");
+    let mut cases = vec![PaperIntegrand::f4(5)];
+    if full_sweep() {
+        cases.push(PaperIntegrand::f4(8));
+        cases.push(PaperIntegrand::f5(8));
+    }
+    let device = bench_device();
+    let modes = [
+        ("PAGANI", HeuristicFiltering::Full),
+        ("Mem-exhaustion", HeuristicFiltering::MemoryExhaustionOnly),
+        ("No filtering", HeuristicFiltering::Disabled),
+    ];
+
+    for integrand in &cases {
+        for digits in digits_sweep() {
+            for (name, mode) in modes {
+                let out = run_pagani_with_filtering(&device, integrand, digits, mode);
+                println!(
+                    "{:<8} digits {:>4}  {:<16} time {:>10.1} ms  regions {:>10}  converged {}",
+                    integrand.label(),
+                    digits,
+                    name,
+                    millis(out.result.wall_time),
+                    out.result.regions_generated,
+                    out.result.converged(),
+                );
+            }
+            println!();
+        }
+    }
+}

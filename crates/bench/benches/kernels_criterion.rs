@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the kernels that make up a PAGANI iteration:
+//! Genz–Malik region evaluation across dimensions, the parallel reductions and stream
+//! compaction of the post-processing step, the threshold search, and region-list
+//! splitting.  These complement the figure benchmarks by pinpointing where the wall
+//! time of §4.3.2 actually goes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pagani_core::classify::ACTIVE;
+use pagani_core::region_list::RegionList;
+use pagani_core::threshold::{threshold_classify, ThresholdPolicy};
+use pagani_device::{reduce, scan, MemoryPool};
+use pagani_integrands::paper::PaperIntegrand;
+use pagani_quadrature::{EvalScratch, GenzMalik, Integrand, Region};
+
+fn bench_genz_malik(c: &mut Criterion) {
+    let mut group = c.benchmark_group("genz_malik_evaluate");
+    group.sample_size(20);
+    for dim in [3usize, 5, 8] {
+        let rule = GenzMalik::new(dim);
+        let integrand = PaperIntegrand::f4(dim);
+        let region = Region::unit_cube(dim);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            let mut scratch = EvalScratch::new(dim);
+            b.iter(|| {
+                let est = rule.evaluate(&integrand, &region, &mut scratch);
+                black_box(est.integral)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions");
+    group.sample_size(20);
+    let values: Vec<f64> = (0..1_000_000).map(|i| (i % 1000) as f64 * 1e-3).collect();
+    let mask: Vec<u8> = (0..values.len()).map(|i| (i % 3 == 0) as u8).collect();
+    group.bench_function("sum_1M", |b| b.iter(|| black_box(reduce::sum(&values))));
+    group.bench_function("masked_sum_1M", |b| {
+        b.iter(|| black_box(reduce::masked_sum(&values, &mask)))
+    });
+    group.bench_function("min_max_1M", |b| b.iter(|| black_box(reduce::min_max(&values))));
+    group.bench_function("compact_1M", |b| {
+        b.iter(|| black_box(scan::compact_by_mask(&values, &mask).len()))
+    });
+    group.finish();
+}
+
+fn bench_threshold_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold_classify");
+    group.sample_size(20);
+    let n = 100_000usize;
+    let errors: Vec<f64> = (0..n).map(|i| 1e-12 * (1.0 + (i % 977) as f64)).collect();
+    let mask = vec![ACTIVE; n];
+    let iteration_error: f64 = errors.iter().sum();
+    group.bench_function("100k_regions", |b| {
+        b.iter(|| {
+            black_box(threshold_classify(
+                &mask,
+                &errors,
+                1e-6,
+                iteration_error,
+                ThresholdPolicy::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_region_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region_list");
+    group.sample_size(20);
+    let pool = MemoryPool::new(4 << 30);
+    let list = RegionList::initial_split(&Region::unit_cube(5), 8, &pool).unwrap();
+    let axes: Vec<usize> = (0..list.len()).map(|i| i % 5).collect();
+    let mask: Vec<u8> = (0..list.len()).map(|i| (i % 2) as u8).collect();
+    group.bench_function("split_all_32k_5d", |b| {
+        b.iter(|| black_box(list.split_all(&axes, &pool).unwrap().len()))
+    });
+    group.bench_function("filter_32k_5d", |b| {
+        b.iter(|| black_box(list.filter(&mask, &pool).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_integrand_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("integrand_eval");
+    group.sample_size(30);
+    let point8 = [0.37; 8];
+    for integrand in [PaperIntegrand::f1(8), PaperIntegrand::f4(8), PaperIntegrand::f7(8)] {
+        group.bench_function(integrand.label(), |b| {
+            b.iter(|| black_box(integrand.eval(&point8)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_genz_malik,
+    bench_reductions,
+    bench_threshold_search,
+    bench_region_list,
+    bench_integrand_suite
+);
+criterion_main!(kernels);

@@ -1,0 +1,119 @@
+//! Relative-error classification (Algorithm 2, line 12).
+//!
+//! A region whose own error estimate already satisfies the user tolerance relative to
+//! its own integral estimate does not need further subdivision: by Lemma 3.1 of the
+//! paper, if *every* region satisfied it (and all estimates share a sign) the global
+//! tolerance would be satisfied too, so finishing such regions early never hurts the
+//! convergence of the cumulative estimate.  For integrands that oscillate between
+//! signs the lemma does not apply and the classification must be disabled
+//! (`rel_err_filtering = false`), leaving every region active.
+
+use pagani_quadrature::Tolerances;
+
+/// Classification mask entry for an active region (needs further subdivision).
+pub const ACTIVE: u8 = 1;
+/// Classification mask entry for a finished region.
+pub const FINISHED: u8 = 0;
+
+/// Classify every region: `1` if the region must stay active, `0` if it is finished.
+///
+/// When `filtering_enabled` is false all regions stay active (the §3.5.1 escape hatch
+/// for sign-oscillating integrands).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn rel_err_classify(
+    integrals: &[f64],
+    errors: &[f64],
+    tolerances: Tolerances,
+    filtering_enabled: bool,
+) -> Vec<u8> {
+    assert_eq!(integrals.len(), errors.len(), "length mismatch");
+    if !filtering_enabled {
+        return vec![ACTIVE; integrals.len()];
+    }
+    integrals
+        .iter()
+        .zip(errors)
+        .map(|(&v, &e)| {
+            if tolerances.satisfied_by(v, e) {
+                FINISHED
+            } else {
+                ACTIVE
+            }
+        })
+        .collect()
+}
+
+/// Count the active regions in a classification mask.
+#[must_use]
+pub fn active_count(mask: &[u8]) -> usize {
+    mask.iter().filter(|&&m| m != FINISHED).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn regions_meeting_their_relative_tolerance_are_finished() {
+        let integrals = [1.0, 1.0, 0.0];
+        let errors = [1e-5, 1e-2, 1e-25];
+        let mask = rel_err_classify(&integrals, &errors, Tolerances::rel(1e-3), true);
+        assert_eq!(mask, vec![FINISHED, ACTIVE, FINISHED]);
+        assert_eq!(active_count(&mask), 1);
+    }
+
+    #[test]
+    fn absolute_tolerance_also_finishes_regions() {
+        let tol = Tolerances { rel: 1e-12, abs: 1e-6 };
+        let mask = rel_err_classify(&[0.0, 5.0], &[1e-7, 1e-3], tol, true);
+        assert_eq!(mask, vec![FINISHED, ACTIVE]);
+    }
+
+    #[test]
+    fn disabling_filtering_keeps_everything_active() {
+        let mask = rel_err_classify(&[1.0, 1.0], &[0.0, 0.0], Tolerances::rel(1e-3), false);
+        assert_eq!(mask, vec![ACTIVE, ACTIVE]);
+    }
+
+    #[test]
+    fn negative_estimates_use_magnitude() {
+        let mask = rel_err_classify(&[-2.0], &[1e-4], Tolerances::rel(1e-3), true);
+        assert_eq!(mask, vec![FINISHED]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lemma_3_1_same_sign_finished_regions_satisfy_global_tolerance(
+            values in proptest::collection::vec(1e-6f64..10.0, 1..200),
+            rel in 1e-6f64..1e-2,
+        ) {
+            // Give every region an error just inside its own relative tolerance; the
+            // cumulative relative error must then satisfy the tolerance too.
+            let errors: Vec<f64> = values.iter().map(|&v| v * rel * 0.99).collect();
+            let tol = Tolerances { rel, abs: 0.0 };
+            let mask = rel_err_classify(&values, &errors, tol, true);
+            prop_assert!(mask.iter().all(|&m| m == FINISHED));
+            let v: f64 = values.iter().sum();
+            let e: f64 = errors.iter().sum();
+            prop_assert!(e <= rel * v.abs());
+        }
+
+        #[test]
+        fn prop_classification_is_pointwise(
+            values in proptest::collection::vec(-10.0f64..10.0, 1..100),
+            errs in proptest::collection::vec(0.0f64..1.0, 1..100),
+        ) {
+            let n = values.len().min(errs.len());
+            let tol = Tolerances::rel(1e-3);
+            let mask = rel_err_classify(&values[..n], &errs[..n], tol, true);
+            for i in 0..n {
+                let expected = if tol.satisfied_by(values[i], errs[i]) { FINISHED } else { ACTIVE };
+                prop_assert_eq!(mask[i], expected);
+            }
+        }
+    }
+}

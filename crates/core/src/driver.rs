@@ -1,0 +1,592 @@
+//! The PAGANI driver: Algorithm 2 of the paper.
+
+use std::time::Instant;
+
+use pagani_device::{reduce, Device, DeviceError};
+use pagani_quadrature::two_level::refine_generation;
+use pagani_quadrature::{GenzMalik, IntegrationResult, Integrand, Region, Termination};
+
+use crate::classify::{active_count, rel_err_classify};
+use crate::config::{HeuristicFiltering, PaganiConfig};
+use crate::evaluate::evaluate_all;
+use crate::region_list::RegionList;
+use crate::threshold::{threshold_classify, ThresholdPolicy};
+use crate::trace::{ExecutionTrace, IterationRecord, ThresholdSearchRecord, ThresholdTrigger};
+
+/// Result of a PAGANI run: the standard integration result plus the execution trace.
+#[derive(Debug, Clone)]
+pub struct PaganiOutput {
+    /// Estimate, error estimate, termination status and counters.
+    pub result: IntegrationResult,
+    /// Per-iteration statistics and threshold-search probes (empty when
+    /// `collect_trace` is disabled).
+    pub trace: ExecutionTrace,
+}
+
+/// The PAGANI integrator.
+///
+/// A `Pagani` instance owns a handle to the simulated device and a configuration and
+/// can integrate any number of integrands; each [`Pagani::integrate`] call is
+/// independent, matching the paper's timing methodology of excluding one-time device
+/// setup from the measured interval.
+#[derive(Debug, Clone)]
+pub struct Pagani {
+    device: Device,
+    config: PaganiConfig,
+}
+
+impl Pagani {
+    /// Create an integrator on `device` with `config`.
+    #[must_use]
+    pub fn new(device: Device, config: PaganiConfig) -> Self {
+        Self { device, config }
+    }
+
+    /// Create an integrator on the paper's V100-like device.
+    #[must_use]
+    pub fn with_default_device(config: PaganiConfig) -> Self {
+        Self::new(Device::v100_like(), config)
+    }
+
+    /// The device this integrator runs on.
+    #[must_use]
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &PaganiConfig {
+        &self.config
+    }
+
+    /// Integrate `f` over its default bounds (the unit cube for the paper's suite).
+    pub fn integrate<F: Integrand + ?Sized>(&self, f: &F) -> PaganiOutput {
+        let (lo, hi) = f.default_bounds();
+        self.integrate_region(f, &Region::new(lo, hi))
+    }
+
+    /// Integrate `f` over an explicit region.
+    ///
+    /// # Panics
+    /// Panics if the region dimension does not match the integrand dimension.
+    pub fn integrate_region<F: Integrand + ?Sized>(&self, f: &F, region: &Region) -> PaganiOutput {
+        assert_eq!(
+            region.dim(),
+            f.dim(),
+            "integration region and integrand dimensions differ"
+        );
+        let start = Instant::now();
+        let dim = f.dim();
+        let rule = GenzMalik::new(dim);
+        let pool = self.device.memory().clone();
+        let tolerances = self.config.tolerances;
+        let mut trace = ExecutionTrace::default();
+
+        // --- Initial uniform split (Algorithm 2, lines 2-4). ---------------------
+        let mut d = self.config.resolve_splits_per_axis(dim);
+        let mut list = loop {
+            match RegionList::initial_split(region, d, &pool) {
+                Ok(list) => break list,
+                Err(DeviceError::OutOfDeviceMemory { .. }) if d > 1 => d -= 1,
+                Err(err) => {
+                    return self.bail_out(0.0, 0.0, Termination::MemoryExhausted, 0, 0, 0, start, trace, Some(err))
+                }
+            }
+        };
+
+        // Finished-region accumulators (v_f, e_f) and per-run counters.
+        let mut finished_estimate = 0.0f64;
+        let mut finished_error = 0.0f64;
+        // Error frozen specifically by the heuristic threshold classification.  It is
+        // capped at half of the allowed total error so that relative-error filtering
+        // (whose commitments are proportional to the frozen integral mass) always has
+        // headroom left and convergence is never ruled out by the heuristic alone.
+        let mut threshold_frozen_error = 0.0f64;
+        let mut function_evaluations = 0u64;
+        let mut regions_generated = list.len() as u64;
+        let mut previous_cumulative: Option<f64> = None;
+        // Parent integral estimates aligned with the sibling layout of `list`
+        // (None on the first iteration, which has no parents).
+        let mut parent_integrals: Option<Vec<f64>> = None;
+
+        let mut iterations_run = 0usize;
+        let mut termination = Termination::MaxIterations;
+        // Best cumulative estimates seen so far (active + finished); this is what a
+        // non-converged run reports, matching the paper's "return the latest integral
+        // and error estimate with a flag" behaviour (§3.5.2).
+        let mut latest_estimate = 0.0f64;
+        let mut latest_error = f64::INFINITY;
+
+        for iteration in 0..self.config.max_iterations {
+            iterations_run = iteration + 1;
+
+            // --- Evaluate all regions (line 10). --------------------------------
+            let evaluation = match evaluate_all(&self.device, &rule, f, &list) {
+                Ok(e) => e,
+                Err(_) => break,
+            };
+            function_evaluations += evaluation.function_evaluations;
+            let integrals = evaluation.integrals;
+            let mut errors = evaluation.errors;
+            let split_axes = evaluation.split_axes;
+
+            // --- Two-level error refinement (line 11). --------------------------
+            if self.config.two_level_errors {
+                if let Some(parents) = &parent_integrals {
+                    debug_assert_eq!(parents.len() * 2, integrals.len());
+                    self.device.timed_section("postprocess.refine_error", || {
+                        refine_generation(&integrals, &mut errors, parents);
+                    });
+                }
+            }
+
+            // --- Relative-error classification (line 12). -----------------------
+            let mut mask = self.device.timed_section("postprocess.classify", || {
+                rel_err_classify(&integrals, &errors, tolerances, self.config.rel_err_filtering)
+            });
+
+            // --- Global reductions and termination (lines 13-16). ---------------
+            let (iter_estimate, iter_error) = self
+                .device
+                .timed_section("postprocess.reduce", || {
+                    (reduce::sum(&integrals), reduce::sum(&errors))
+                });
+            let cumulative_estimate = iter_estimate + finished_estimate;
+            let cumulative_error = iter_error + finished_error;
+            latest_estimate = cumulative_estimate;
+            latest_error = cumulative_error;
+            if tolerances.satisfied_by(cumulative_estimate, cumulative_error) {
+                termination = Termination::Converged;
+                self.push_iteration_record(
+                    &mut trace,
+                    iteration,
+                    list.len(),
+                    active_count(&mask),
+                    cumulative_estimate,
+                    cumulative_error,
+                    finished_estimate,
+                    finished_error,
+                    false,
+                );
+                finished_estimate = cumulative_estimate;
+                finished_error = cumulative_error;
+                break;
+            }
+
+            // --- Heuristic threshold classification (line 17, §3.5.2). ----------
+            let active_now = active_count(&mask);
+            let estimate_converged = previous_cumulative.is_some_and(|prev| {
+                (cumulative_estimate - prev).abs()
+                    <= cumulative_estimate.abs() * tolerances.rel
+            });
+            // Splitting keeps the filtered copy and the doubled generation alive at
+            // the same time as the current list, so require room for 3× the active
+            // geometry on top of what is already allocated.
+            let bytes_needed = RegionList::bytes_for(3 * active_now, dim);
+            let memory_pressure = !pool.can_allocate(bytes_needed);
+            let trigger = match self.config.heuristic_filtering {
+                HeuristicFiltering::Disabled => None,
+                HeuristicFiltering::MemoryExhaustionOnly => {
+                    memory_pressure.then_some(ThresholdTrigger::MemoryPressure)
+                }
+                HeuristicFiltering::Full => {
+                    if memory_pressure {
+                        Some(ThresholdTrigger::MemoryPressure)
+                    } else if estimate_converged {
+                        Some(ThresholdTrigger::EstimateConverged)
+                    } else {
+                        None
+                    }
+                }
+            };
+            let mut threshold_invoked = false;
+            if let Some(trigger) = trigger {
+                let allowed_total_error =
+                    (cumulative_estimate.abs() * tolerances.rel).max(tolerances.abs);
+                let headroom = allowed_total_error - finished_error;
+                let error_budget = match trigger {
+                    // Integral already solved: be conservative so that relative-error
+                    // filtering keeps enough headroom of its own.
+                    ThresholdTrigger::EstimateConverged => {
+                        headroom.min(0.5 * allowed_total_error - threshold_frozen_error)
+                    }
+                    // Memory is the binding constraint: spend whatever headroom is
+                    // left rather than fail outright.
+                    ThresholdTrigger::MemoryPressure => headroom,
+                };
+                let outcome = self.device.timed_section("threshold.search", || {
+                    threshold_classify(
+                        &mask,
+                        &errors,
+                        error_budget,
+                        iter_error,
+                        ThresholdPolicy::default(),
+                    )
+                });
+                threshold_invoked = true;
+                if self.config.collect_trace {
+                    trace.threshold_searches.push(ThresholdSearchRecord {
+                        iteration,
+                        trigger,
+                        probes: outcome.probes.clone(),
+                        successful: outcome.successful,
+                    });
+                }
+                if outcome.successful {
+                    threshold_frozen_error += outcome.newly_committed_error;
+                    mask = outcome.mask;
+                }
+            }
+
+            // --- Accumulate finished contributions (lines 18-19). ---------------
+            let (active_estimate, active_error) =
+                self.device.timed_section("postprocess.reduce", || {
+                    (
+                        reduce::masked_sum(&integrals, &mask),
+                        reduce::masked_sum(&errors, &mask),
+                    )
+                });
+            finished_estimate += iter_estimate - active_estimate;
+            finished_error += iter_error - active_error;
+            previous_cumulative = Some(cumulative_estimate);
+
+            self.push_iteration_record(
+                &mut trace,
+                iteration,
+                list.len(),
+                active_count(&mask),
+                cumulative_estimate,
+                cumulative_error,
+                finished_estimate,
+                finished_error,
+                threshold_invoked,
+            );
+
+            // --- Filter out finished regions (line 20). --------------------------
+            if active_count(&mask) == 0 {
+                // Everything was classified finished; the cumulative estimates are
+                // final.  (With same-sign estimates this implies convergence by
+                // Lemma 3.1; otherwise report the budget-based status.)
+                termination = if tolerances.satisfied_by(finished_estimate, finished_error) {
+                    Termination::Converged
+                } else {
+                    Termination::MaxIterations
+                };
+                break;
+            }
+            let filter_result = self.device.timed_section("filter.compact", || {
+                list.filter(&mask, &pool)
+            });
+            let filtered = match filter_result {
+                Ok(filtered) => filtered,
+                Err(_) => {
+                    termination = Termination::MemoryExhausted;
+                    break;
+                }
+            };
+            let active_integrals =
+                pagani_device::scan::compact_by_mask(&integrals, &mask);
+            let active_axes = pagani_device::scan::compact_by_mask(&split_axes, &mask);
+            drop(list);
+
+            // --- Update parents and split every active region (lines 21-23). -----
+            let split_result = self.device.timed_section("filter.split", || {
+                filtered.split_all(&active_axes, &pool)
+            });
+            match split_result {
+                Ok(children) => {
+                    regions_generated += children.len() as u64;
+                    parent_integrals = Some(active_integrals);
+                    list = children;
+                }
+                Err(_) => {
+                    // Memory exhausted and no further subdivision possible (§3.5.2).
+                    termination = Termination::MemoryExhausted;
+                    break;
+                }
+            }
+        }
+
+        // A converged run already folded everything into the finished accumulators; a
+        // non-converged run reports the latest cumulative (active + finished) totals.
+        if termination != Termination::Converged {
+            finished_estimate = latest_estimate;
+            finished_error = latest_error;
+        }
+
+        let result = IntegrationResult {
+            estimate: finished_estimate,
+            error_estimate: finished_error,
+            termination,
+            iterations: iterations_run,
+            function_evaluations,
+            regions_generated,
+            active_regions_final: trace
+                .iterations
+                .last()
+                .map_or(0, |r| r.active_after_classify),
+            wall_time: start.elapsed(),
+        };
+        PaganiOutput { result, trace }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_iteration_record(
+        &self,
+        trace: &mut ExecutionTrace,
+        iteration: usize,
+        regions_processed: usize,
+        active_after_classify: usize,
+        cumulative_estimate: f64,
+        cumulative_error: f64,
+        finished_estimate: f64,
+        finished_error: f64,
+        threshold_invoked: bool,
+    ) {
+        if !self.config.collect_trace {
+            return;
+        }
+        trace.iterations.push(IterationRecord {
+            iteration,
+            regions_processed,
+            active_after_classify,
+            cumulative_estimate,
+            cumulative_error,
+            finished_estimate,
+            finished_error,
+            memory_used: self.device.memory().usage().used,
+            threshold_invoked,
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn bail_out(
+        &self,
+        estimate: f64,
+        error: f64,
+        termination: Termination,
+        iterations: usize,
+        function_evaluations: u64,
+        regions_generated: u64,
+        start: Instant,
+        trace: ExecutionTrace,
+        _cause: Option<DeviceError>,
+    ) -> PaganiOutput {
+        PaganiOutput {
+            result: IntegrationResult {
+                estimate,
+                error_estimate: error,
+                termination,
+                iterations,
+                function_evaluations,
+                regions_generated,
+                active_regions_final: 0,
+                wall_time: start.elapsed(),
+            },
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagani_device::{Device, DeviceConfig};
+    use pagani_integrands::paper::PaperIntegrand;
+    use pagani_integrands::workloads::GaussianLikelihood;
+    use pagani_quadrature::{FnIntegrand, Tolerances};
+
+    fn test_pagani(tol: f64) -> Pagani {
+        Pagani::new(
+            Device::test_small(),
+            PaganiConfig::test_small(Tolerances::rel(tol)),
+        )
+    }
+
+    #[test]
+    fn constant_integrand_converges_immediately() {
+        let pagani = test_pagani(1e-6);
+        let f = FnIntegrand::new(3, |_: &[f64]| 4.0);
+        let out = pagani.integrate(&f);
+        assert!(out.result.converged());
+        assert!((out.result.estimate - 4.0).abs() < 1e-9);
+        assert_eq!(out.result.iterations, 1);
+    }
+
+    #[test]
+    fn smooth_polynomial_reaches_tight_tolerance() {
+        let pagani = test_pagani(1e-8);
+        let f = FnIntegrand::new(2, |x: &[f64]| x[0] * x[0] + x[1]);
+        let out = pagani.integrate(&f);
+        assert!(out.result.converged());
+        assert!(out.result.true_relative_error(1.0 / 3.0 + 0.5) < 1e-8);
+    }
+
+    #[test]
+    fn gaussian_5d_reaches_three_digits() {
+        let f = PaperIntegrand::f4(5);
+        let pagani = test_pagani(1e-3);
+        let out = pagani.integrate(&f);
+        assert!(out.result.converged(), "{:?}", out.result.termination);
+        assert!(
+            out.result.true_relative_error(f.reference_value()) < 1e-3,
+            "true rel err {}",
+            out.result.true_relative_error(f.reference_value())
+        );
+    }
+
+    #[test]
+    fn corner_peak_3d_reaches_five_digits() {
+        let f = PaperIntegrand::f3(3);
+        let pagani = test_pagani(1e-5);
+        let out = pagani.integrate(&f);
+        assert!(out.result.converged());
+        assert!(out.result.true_relative_error(f.reference_value()) < 1e-5);
+    }
+
+    #[test]
+    fn oscillatory_requires_disabling_rel_err_filtering() {
+        let f = PaperIntegrand::f1(3);
+        let config = PaganiConfig::test_small(Tolerances::rel(1e-4)).without_rel_err_filtering();
+        let pagani = Pagani::new(Device::test_small(), config);
+        let out = pagani.integrate(&f);
+        assert!(out.result.converged());
+        assert!(out.result.true_relative_error(f.reference_value()) < 1e-4);
+    }
+
+    #[test]
+    fn cosmology_likelihood_matches_closed_form() {
+        let like = GaussianLikelihood::cosmology_like(3);
+        let device = Device::new(DeviceConfig::test_small().with_memory_capacity(32 << 20));
+        let pagani = Pagani::new(device, PaganiConfig::test_small(Tolerances::rel(1e-4)));
+        let out = pagani.integrate(&like);
+        assert!(out.result.converged(), "{:?}", out.result.termination);
+        assert!(out.result.true_relative_error(like.reference_value()) < 1e-4);
+    }
+
+    #[test]
+    fn estimated_error_bounds_true_error_for_suite_members() {
+        // §4.2's requirement: the estimated relative error at termination should not
+        // understate the true error for the well-behaved suite members.
+        for f in [PaperIntegrand::f4(3), PaperIntegrand::f5(3), PaperIntegrand::f3(3)] {
+            let pagani = test_pagani(1e-4);
+            let out = pagani.integrate(&f);
+            assert!(out.result.converged(), "{}", f.label());
+            let true_err = out.result.true_relative_error(f.reference_value());
+            assert!(
+                true_err <= 1e-4,
+                "{}: true {} vs requested 1e-4",
+                f.label(),
+                true_err
+            );
+        }
+    }
+
+    #[test]
+    fn trace_records_every_iteration() {
+        let pagani = test_pagani(1e-5);
+        let f = PaperIntegrand::f4(3);
+        let out = pagani.integrate(&f);
+        assert_eq!(out.trace.iterations.len(), out.result.iterations);
+        assert!(out.trace.total_regions_processed() > 0);
+        // Region counts per iteration never exceed the doubled predecessor.
+        for pair in out.trace.iterations.windows(2) {
+            assert!(pair[1].regions_processed <= 2 * pair[0].regions_processed);
+        }
+    }
+
+    #[test]
+    fn trace_collection_can_be_disabled() {
+        let config = PaganiConfig::test_small(Tolerances::rel(1e-3));
+        let config = PaganiConfig {
+            collect_trace: false,
+            ..config
+        };
+        let pagani = Pagani::new(Device::test_small(), config);
+        let out = pagani.integrate(&PaperIntegrand::f4(3));
+        assert!(out.trace.iterations.is_empty());
+    }
+
+    #[test]
+    fn tiny_memory_forces_memory_exhaustion_or_threshold_rescue() {
+        // A device with only a few KiB cannot hold many 5-D regions; PAGANI must either
+        // rescue itself through threshold filtering or report memory exhaustion, never
+        // panic or loop forever.
+        let device = Device::new(DeviceConfig::test_small().with_memory_capacity(6 * 1024));
+        let config = PaganiConfig::test_small(Tolerances::rel(1e-7));
+        let pagani = Pagani::new(device, config);
+        let f = PaperIntegrand::f4(5);
+        let out = pagani.integrate(&f);
+        match out.result.termination {
+            Termination::Converged | Termination::MemoryExhausted | Termination::MaxIterations => {}
+            other => panic!("unexpected termination {other:?}"),
+        }
+        assert!(out.result.estimate.is_finite());
+    }
+
+    #[test]
+    fn heuristic_filtering_reduces_region_count_on_gaussian() {
+        // Figure 8/9's mechanism: the heuristic must never hurt — it converges at
+        // least as often as plain relative-error filtering and never needs more
+        // regions, while retaining full accuracy.
+        let f = PaperIntegrand::f4(4);
+        let tol = Tolerances::rel(1e-4);
+        let make_device =
+            || Device::new(DeviceConfig::test_small().with_memory_capacity(32 << 20));
+        let with = Pagani::new(
+            make_device(),
+            PaganiConfig::test_small(tol).with_heuristic_filtering(HeuristicFiltering::Full),
+        )
+        .integrate(&f);
+        let without = Pagani::new(
+            make_device(),
+            PaganiConfig::test_small(tol).with_heuristic_filtering(HeuristicFiltering::Disabled),
+        )
+        .integrate(&f);
+        if without.result.converged() {
+            assert!(with.result.converged(), "heuristic lost a convergence");
+            assert!(
+                with.result.regions_generated <= without.result.regions_generated,
+                "heuristic should not generate more regions ({} vs {})",
+                with.result.regions_generated,
+                without.result.regions_generated
+            );
+        }
+        if with.result.converged() {
+            assert!(with.result.true_relative_error(f.reference_value()) < 1e-4);
+        } else {
+            // At minimum the run must terminate cleanly with a finite estimate.
+            assert!(with.result.estimate.is_finite());
+        }
+    }
+
+    #[test]
+    fn function_evaluation_counter_matches_rule_cost() {
+        let pagani = test_pagani(1e-3);
+        let f = PaperIntegrand::f4(3);
+        let out = pagani.integrate(&f);
+        let rule_points = pagani_quadrature::GenzMalik::new(3).num_points() as u64;
+        assert_eq!(
+            out.result.function_evaluations,
+            out.trace.total_regions_processed() * rule_points
+        );
+    }
+
+    #[test]
+    fn kernel_profile_is_dominated_by_evaluate() {
+        let device = Device::test_small();
+        let pagani = Pagani::new(device.clone(), PaganiConfig::test_small(Tolerances::rel(1e-5)));
+        let _ = pagani.integrate(&PaperIntegrand::f4(4));
+        let evaluate_fraction = device.profile().fraction_for_prefix("evaluate");
+        assert!(evaluate_fraction > 0.3, "evaluate fraction {evaluate_fraction}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions differ")]
+    fn mismatched_region_dimension_panics() {
+        let pagani = test_pagani(1e-3);
+        let f = FnIntegrand::new(2, |_: &[f64]| 1.0);
+        let _ = pagani.integrate_region(&f, &Region::unit_cube(3));
+    }
+}

@@ -1,0 +1,127 @@
+//! The `evaluate` kernel: apply the Genz–Malik rule to every region in parallel.
+//!
+//! This is the kernel that dominates PAGANI's run time (§4.3.2 reports it at more than
+//! 90 % of execution time).  One simulated block evaluates one region — the same 1-1
+//! block/region mapping the CUDA implementation uses — and produces the region's
+//! integral estimate, raw error estimate and recommended split axis.
+
+use pagani_device::{Device, DeviceResult};
+use pagani_quadrature::{EvalScratch, GenzMalik, Integrand};
+
+use crate::region_list::RegionList;
+
+/// Per-generation output of the evaluate kernel (PAGANI's `V`, `E` and `K` lists).
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Integral estimate per region.
+    pub integrals: Vec<f64>,
+    /// Raw (embedded-rule) error estimate per region.
+    pub errors: Vec<f64>,
+    /// Recommended split axis per region.
+    pub split_axes: Vec<usize>,
+    /// Total number of integrand evaluations performed by the kernel.
+    pub function_evaluations: u64,
+}
+
+/// Evaluate all regions of `list` with `rule`, one block per region.
+///
+/// # Errors
+/// Propagates launch errors from the device (an empty list is rejected as an empty
+/// launch, mirroring a zero-block CUDA launch).
+pub fn evaluate_all<F: Integrand + ?Sized>(
+    device: &Device,
+    rule: &GenzMalik,
+    integrand: &F,
+    list: &RegionList,
+) -> DeviceResult<Evaluation> {
+    let dim = list.dim();
+    debug_assert_eq!(rule.dim(), dim);
+    let estimates = device.launch_map("evaluate", list.len(), |ctx| {
+        let mut scratch = EvalScratch::new(dim);
+        let mut center = vec![0.0; dim];
+        let mut halfwidth = vec![0.0; dim];
+        list.centered_view(ctx.block_idx, &mut center, &mut halfwidth);
+        rule.evaluate_centered(integrand, &center, &halfwidth, &mut scratch)
+    })?;
+
+    let mut integrals = Vec::with_capacity(estimates.len());
+    let mut errors = Vec::with_capacity(estimates.len());
+    let mut split_axes = Vec::with_capacity(estimates.len());
+    let mut function_evaluations = 0u64;
+    for est in estimates {
+        integrals.push(est.integral);
+        errors.push(est.error);
+        split_axes.push(est.split_axis);
+        function_evaluations += est.evaluations as u64;
+    }
+    Ok(Evaluation {
+        integrals,
+        errors,
+        split_axes,
+        function_evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagani_device::Device;
+    use pagani_quadrature::{FnIntegrand, Region};
+
+    fn setup(dim: usize, d: usize) -> (Device, RegionList, GenzMalik) {
+        let device = Device::test_small();
+        let list = RegionList::initial_split(&Region::unit_cube(dim), d, device.memory()).unwrap();
+        let rule = GenzMalik::new(dim);
+        (device, list, rule)
+    }
+
+    #[test]
+    fn constant_integrand_sums_to_volume() {
+        let (device, list, rule) = setup(3, 4);
+        let f = FnIntegrand::new(3, |_: &[f64]| 2.0);
+        let eval = evaluate_all(&device, &rule, &f, &list).unwrap();
+        assert_eq!(eval.integrals.len(), 64);
+        let total: f64 = eval.integrals.iter().sum();
+        assert!((total - 2.0).abs() < 1e-10);
+        assert!(eval.errors.iter().all(|&e| e < 1e-10));
+        assert_eq!(
+            eval.function_evaluations,
+            (rule.num_points() * 64) as u64
+        );
+    }
+
+    #[test]
+    fn per_region_estimates_sum_to_global_estimate_for_smooth_integrand() {
+        let (device, list, rule) = setup(2, 8);
+        let f = FnIntegrand::new(2, |x: &[f64]| (3.0 * x[0]).sin() * (2.0 * x[1]).cos() + 1.0);
+        let eval = evaluate_all(&device, &rule, &f, &list).unwrap();
+        let total: f64 = eval.integrals.iter().sum();
+        // Analytic: ∫ sin(3x)dx ∫ cos(2y)dy + 1 = ((1-cos3)/3)(sin2/2) + 1
+        let exact = (1.0 - 3.0f64.cos()) / 3.0 * (2.0f64.sin() / 2.0) + 1.0;
+        assert!((total - exact).abs() < 1e-8, "{total} vs {exact}");
+    }
+
+    #[test]
+    fn split_axis_points_at_the_peaked_dimension() {
+        let (device, list, rule) = setup(3, 2);
+        // Sharp variation along axis 2 only.
+        let f = FnIntegrand::new(3, |x: &[f64]| (-200.0 * (x[2] - 0.5).powi(2)).exp());
+        let eval = evaluate_all(&device, &rule, &f, &list).unwrap();
+        let votes = eval.split_axes.iter().filter(|&&a| a == 2).count();
+        assert!(
+            votes >= eval.split_axes.len() / 2,
+            "most regions should want to split axis 2, got {votes}/{}",
+            eval.split_axes.len()
+        );
+    }
+
+    #[test]
+    fn evaluation_is_profiled_under_the_evaluate_kernel() {
+        let (device, list, rule) = setup(2, 4);
+        let f = FnIntegrand::new(2, |x: &[f64]| x[0] * x[1]);
+        let _ = evaluate_all(&device, &rule, &f, &list).unwrap();
+        let timing = device.profile().kernel("evaluate").unwrap();
+        assert_eq!(timing.launches, 1);
+        assert_eq!(timing.blocks, 16);
+    }
+}

@@ -1,0 +1,39 @@
+//! PAGANI: the breadth-first parallel adaptive integration algorithm of
+//! Sakiotis et al. (SC 2021), implemented on the simulated massively-parallel device
+//! of `pagani-device`.
+//!
+//! Unlike Cuhre and the two-phase GPU method, PAGANI never runs the sequential
+//! adaptive loop on any processor.  Every iteration it
+//!
+//! 1. evaluates **all** regions in the region list in parallel (one block per region),
+//! 2. refines their error estimates with Berntsen's two-level estimate,
+//! 3. classifies each region as *active* or *finished* by its relative error,
+//! 4. reduces the per-region estimates to global estimates and checks termination,
+//! 5. optionally runs the heuristic threshold classification (Algorithm 3) to finish
+//!    additional low-contribution regions when the integral estimate has converged or
+//!    device memory is about to run out,
+//! 6. removes the finished regions from memory (their contributions are accumulated
+//!    into the *finished* totals and never revisited), and
+//! 7. splits every surviving region in half along its rule-selected axis.
+//!
+//! The public entry point is [`Pagani`]; its [`PaganiOutput`] carries both the
+//! [`pagani_quadrature::IntegrationResult`] and an [`trace::ExecutionTrace`] with
+//! per-iteration statistics and the threshold-search probes used to reproduce
+//! Figures 3, 8 and 9 and the §4.3.2 performance breakdown.
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod config;
+pub mod driver;
+pub mod evaluate;
+pub mod multi_device;
+pub mod region_list;
+pub mod threshold;
+pub mod trace;
+
+pub use config::{HeuristicFiltering, PaganiConfig};
+pub use driver::{Pagani, PaganiOutput};
+pub use multi_device::{MultiDeviceOutput, MultiDevicePagani};
+pub use region_list::RegionList;
+pub use trace::{ExecutionTrace, IterationRecord, ThresholdProbe, ThresholdSearchRecord};

@@ -1,0 +1,245 @@
+//! Multi-device execution (§4.4, the paper's future-work extension).
+//!
+//! The single-device PAGANI is ultimately limited by device memory.  The paper
+//! proposes extending the memory pool by partitioning the integration space across
+//! several GPUs, each running PAGANI independently on its slab, with redistribution
+//! kept to the start of the run (per-iteration redistribution over MPI is dismissed as
+//! infeasible).  [`MultiDevicePagani`] implements exactly that static scheme: the root
+//! region is cut into one slab per device along its longest axes, every device
+//! integrates its slab to the full tolerance concurrently, and the per-device results
+//! are summed.  For single-sign integrands the per-slab relative tolerances compose
+//! into the global tolerance by the same argument as Lemma 3.1.
+
+use std::time::Instant;
+
+use pagani_quadrature::{IntegrationResult, Integrand, Region, Termination};
+
+use crate::config::PaganiConfig;
+use crate::driver::{Pagani, PaganiOutput};
+use pagani_device::Device;
+
+/// PAGANI running over a static partition of the domain across several devices.
+#[derive(Debug, Clone)]
+pub struct MultiDevicePagani {
+    devices: Vec<Device>,
+    config: PaganiConfig,
+}
+
+/// Result of a multi-device run: the combined result plus each device's output.
+#[derive(Debug, Clone)]
+pub struct MultiDeviceOutput {
+    /// Combined estimate across all slabs.
+    pub result: IntegrationResult,
+    /// Per-device outputs, in slab order.
+    pub per_device: Vec<PaganiOutput>,
+}
+
+impl MultiDevicePagani {
+    /// Create a multi-device integrator.
+    ///
+    /// # Panics
+    /// Panics if `devices` is empty.
+    #[must_use]
+    pub fn new(devices: Vec<Device>, config: PaganiConfig) -> Self {
+        assert!(!devices.is_empty(), "at least one device is required");
+        Self { devices, config }
+    }
+
+    /// Number of devices in the pool.
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Cut `root` into one slab per device by repeatedly halving the widest axis.
+    #[must_use]
+    pub fn partition(root: &Region, parts: usize) -> Vec<Region> {
+        let mut slabs = vec![root.clone()];
+        while slabs.len() < parts {
+            // Split the slab with the largest volume along its widest axis.
+            let (idx, _) = slabs
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.volume()
+                        .partial_cmp(&b.volume())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("slab list is never empty");
+            let slab = slabs.swap_remove(idx);
+            let widest = (0..slab.dim())
+                .max_by(|&a, &b| {
+                    slab.extent(a)
+                        .partial_cmp(&slab.extent(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("regions have at least one axis");
+            let (lo, hi) = slab.split(widest);
+            slabs.push(lo);
+            slabs.push(hi);
+        }
+        slabs
+    }
+
+    /// Integrate `f` over its default bounds.
+    pub fn integrate<F: Integrand + Sync + ?Sized>(&self, f: &F) -> MultiDeviceOutput {
+        let (lo, hi) = f.default_bounds();
+        self.integrate_region(f, &Region::new(lo, hi))
+    }
+
+    /// Integrate `f` over an explicit region, one slab per device, concurrently.
+    ///
+    /// # Panics
+    /// Panics if the region and integrand dimensions differ.
+    pub fn integrate_region<F: Integrand + Sync + ?Sized>(
+        &self,
+        f: &F,
+        region: &Region,
+    ) -> MultiDeviceOutput {
+        assert_eq!(region.dim(), f.dim(), "region/integrand dimension mismatch");
+        let start = Instant::now();
+        let slabs = Self::partition(region, self.devices.len());
+
+        let per_device: Vec<PaganiOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .devices
+                .iter()
+                .zip(&slabs)
+                .map(|(device, slab)| {
+                    let pagani = Pagani::new(device.clone(), self.config.clone());
+                    scope.spawn(move || pagani.integrate_region(f, slab))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("device worker panicked"))
+                .collect()
+        });
+
+        let mut estimate = 0.0;
+        let mut error = 0.0;
+        let mut function_evaluations = 0;
+        let mut regions_generated = 0;
+        let mut iterations = 0;
+        let mut active_final = 0;
+        let mut worst_termination = Termination::Converged;
+        for output in &per_device {
+            estimate += output.result.estimate;
+            error += output.result.error_estimate;
+            function_evaluations += output.result.function_evaluations;
+            regions_generated += output.result.regions_generated;
+            iterations = iterations.max(output.result.iterations);
+            active_final += output.result.active_regions_final;
+            if !output.result.converged() {
+                worst_termination = output.result.termination;
+            }
+        }
+        // The combined run converged if every slab did, or if the summed errors happen
+        // to satisfy the tolerance anyway.
+        let termination = if worst_termination == Termination::Converged
+            || self.config.tolerances.satisfied_by(estimate, error)
+        {
+            Termination::Converged
+        } else {
+            worst_termination
+        };
+
+        MultiDeviceOutput {
+            result: IntegrationResult {
+                estimate,
+                error_estimate: error,
+                termination,
+                iterations,
+                function_evaluations,
+                regions_generated,
+                active_regions_final: active_final,
+                wall_time: start.elapsed(),
+            },
+            per_device,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagani_device::{Device, DeviceConfig};
+    use pagani_integrands::paper::PaperIntegrand;
+    use pagani_quadrature::Tolerances;
+
+    fn devices(n: usize) -> Vec<Device> {
+        (0..n)
+            .map(|_| Device::new(DeviceConfig::test_small().with_memory_capacity(16 << 20)))
+            .collect()
+    }
+
+    #[test]
+    fn partition_covers_the_domain() {
+        let root = Region::unit_cube(3);
+        for parts in [1, 2, 3, 4, 7] {
+            let slabs = MultiDevicePagani::partition(&root, parts);
+            assert_eq!(slabs.len(), parts.max(1));
+            let total: f64 = slabs.iter().map(Region::volume).sum();
+            assert!((total - 1.0).abs() < 1e-12, "parts = {parts}");
+        }
+    }
+
+    #[test]
+    fn partition_splits_the_widest_axis_first() {
+        let root = Region::new(vec![0.0, 0.0], vec![4.0, 1.0]);
+        let slabs = MultiDevicePagani::partition(&root, 2);
+        // The 4-unit-wide axis 0 must have been cut, not axis 1.
+        assert!(slabs.iter().all(|s| (s.extent(0) - 2.0).abs() < 1e-12));
+        assert!(slabs.iter().all(|s| (s.extent(1) - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn two_devices_match_the_single_device_answer() {
+        let integrand = PaperIntegrand::f4(3);
+        let config = PaganiConfig::test_small(Tolerances::rel(1e-5));
+        let single = Pagani::new(devices(1).pop().unwrap(), config.clone()).integrate(&integrand);
+        let multi = MultiDevicePagani::new(devices(2), config).integrate(&integrand);
+        assert!(single.result.converged());
+        assert!(multi.result.converged());
+        let reference = integrand.reference_value();
+        assert!(multi.result.true_relative_error(reference) < 1e-5);
+        assert!(
+            (multi.result.estimate - single.result.estimate).abs()
+                <= single.result.error_estimate + multi.result.error_estimate
+        );
+        assert_eq!(multi.per_device.len(), 2);
+    }
+
+    #[test]
+    fn four_devices_extend_the_usable_memory() {
+        // Each tiny device alone cannot hold the region list needed at this precision;
+        // four of them together can, because every slab is a quarter of the domain.
+        let integrand = PaperIntegrand::f4(4);
+        let tol = Tolerances::rel(1e-4);
+        let tiny = || Device::new(DeviceConfig::test_small().with_memory_capacity(3 << 20));
+        let single = Pagani::new(tiny(), PaganiConfig::test_small(tol)).integrate(&integrand);
+        let multi = MultiDevicePagani::new(
+            (0..4).map(|_| tiny()).collect(),
+            PaganiConfig::test_small(tol),
+        )
+        .integrate(&integrand);
+        // The multi-device run must never do worse than the single device.
+        if single.result.converged() {
+            assert!(multi.result.converged());
+        }
+        assert!(multi.result.estimate.is_finite());
+        assert!(
+            multi.result.true_relative_error(integrand.reference_value())
+                <= single
+                    .result
+                    .true_relative_error(integrand.reference_value())
+                    .max(1e-4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_device_pool_is_rejected() {
+        let _ = MultiDevicePagani::new(Vec::new(), PaganiConfig::default());
+    }
+}

@@ -1,0 +1,93 @@
+//! Kernel-launch model.
+//!
+//! A launch maps a one-dimensional *grid* of blocks onto the device's thread pool.
+//! Each block executes independently — exactly the contract CUDA gives a
+//! `kernel<<<grid, block>>>` launch — and the host (the caller) blocks until the whole
+//! grid has finished, which is how PAGANI uses the GPU (bulk-synchronous iterations).
+//!
+//! The block size is retained for bookkeeping (the paper launches 256-thread blocks,
+//! one per sub-region) and for the simulated-occupancy statistics, but the substrate
+//! does not try to emulate intra-block SIMT scheduling: a block body is a closure that
+//! may itself use whatever instruction-level parallelism the host CPU offers.
+
+/// Grid/block shape for a kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of blocks in the (1-D) grid.
+    pub grid_size: usize,
+    /// Number of threads per block (bookkeeping only).
+    pub block_size: usize,
+}
+
+impl LaunchConfig {
+    /// A grid of `grid_size` blocks with the paper's default 256 threads per block.
+    #[must_use]
+    pub fn grid(grid_size: usize) -> Self {
+        Self {
+            grid_size,
+            block_size: 256,
+        }
+    }
+
+    /// Override the block size.
+    #[must_use]
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Total number of simulated threads in the launch.
+    #[must_use]
+    pub fn total_threads(&self) -> usize {
+        self.grid_size * self.block_size
+    }
+}
+
+/// Per-block execution context handed to the kernel body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockContext {
+    /// Index of this block within the grid (`blockIdx.x`).
+    pub block_idx: usize,
+    /// Number of blocks in the grid (`gridDim.x`).
+    pub grid_size: usize,
+    /// Threads per block (`blockDim.x`).
+    pub block_size: usize,
+}
+
+impl BlockContext {
+    /// Iterator over the global thread indices covered by this block, mirroring the
+    /// common `blockIdx.x * blockDim.x + threadIdx.x` indexing pattern.
+    pub fn thread_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        let base = self.block_idx * self.block_size;
+        (0..self.block_size).map(move |t| base + t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_defaults_to_256_threads() {
+        let cfg = LaunchConfig::grid(32);
+        assert_eq!(cfg.block_size, 256);
+        assert_eq!(cfg.total_threads(), 32 * 256);
+    }
+
+    #[test]
+    fn block_size_override() {
+        let cfg = LaunchConfig::grid(4).with_block_size(64);
+        assert_eq!(cfg.total_threads(), 256);
+    }
+
+    #[test]
+    fn thread_ids_cover_contiguous_range() {
+        let ctx = BlockContext {
+            block_idx: 3,
+            grid_size: 8,
+            block_size: 4,
+        };
+        let ids: Vec<usize> = ctx.thread_ids().collect();
+        assert_eq!(ids, vec![12, 13, 14, 15]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Simulated massively-parallel accelerator used as the execution substrate for the
+//! PAGANI reproduction.
+//!
+//! The original PAGANI implementation (SC'21) targets an NVIDIA V100 through CUDA:
+//! every sub-region is evaluated by one 256-thread block, the region lists live in
+//! 16 GiB of device memory, and the post-processing steps are Thrust reductions and
+//! prefix scans.  Stable Rust has no mature path to custom GPU kernels, so this crate
+//! models the *behaviourally relevant* properties of that device on a multi-core CPU:
+//!
+//! * [`Device`] owns a [`MemoryPool`] with a configurable byte capacity.  Every region
+//!   list allocation is charged against the pool, so memory exhaustion — which drives
+//!   several of the paper's experiments — happens exactly where it would on the GPU.
+//! * [`Device::launch`] runs a *grid* of independent blocks on a Rayon thread pool,
+//!   mirroring the bulk-synchronous kernel-launch model (all blocks finish before the
+//!   host continues).
+//! * [`reduce`] and [`scan`] provide the Thrust-equivalent parallel primitives used by
+//!   PAGANI's post-processing (sum reductions, dot-product reductions, min/max,
+//!   exclusive prefix scans, stream compaction).
+//! * [`profile::DeviceProfile`] accumulates per-kernel wall time so the §4.3.2
+//!   performance breakdown can be reproduced.
+//!
+//! Nothing in this crate is specific to numerical integration; it is a small, general
+//! bulk-synchronous-parallel substrate.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod launch;
+pub mod memory;
+pub mod profile;
+pub mod reduce;
+pub mod scan;
+
+mod device;
+
+pub use device::{Device, DeviceConfig};
+pub use error::{DeviceError, DeviceResult};
+pub use launch::{BlockContext, LaunchConfig};
+pub use memory::{DeviceBuffer, MemoryPool, MemoryUsage};
+pub use profile::{DeviceProfile, KernelTiming};

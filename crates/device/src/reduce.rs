@@ -1,0 +1,219 @@
+//! Thrust-style parallel reductions.
+//!
+//! PAGANI's post-processing reduces the per-region integral and error estimates to the
+//! global estimates (Algorithm 2, lines 13–14 and 18–19) and finds the min/max error
+//! estimate for the threshold search (Algorithm 3, line 5).  These helpers provide
+//! those reductions with deterministic results: the input is reduced in fixed-size
+//! chunks whose partial sums are combined in chunk order, so the floating-point
+//! rounding is independent of the number of worker threads.
+
+use rayon::prelude::*;
+
+/// Chunk length used for the deterministic two-level reductions.
+const CHUNK: usize = 4096;
+
+/// Sum of a slice, computed in parallel with deterministic rounding.
+#[must_use]
+pub fn sum(values: &[f64]) -> f64 {
+    if values.len() <= CHUNK {
+        return values.iter().sum();
+    }
+    values
+        .par_chunks(CHUNK)
+        .map(|chunk| chunk.iter().sum::<f64>())
+        .collect::<Vec<f64>>()
+        .iter()
+        .sum()
+}
+
+/// Dot product `Σ a[i]·b[i]`, computed in parallel with deterministic rounding.
+///
+/// PAGANI uses this with a 0/1 activity mask to accumulate the estimates of the active
+/// regions (Algorithm 2, lines 18–19).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal-length inputs");
+    if a.len() <= CHUNK {
+        return a.iter().zip(b).map(|(x, y)| x * y).sum();
+    }
+    a.par_chunks(CHUNK)
+        .zip(b.par_chunks(CHUNK))
+        .map(|(ca, cb)| ca.iter().zip(cb).map(|(x, y)| x * y).sum::<f64>())
+        .collect::<Vec<f64>>()
+        .iter()
+        .sum()
+}
+
+/// Masked sum `Σ values[i]` over indices where `mask[i] != 0`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn masked_sum(values: &[f64], mask: &[u8]) -> f64 {
+    assert_eq!(values.len(), mask.len(), "masked sum requires equal lengths");
+    if values.len() <= CHUNK {
+        return values
+            .iter()
+            .zip(mask)
+            .filter(|(_, &m)| m != 0)
+            .map(|(v, _)| v)
+            .sum();
+    }
+    values
+        .par_chunks(CHUNK)
+        .zip(mask.par_chunks(CHUNK))
+        .map(|(cv, cm)| {
+            cv.iter()
+                .zip(cm)
+                .filter(|(_, &m)| m != 0)
+                .map(|(v, _)| v)
+                .sum::<f64>()
+        })
+        .collect::<Vec<f64>>()
+        .iter()
+        .sum()
+}
+
+/// Number of non-zero entries in a 0/1 mask.
+#[must_use]
+pub fn count_nonzero(mask: &[u8]) -> usize {
+    if mask.len() <= CHUNK {
+        return mask.iter().filter(|&&m| m != 0).count();
+    }
+    mask.par_chunks(CHUNK)
+        .map(|chunk| chunk.iter().filter(|&&m| m != 0).count())
+        .sum()
+}
+
+/// Minimum and maximum of a slice, ignoring NaNs.
+///
+/// Returns `None` for an empty slice or a slice of NaNs.
+#[must_use]
+pub fn min_max(values: &[f64]) -> Option<(f64, f64)> {
+    let combine = |acc: Option<(f64, f64)>, value: f64| -> Option<(f64, f64)> {
+        if value.is_nan() {
+            return acc;
+        }
+        Some(match acc {
+            None => (value, value),
+            Some((lo, hi)) => (lo.min(value), hi.max(value)),
+        })
+    };
+    let merge = |a: Option<(f64, f64)>, b: Option<(f64, f64)>| match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some((alo, ahi)), Some((blo, bhi))) => Some((alo.min(blo), ahi.max(bhi))),
+    };
+    if values.len() <= CHUNK {
+        return values.iter().copied().fold(None, combine);
+    }
+    values
+        .par_chunks(CHUNK)
+        .map(|chunk| chunk.iter().copied().fold(None, combine))
+        .reduce(|| None, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sum_of_small_slice() {
+        assert_eq!(sum(&[1.0, 2.0, 3.5]), 6.5);
+        assert_eq!(sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn sum_of_large_slice_matches_sequential() {
+        let values: Vec<f64> = (0..100_000).map(|i| (i % 97) as f64 * 0.25).collect();
+        let sequential: f64 = values.iter().sum();
+        let parallel = sum(&values);
+        assert!((sequential - parallel).abs() < 1e-6 * sequential.abs());
+    }
+
+    #[test]
+    fn sum_is_deterministic_across_calls() {
+        let values: Vec<f64> = (0..50_000).map(|i| ((i * 2654435761_usize) % 1000) as f64 / 7.0).collect();
+        let a = sum(&values);
+        let b = sum(&values);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn dot_rejects_mismatched_lengths() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn masked_sum_ignores_inactive() {
+        let values = [10.0, 20.0, 30.0, 40.0];
+        let mask = [1u8, 0, 1, 0];
+        assert_eq!(masked_sum(&values, &mask), 40.0);
+    }
+
+    #[test]
+    fn count_nonzero_counts() {
+        assert_eq!(count_nonzero(&[0, 1, 2, 0, 255]), 3);
+        assert_eq!(count_nonzero(&[]), 0);
+    }
+
+    #[test]
+    fn min_max_basic() {
+        assert_eq!(min_max(&[3.0, -1.0, 7.0]), Some((-1.0, 7.0)));
+        assert_eq!(min_max(&[]), None);
+        assert_eq!(min_max(&[f64::NAN]), None);
+        assert_eq!(min_max(&[f64::NAN, 2.0]), Some((2.0, 2.0)));
+    }
+
+    #[test]
+    fn min_max_large_slice() {
+        let values: Vec<f64> = (0..30_000).map(|i| ((i as f64) - 15_000.0) * 0.5).collect();
+        let (lo, hi) = min_max(&values).unwrap();
+        assert_eq!(lo, -7500.0);
+        assert_eq!(hi, (29_999.0 - 15_000.0) * 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sum_matches_sequential(values in proptest::collection::vec(-1e6f64..1e6, 0..9000)) {
+            let sequential: f64 = values.iter().sum();
+            let parallel = sum(&values);
+            let tolerance = 1e-9 * values.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+            prop_assert!((sequential - parallel).abs() <= tolerance);
+        }
+
+        #[test]
+        fn prop_dot_equals_masked_sum_for_01_mask(
+            values in proptest::collection::vec(-1e3f64..1e3, 1..2000),
+            seed in 0u64..u64::MAX,
+        ) {
+            // Build a deterministic 0/1 mask from the seed.
+            let mask_u8: Vec<u8> = (0..values.len())
+                .map(|i| ((seed >> (i % 64)) & 1) as u8)
+                .collect();
+            let mask_f64: Vec<f64> = mask_u8.iter().map(|&m| f64::from(m)).collect();
+            let via_dot = dot(&values, &mask_f64);
+            let via_mask = masked_sum(&values, &mask_u8);
+            prop_assert!((via_dot - via_mask).abs() <= 1e-9 * via_dot.abs().max(1.0));
+        }
+
+        #[test]
+        fn prop_min_max_bounds_every_element(values in proptest::collection::vec(-1e9f64..1e9, 1..3000)) {
+            let (lo, hi) = min_max(&values).unwrap();
+            for &v in &values {
+                prop_assert!(v >= lo && v <= hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Test-integrand suite for the PAGANI reproduction.
+//!
+//! The paper evaluates PAGANI, Cuhre, the two-phase method and the QMC baseline on
+//! eight fixed-parameter integrands (f1–f8, §4.1) derived from the Genz test families,
+//! chosen so that analytic reference values exist and the *true* relative error can be
+//! compared with the *estimated* relative error (§4.2).  This crate provides:
+//!
+//! * [`paper`] — f1..f8 exactly as printed in the paper, each carrying its analytic
+//!   reference value.
+//! * [`genz`] — the six Genz (1984) integrand families with randomised parameters and
+//!   analytic reference values, used for robustness testing beyond the paper's suite.
+//! * [`reference`] — the machinery that computes those reference values: product
+//!   formulas, inclusion–exclusion for the corner peak, a multinomial dynamic program
+//!   for even box integrals and a 1-D Gamma-representation reduction for the
+//!   half-integer box integral f8.
+//! * [`special`] — erf / log-gamma / incomplete-gamma implementations the references
+//!   need (no external numerics crates are used anywhere in the workspace).
+//! * [`workloads`] — application-flavoured integrands matching the motivating use
+//!   cases in the paper's introduction (a Gaussian-likelihood normalisation and a
+//!   basket-option payoff).
+
+#![warn(missing_docs)]
+
+pub mod genz;
+pub mod paper;
+pub mod reference;
+pub mod special;
+pub mod workloads;
+
+pub use paper::{paper_plot_suite, PaperIntegrand};
+
+/// A named integrand together with its analytic reference value.
+///
+/// This is the unit the benchmark harness sweeps over: every figure in the paper plots
+/// a set of `(integrand, dimension)` pairs against the tolerance sweep.
+pub struct ReferenceIntegrand {
+    /// The integrand itself.
+    pub integrand: Box<dyn pagani_quadrature::Integrand + Send>,
+    /// Analytic (or analytically-reduced) value of the integral over the unit cube.
+    pub reference: f64,
+    /// Display label used in benchmark output, e.g. `"5D f4"`.
+    pub label: String,
+}
+
+impl ReferenceIntegrand {
+    /// Construct from any integrand with a known reference value.
+    pub fn new(
+        integrand: impl pagani_quadrature::Integrand + Send + 'static,
+        reference: f64,
+        label: impl Into<String>,
+    ) -> Self {
+        Self {
+            integrand: Box::new(integrand),
+            reference,
+            label: label.into(),
+        }
+    }
+}

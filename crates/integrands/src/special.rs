@@ -1,0 +1,255 @@
+//! Special functions needed by the analytic reference values.
+//!
+//! Nothing fancy: a Lanczos log-gamma, the regularised incomplete gamma functions
+//! (series + continued fraction, Numerical-Recipes style), and `erf`/`erfc` expressed
+//! through them.  Accuracy is ~1e-14 relative, comfortably beyond the 10–11 digits of
+//! precision the paper's tolerance sweep reaches.
+
+/// Lanczos coefficients (g = 7, n = 9).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function for `x > 0`.
+///
+/// # Panics
+/// Panics if `x <= 0`.
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    if x < 0.5 {
+        // Reflection formula keeps the Lanczos series in its accurate range.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS_COEF[0];
+    for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// The gamma function `Γ(x)` for `x > 0`.
+#[must_use]
+pub fn gamma(x: f64) -> f64 {
+    ln_gamma(x).exp()
+}
+
+/// Regularised lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// # Panics
+/// Panics if `a <= 0` or `x < 0`.
+#[must_use]
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0");
+    assert!(x >= 0.0, "gamma_p requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_continued_fraction(a, x)
+    }
+}
+
+/// Regularised upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+#[must_use]
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0");
+    assert!(x >= 0.0, "gamma_q requires x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_continued_fraction(a, x)
+    }
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut n = a;
+    for _ in 0..500 {
+        n += 1.0;
+        term *= x / n;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-17 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_continued_fraction(a: f64, x: f64) -> f64 {
+    // Modified Lentz's algorithm for the continued fraction representation of Q.
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// The error function `erf(x)`.
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let p = gamma_p(0.5, x * x);
+    if x > 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_q(0.5, x * x)
+    } else {
+        1.0 + gamma_p(0.5, x * x)
+    }
+}
+
+/// `∫_a^b exp(-alpha (t - mu)^2) dt` expressed through [`erf`].
+#[must_use]
+pub fn gaussian_segment_integral(alpha: f64, mu: f64, a: f64, b: f64) -> f64 {
+    assert!(alpha > 0.0, "gaussian integral needs a positive exponent");
+    let s = alpha.sqrt();
+    0.5 * (std::f64::consts::PI / alpha).sqrt() * (erf(s * (b - mu)) - erf(s * (a - mu)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1..15u64 {
+            let expected: f64 = (1..n).map(|k| (k as f64).ln()).sum();
+            assert!(
+                (ln_gamma(n as f64) - expected).abs() < 1e-11,
+                "ln_gamma({n})"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_half_is_sqrt_pi() {
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-12);
+        assert!((gamma(1.5) - 0.5 * std::f64::consts::PI.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // Reference values from Abramowitz & Stegun.
+        assert!((erf(0.5) - 0.520_499_877_813_046_5).abs() < 1e-12);
+        assert!((erf(1.0) - 0.842_700_792_949_714_9).abs() < 1e-12);
+        assert!((erf(2.0) - 0.995_322_265_018_952_7).abs() < 1e-12);
+        assert!((erf(-1.0) + 0.842_700_792_949_714_9).abs() < 1e-12);
+        assert!((erf(6.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for &x in &[-2.0, -0.3, 0.0, 0.7, 1.5, 3.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn erfc_tail_is_accurate() {
+        // erfc(3) from high-precision tables.
+        assert!((erfc(3.0) - 2.209_049_699_858_544e-5).abs() < 1e-17);
+    }
+
+    #[test]
+    fn gamma_p_q_partition_unity() {
+        for &a in &[0.5, 1.0, 2.5, 10.0] {
+            for &x in &[0.1, 1.0, 5.0, 20.0] {
+                assert!((gamma_p(a, x) + gamma_q(a, x) - 1.0).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_p_of_integer_a_matches_poisson_sum() {
+        // P(k, x) = 1 - e^{-x} Σ_{j<k} x^j/j!
+        let a = 4.0;
+        let x: f64 = 3.0;
+        let poisson: f64 = (0..4i32).map(|j| x.powi(j) / gamma(j as f64 + 1.0)).sum();
+        let expected = 1.0 - (-x as f64).exp() * poisson;
+        assert!((gamma_p(a, x) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_segment_matches_series_for_narrow_peak() {
+        // The f4 per-dimension factor: ∫_0^1 exp(-625 (x-1/2)^2) dx.
+        let value = gaussian_segment_integral(625.0, 0.5, 0.0, 1.0);
+        let expected = (std::f64::consts::PI / 625.0).sqrt() * erf(12.5);
+        assert!((value - expected).abs() < 1e-15);
+        assert!((value - 0.070_898_154_036_220_64).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_erf_is_odd_and_bounded(x in -5.0f64..5.0) {
+            prop_assert!((erf(x) + erf(-x)).abs() < 1e-13);
+            prop_assert!(erf(x).abs() <= 1.0);
+        }
+
+        #[test]
+        fn prop_erf_is_monotone(a in -4.0f64..4.0, delta in 1e-3f64..1.0) {
+            prop_assert!(erf(a + delta) >= erf(a));
+        }
+
+        #[test]
+        fn prop_ln_gamma_recurrence(x in 0.1f64..20.0) {
+            // Γ(x+1) = x Γ(x)
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            prop_assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0));
+        }
+
+        #[test]
+        fn prop_gamma_p_monotone_in_x(a in 0.2f64..10.0, x in 0.0f64..20.0, dx in 0.01f64..5.0) {
+            prop_assert!(gamma_p(a, x + dx) >= gamma_p(a, x) - 1e-13);
+        }
+    }
+}

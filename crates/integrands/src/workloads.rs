@@ -1,0 +1,326 @@
+//! Application-flavoured integrands.
+//!
+//! The paper motivates GPU quadrature with two applications: parameter estimation in
+//! cosmological models (marginal-likelihood / normalisation integrals over a handful
+//! of parameters) and beam-dynamics simulation, plus the standard finance use cases of
+//! the numerical-integration literature.  These integrands give the examples and the
+//! integration tests something realistic to chew on; where a closed form exists it is
+//! provided so the examples can report true errors.
+
+use pagani_quadrature::Integrand;
+
+use crate::special::erf;
+
+/// An axis-aligned multivariate Gaussian likelihood over the unit cube, the shape of a
+/// posterior-normalisation integrand in a cosmological parameter fit.
+///
+/// `L(x) = exp(−½ Σ (x_i − μ_i)² / σ_i²)`
+///
+/// The normalisation over the unit cube has the closed form
+/// `Π σ_i √(π/2) (erf((1−μ_i)/(σ_i√2)) + erf(μ_i/(σ_i√2)))`, so examples can report
+/// their true error.
+#[derive(Debug, Clone)]
+pub struct GaussianLikelihood {
+    means: Vec<f64>,
+    sigmas: Vec<f64>,
+}
+
+impl GaussianLikelihood {
+    /// Create a likelihood with the given per-parameter means and widths.
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length, are empty, or any width is non-positive.
+    #[must_use]
+    pub fn new(means: Vec<f64>, sigmas: Vec<f64>) -> Self {
+        assert_eq!(means.len(), sigmas.len(), "means/sigmas must match");
+        assert!(!means.is_empty(), "at least one parameter required");
+        assert!(sigmas.iter().all(|&s| s > 0.0), "widths must be positive");
+        Self { means, sigmas }
+    }
+
+    /// A `dim`-parameter fit with narrowing widths, loosely resembling the posterior
+    /// of a well-constrained cosmological chain: means staggered around 0.5 and widths
+    /// from 0.15 down to a few times 0.01.
+    #[must_use]
+    pub fn cosmology_like(dim: usize) -> Self {
+        let means = (0..dim)
+            .map(|i| 0.35 + 0.3 * (i as f64 / dim.max(1) as f64))
+            .collect();
+        let sigmas = (0..dim)
+            .map(|i| 0.15 / (1.0 + i as f64 * 0.8))
+            .collect();
+        Self::new(means, sigmas)
+    }
+
+    /// Closed-form value of the normalisation integral over the unit cube.
+    #[must_use]
+    pub fn reference_value(&self) -> f64 {
+        self.means
+            .iter()
+            .zip(&self.sigmas)
+            .map(|(&mu, &sigma)| {
+                let root2 = std::f64::consts::SQRT_2;
+                sigma
+                    * (std::f64::consts::PI / 2.0).sqrt()
+                    * (erf((1.0 - mu) / (sigma * root2)) + erf(mu / (sigma * root2)))
+            })
+            .product()
+    }
+}
+
+impl Integrand for GaussianLikelihood {
+    fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    fn eval(&self, x: &[f64]) -> f64 {
+        let exponent: f64 = x
+            .iter()
+            .zip(self.means.iter().zip(&self.sigmas))
+            .map(|(&xi, (&mu, &sigma))| {
+                let z = (xi - mu) / sigma;
+                z * z
+            })
+            .sum();
+        (-0.5 * exponent).exp()
+    }
+
+    fn name(&self) -> String {
+        format!("gaussian-likelihood-{}d", self.means.len())
+    }
+}
+
+/// The discounted payoff of a European basket call option under a log-normal model,
+/// mapped onto the unit cube through inverse-normal sampling of the terminal prices.
+///
+/// `payoff(u) = e^{−rT} max(Σ w_i S_i exp((r − σ_i²/2) T + σ_i √T Φ^{-1}(u_i)) − K, 0)`
+///
+/// There is no closed form for a basket (only Monte Carlo / quadrature estimates), so
+/// no reference value is exposed; the example cross-checks PAGANI against the QMC
+/// baseline instead — exactly the situation the paper's finance motivation describes.
+#[derive(Debug, Clone)]
+pub struct BasketOption {
+    spots: Vec<f64>,
+    weights: Vec<f64>,
+    vols: Vec<f64>,
+    strike: f64,
+    rate: f64,
+    maturity: f64,
+}
+
+impl BasketOption {
+    /// Construct a basket option.
+    ///
+    /// # Panics
+    /// Panics if the per-asset vectors differ in length, are empty, or contain
+    /// non-positive spots/vols, or if `maturity <= 0`.
+    #[must_use]
+    pub fn new(
+        spots: Vec<f64>,
+        weights: Vec<f64>,
+        vols: Vec<f64>,
+        strike: f64,
+        rate: f64,
+        maturity: f64,
+    ) -> Self {
+        assert_eq!(spots.len(), weights.len());
+        assert_eq!(spots.len(), vols.len());
+        assert!(!spots.is_empty(), "at least one asset required");
+        assert!(spots.iter().all(|&s| s > 0.0), "spots must be positive");
+        assert!(vols.iter().all(|&v| v > 0.0), "volatilities must be positive");
+        assert!(maturity > 0.0, "maturity must be positive");
+        Self {
+            spots,
+            weights,
+            vols,
+            strike,
+            rate,
+            maturity,
+        }
+    }
+
+    /// A small equally-weighted five-asset basket at the money.
+    #[must_use]
+    pub fn demo_basket() -> Self {
+        Self::new(
+            vec![100.0; 5],
+            vec![0.2; 5],
+            vec![0.2, 0.25, 0.3, 0.35, 0.4],
+            100.0,
+            0.03,
+            1.0,
+        )
+    }
+
+    /// Inverse standard-normal CDF (Acklam's rational approximation, |error| < 1.2e-9,
+    /// refined by one Halley step using `erf` to full double precision).
+    #[must_use]
+    pub fn inverse_normal_cdf(p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "inverse CDF defined on (0,1)");
+        const A: [f64; 6] = [
+            -3.969_683_028_665_376e1,
+            2.209_460_984_245_205e2,
+            -2.759_285_104_469_687e2,
+            1.383_577_518_672_690e2,
+            -3.066_479_806_614_716e1,
+            2.506_628_277_459_239,
+        ];
+        const B: [f64; 5] = [
+            -5.447_609_879_822_406e1,
+            1.615_858_368_580_409e2,
+            -1.556_989_798_598_866e2,
+            6.680_131_188_771_972e1,
+            -1.328_068_155_288_572e1,
+        ];
+        const C: [f64; 6] = [
+            -7.784_894_002_430_293e-3,
+            -3.223_964_580_411_365e-1,
+            -2.400_758_277_161_838,
+            -2.549_732_539_343_734,
+            4.374_664_141_464_968,
+            2.938_163_982_698_783,
+        ];
+        const D: [f64; 4] = [
+            7.784_695_709_041_462e-3,
+            3.224_671_290_700_398e-1,
+            2.445_134_137_142_996,
+            3.754_408_661_907_416,
+        ];
+        let p_low = 0.02425;
+        let x = if p < p_low {
+            let q = (-2.0 * p.ln()).sqrt();
+            (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        } else if p <= 1.0 - p_low {
+            let q = p - 0.5;
+            let r = q * q;
+            (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+                / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        } else {
+            let q = (-2.0 * (1.0 - p).ln()).sqrt();
+            -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        };
+        // One Halley refinement against Φ(x) − p expressed through erf.
+        let e = 0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2)) - p;
+        let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+        x - u / (1.0 + x * u / 2.0)
+    }
+}
+
+impl Integrand for BasketOption {
+    fn dim(&self) -> usize {
+        self.spots.len()
+    }
+
+    fn eval(&self, x: &[f64]) -> f64 {
+        // Clamp away from the endpoints: the open unit cube is the paper's domain and
+        // cubature points never hit the boundary exactly, but be defensive anyway.
+        let basket: f64 = x
+            .iter()
+            .zip(self.spots.iter().zip(self.weights.iter().zip(&self.vols)))
+            .map(|(&u, (&s0, (&w, &sigma)))| {
+                let u = u.clamp(1e-12, 1.0 - 1e-12);
+                let z = Self::inverse_normal_cdf(u);
+                let drift = (self.rate - 0.5 * sigma * sigma) * self.maturity;
+                let diffusion = sigma * self.maturity.sqrt() * z;
+                w * s0 * (drift + diffusion).exp()
+            })
+            .sum();
+        (-self.rate * self.maturity).exp() * (basket - self.strike).max(0.0)
+    }
+
+    fn name(&self) -> String {
+        format!("basket-option-{}d", self.spots.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagani_quadrature::adaptive1d::integrate_1d_reference;
+    use proptest::prelude::*;
+
+    #[test]
+    fn likelihood_reference_matches_1d_quadrature() {
+        let like = GaussianLikelihood::new(vec![0.4], vec![0.07]);
+        let numeric = integrate_1d_reference(&|x: f64| like.eval(&[x]), 0.0, 1.0).integral;
+        assert!((like.reference_value() - numeric).abs() / numeric < 1e-11);
+    }
+
+    #[test]
+    fn likelihood_peaks_at_the_mean() {
+        let like = GaussianLikelihood::cosmology_like(4);
+        let at_mean = like.eval(&[0.35, 0.35 + 0.3 * 0.25, 0.35 + 0.3 * 0.5, 0.35 + 0.3 * 0.75]);
+        assert!((at_mean - 1.0).abs() < 1e-12);
+        assert!(like.eval(&[0.0; 4]) < at_mean);
+    }
+
+    #[test]
+    fn cosmology_like_narrows_with_index() {
+        let like = GaussianLikelihood::cosmology_like(6);
+        assert_eq!(like.dim(), 6);
+        assert!(like.sigmas.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must be positive")]
+    fn zero_width_is_rejected() {
+        let _ = GaussianLikelihood::new(vec![0.5], vec![0.0]);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_round_trips_through_erf() {
+        for &p in &[1e-6, 0.01, 0.3, 0.5, 0.77, 0.999, 1.0 - 1e-7] {
+            let x = BasketOption::inverse_normal_cdf(p);
+            let back = 0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2));
+            assert!((back - p).abs() < 1e-12, "p = {p}: got {back}");
+        }
+        assert!(BasketOption::inverse_normal_cdf(0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basket_payoff_is_nonnegative_and_increases_with_u() {
+        let option = BasketOption::demo_basket();
+        let low = option.eval(&[0.1; 5]);
+        let high = option.eval(&[0.9; 5]);
+        assert!(low >= 0.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn single_asset_option_matches_black_scholes() {
+        // With one asset and weight 1 the quadrature over u reproduces Black–Scholes.
+        let option = BasketOption::new(vec![100.0], vec![1.0], vec![0.2], 100.0, 0.03, 1.0);
+        let numeric = integrate_1d_reference(&|u: f64| option.eval(&[u]), 1e-10, 1.0 - 1e-10);
+        let black_scholes = {
+            let (s0, k, r, sigma, t) = (100.0f64, 100.0f64, 0.03f64, 0.2f64, 1.0f64);
+            let d1 = ((s0 / k).ln() + (r + 0.5 * sigma * sigma) * t) / (sigma * t.sqrt());
+            let d2 = d1 - sigma * t.sqrt();
+            let phi = |x: f64| 0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2));
+            s0 * phi(d1) - k * (-r * t).exp() * phi(d2)
+        };
+        assert!(
+            (numeric.integral - black_scholes).abs() < 2e-3,
+            "{} vs {black_scholes}",
+            numeric.integral
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_inverse_cdf_is_monotone(p1 in 0.001f64..0.999, dp in 0.0005f64..0.1) {
+            let p2 = (p1 + dp).min(0.9995);
+            prop_assert!(BasketOption::inverse_normal_cdf(p2) >= BasketOption::inverse_normal_cdf(p1));
+        }
+
+        #[test]
+        fn prop_likelihood_reference_bounded_by_volume(dim in 1usize..8) {
+            let like = GaussianLikelihood::cosmology_like(dim);
+            let v = like.reference_value();
+            prop_assert!(v > 0.0 && v <= 1.0 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Globally-adaptive one-dimensional quadrature.
+//!
+//! A miniature QUADPACK-style integrator built on the GK(7,15) rule: the interval with
+//! the largest error estimate is bisected until the requested tolerance is met.  It is
+//! the 1-D analogue of Cuhre and serves two roles in the reproduction:
+//!
+//! * computing reference values for integrands whose analytic value reduces to a 1-D
+//!   integral (the half-integer box integrals f8, the Gaussian family via `erf`), and
+//! * integrating the 1-D factors of product-form test integrands.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::gauss_kronrod::gauss_kronrod_15;
+
+/// Outcome of a 1-D adaptive integration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adaptive1dResult {
+    /// Integral estimate.
+    pub integral: f64,
+    /// Absolute error estimate.
+    pub error: f64,
+    /// Number of GK(7,15) evaluations (intervals processed).
+    pub intervals: usize,
+    /// Whether the requested tolerance was met.
+    pub converged: bool,
+}
+
+#[derive(Debug)]
+struct Interval {
+    a: f64,
+    b: f64,
+    integral: f64,
+    error: f64,
+}
+
+impl PartialEq for Interval {
+    fn eq(&self, other: &Self) -> bool {
+        self.error == other.error
+    }
+}
+impl Eq for Interval {}
+impl PartialOrd for Interval {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Interval {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.error
+            .partial_cmp(&other.error)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Integrate `f` over `[a, b]` to relative tolerance `rel_tol` or absolute tolerance
+/// `abs_tol`, using at most `max_intervals` interval evaluations.
+#[must_use]
+pub fn integrate_1d<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    rel_tol: f64,
+    abs_tol: f64,
+    max_intervals: usize,
+) -> Adaptive1dResult {
+    let first = gauss_kronrod_15(f, a, b);
+    let mut heap = BinaryHeap::new();
+    heap.push(Interval {
+        a,
+        b,
+        integral: first.integral,
+        error: first.error,
+    });
+    let mut total_integral = first.integral;
+    let mut total_error = first.error;
+    let mut intervals = 1usize;
+
+    while intervals < max_intervals {
+        if total_error <= rel_tol * total_integral.abs() || total_error <= abs_tol {
+            return Adaptive1dResult {
+                integral: total_integral,
+                error: total_error,
+                intervals,
+                converged: true,
+            };
+        }
+        let Some(worst) = heap.pop() else { break };
+        let mid = 0.5 * (worst.a + worst.b);
+        if mid <= worst.a || mid >= worst.b {
+            // Interval can no longer be bisected in floating point.
+            heap.push(worst);
+            break;
+        }
+        let left = gauss_kronrod_15(f, worst.a, mid);
+        let right = gauss_kronrod_15(f, mid, worst.b);
+        total_integral += left.integral + right.integral - worst.integral;
+        total_error += left.error + right.error - worst.error;
+        heap.push(Interval {
+            a: worst.a,
+            b: mid,
+            integral: left.integral,
+            error: left.error,
+        });
+        heap.push(Interval {
+            a: mid,
+            b: worst.b,
+            integral: right.integral,
+            error: right.error,
+        });
+        intervals += 2;
+    }
+
+    let converged = total_error <= rel_tol * total_integral.abs() || total_error <= abs_tol;
+    Adaptive1dResult {
+        integral: total_integral,
+        error: total_error,
+        intervals,
+        converged,
+    }
+}
+
+/// Convenience wrapper with tight defaults for reference-value computation:
+/// `rel_tol = 1e-13`, `abs_tol = 1e-300`, up to 200 000 intervals.
+#[must_use]
+pub fn integrate_1d_reference<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64) -> Adaptive1dResult {
+    integrate_1d(f, a, b, 1e-13, 1e-300, 200_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn smooth_integral_converges_quickly() {
+        let r = integrate_1d(&f64::exp, 0.0, 1.0, 1e-12, 0.0, 1000);
+        assert!(r.converged);
+        assert!((r.integral - (std::f64::consts::E - 1.0)).abs() < 1e-12);
+        assert!(r.intervals <= 3);
+    }
+
+    #[test]
+    fn peaked_integrand_requires_adaptivity() {
+        // Narrow Lorentzian peak at 0.3.
+        let f = |x: f64| 1.0 / ((x - 0.3).powi(2) + 1e-6);
+        let r = integrate_1d(&f, 0.0, 1.0, 1e-10, 0.0, 10_000);
+        assert!(r.converged);
+        let exact = ((0.7f64 / 1e-3).atan() + (0.3f64 / 1e-3).atan()) / 1e-3;
+        assert!((r.integral - exact).abs() / exact < 1e-9);
+        assert!(r.intervals > 10, "adaptivity should have subdivided");
+    }
+
+    #[test]
+    fn absolute_value_kink_is_handled() {
+        let r = integrate_1d(&|x: f64| (x - 0.5).abs(), 0.0, 1.0, 1e-12, 0.0, 10_000);
+        assert!(r.converged);
+        assert!((r.integral - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_converged() {
+        let f = |x: f64| 1.0 / ((x - 0.31).powi(2) + 1e-12);
+        let r = integrate_1d(&f, 0.0, 1.0, 1e-14, 0.0, 5);
+        assert!(!r.converged);
+        assert!(r.intervals <= 5);
+    }
+
+    #[test]
+    fn reference_wrapper_is_tight() {
+        let r = integrate_1d_reference(&|x: f64| (-x * x).exp(), 0.0, 1.0);
+        assert!(r.converged);
+        // erf(1) * sqrt(pi)/2
+        assert!((r.integral - 0.746_824_132_812_427_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oscillatory_integrand() {
+        let r = integrate_1d(&|x: f64| (40.0 * x).sin(), 0.0, 1.0, 1e-11, 0.0, 50_000);
+        assert!(r.converged);
+        let exact = (1.0 - (40.0f64).cos()) / 40.0;
+        assert!((r.integral - exact).abs() < 1e-10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_polynomial_integrals_are_exact(
+            degree in 0usize..9,
+            scale in -3.0f64..3.0,
+            b in 0.5f64..4.0,
+        ) {
+            let f = move |x: f64| scale * x.powi(degree as i32);
+            let r = integrate_1d(&f, 0.0, b, 1e-12, 1e-300, 2000);
+            let exact = scale * b.powi(degree as i32 + 1) / (degree as f64 + 1.0);
+            prop_assert!(r.converged);
+            prop_assert!((r.integral - exact).abs() <= 1e-9 * exact.abs().max(1e-9));
+        }
+
+        #[test]
+        fn prop_interval_additivity(split in 0.1f64..0.9) {
+            let f = |x: f64| (3.0 * x).cos() + x * x;
+            let whole = integrate_1d(&f, 0.0, 1.0, 1e-12, 0.0, 2000);
+            let left = integrate_1d(&f, 0.0, split, 1e-12, 0.0, 2000);
+            let right = integrate_1d(&f, split, 1.0, 1e-12, 0.0, 2000);
+            prop_assert!((whole.integral - (left.integral + right.integral)).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The 15-point Gauss–Kronrod rule on an interval.
+//!
+//! The paper contrasts Genz–Malik cubature (`2^n + Θ(n²)` points) with tensorised
+//! Gauss–Kronrod (`15^n` points).  A one-dimensional GK(7,15) rule is also exactly
+//! what is needed to compute high-accuracy reference values for the test-integrand
+//! suite (see `pagani-integrands::reference`), so it is provided here together with
+//! the adaptive driver in [`crate::adaptive1d`].
+
+/// Kronrod abscissae on `[0, 1]` (symmetric about zero; only non-negative given).
+const XGK: [f64; 8] = [
+    0.991_455_371_120_813,
+    0.949_107_912_342_759,
+    0.864_864_423_359_769,
+    0.741_531_185_599_394,
+    0.586_087_235_467_691,
+    0.405_845_151_377_397,
+    0.207_784_955_007_898,
+    0.0,
+];
+
+/// Kronrod weights matching [`XGK`].
+const WGK: [f64; 8] = [
+    0.022_935_322_010_529,
+    0.063_092_092_629_979,
+    0.104_790_010_322_250,
+    0.140_653_259_715_525,
+    0.169_004_726_639_267,
+    0.190_350_578_064_785,
+    0.204_432_940_075_298,
+    0.209_482_141_084_728,
+];
+
+/// Embedded 7-point Gauss weights (for abscissae `XGK[1], XGK[3], XGK[5], XGK[7]`).
+const WG: [f64; 4] = [
+    0.129_484_966_168_870,
+    0.279_705_391_489_277,
+    0.381_830_050_505_119,
+    0.417_959_183_673_469,
+];
+
+/// Result of one Gauss–Kronrod evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GkEstimate {
+    /// Kronrod (15-point) integral estimate.
+    pub integral: f64,
+    /// Error estimate from the Gauss/Kronrod difference (QUADPACK-style scaling).
+    pub error: f64,
+}
+
+/// Apply the GK(7,15) rule to `f` on `[a, b]`.
+#[must_use]
+pub fn gauss_kronrod_15<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64) -> GkEstimate {
+    let center = 0.5 * (a + b);
+    let half = 0.5 * (b - a);
+
+    let f_center = f(center);
+    let mut kronrod = WGK[7] * f_center;
+    let mut gauss = WG[3] * f_center;
+    // Mean-magnitude accumulator used for the QUADPACK error scaling.
+    let mut resabs = WGK[7] * f_center.abs();
+
+    for i in 0..7 {
+        let x = half * XGK[i];
+        let f_lo = f(center - x);
+        let f_hi = f(center + x);
+        let pair = f_lo + f_hi;
+        kronrod += WGK[i] * pair;
+        resabs += WGK[i] * (f_lo.abs() + f_hi.abs());
+        if i % 2 == 1 {
+            gauss += WG[i / 2] * pair;
+        }
+    }
+
+    let integral = kronrod * half;
+    let raw_error = ((kronrod - gauss) * half).abs();
+    // QUADPACK's resasc-free scaling: sharpen the raw difference.
+    let scale = resabs * half.abs();
+    let error = if scale > 0.0 && raw_error > 0.0 {
+        let ratio = (200.0 * raw_error / scale).powf(1.5).min(1.0);
+        (scale * ratio).min(raw_error.max(f64::EPSILON * scale))
+    } else {
+        raw_error
+    };
+    GkEstimate {
+        integral,
+        error: error.max(raw_error * 1e-3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomials_up_to_degree_14_are_near_exact() {
+        // Kronrod 15 integrates polynomials of degree ≤ 22 exactly; degree 14 is a
+        // comfortable check.
+        let est = gauss_kronrod_15(&|x: f64| x.powi(14), 0.0, 1.0);
+        assert!((est.integral - 1.0 / 15.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn constant_over_arbitrary_interval() {
+        let est = gauss_kronrod_15(&|_| 2.5, -3.0, 5.0);
+        assert!((est.integral - 20.0).abs() < 1e-12);
+        assert!(est.error < 1e-10);
+    }
+
+    #[test]
+    fn sine_integral_is_accurate() {
+        let est = gauss_kronrod_15(&f64::sin, 0.0, std::f64::consts::PI);
+        assert!((est.integral - 2.0).abs() < 1e-10);
+        assert!(est.error > (est.integral - 2.0).abs() * 0.1 || est.error < 1e-6);
+    }
+
+    #[test]
+    fn error_estimate_grows_for_rough_integrands() {
+        let smooth = gauss_kronrod_15(&|x: f64| x * x, 0.0, 1.0);
+        let rough = gauss_kronrod_15(&|x: f64| (50.0 * x).sin().abs(), 0.0, 1.0);
+        assert!(rough.error > smooth.error);
+    }
+
+    #[test]
+    fn reversed_interval_gives_negated_integral() {
+        let forward = gauss_kronrod_15(&|x: f64| x.exp(), 0.0, 1.0);
+        let backward = gauss_kronrod_15(&|x: f64| x.exp(), 1.0, 0.0);
+        assert!((forward.integral + backward.integral).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_sum_to_interval_length() {
+        // Σ kronrod weights = 2 on [-1,1] (centre weight counted once, others twice).
+        let total: f64 = WGK[..7].iter().map(|w| 2.0 * w).sum::<f64>() + WGK[7];
+        assert!((total - 2.0).abs() < 1e-12);
+        let total_gauss: f64 = WG[..3].iter().map(|w| 2.0 * w).sum::<f64>() + WG[3];
+        assert!((total_gauss - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,295 @@
+//! Axis-aligned hyper-rectangular sub-regions of the integration domain.
+
+/// An axis-aligned hyper-rectangle `[lo_i, hi_i]` in `n` dimensions.
+///
+/// Regions are the unit of adaptivity for every integrator in this workspace: Cuhre
+/// keeps them in a heap, the two-phase method distributes them over processors, and
+/// PAGANI keeps a flat, structure-of-arrays list of them (see `pagani-core`).  This
+/// owned representation is used at API boundaries and in the sequential baselines; the
+/// hot PAGANI kernels work on the flat arrays directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Region {
+    /// Create a region from per-dimension lower and upper bounds.
+    ///
+    /// # Panics
+    /// Panics if the bounds have different lengths, are empty, or any `lo_i > hi_i`.
+    #[must_use]
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bounds must have the same dimension");
+        assert!(!lo.is_empty(), "regions must have at least one dimension");
+        for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            assert!(
+                l <= h,
+                "lower bound {l} exceeds upper bound {h} in dimension {i}"
+            );
+        }
+        Self { lo, hi }
+    }
+
+    /// The unit hyper-cube `[0,1]^dim`, the domain of the paper's test suite.
+    #[must_use]
+    pub fn unit_cube(dim: usize) -> Self {
+        Self::new(vec![0.0; dim], vec![1.0; dim])
+    }
+
+    /// Dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Per-dimension lower bounds.
+    #[must_use]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Per-dimension upper bounds.
+    #[must_use]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Centre point.
+    #[must_use]
+    pub fn center(&self) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| 0.5 * (l + h))
+            .collect()
+    }
+
+    /// Per-dimension half-widths.
+    #[must_use]
+    pub fn halfwidths(&self) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| 0.5 * (h - l))
+            .collect()
+    }
+
+    /// Volume (product of edge lengths).
+    #[must_use]
+    pub fn volume(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| h - l)
+            .product()
+    }
+
+    /// Length of the edge along `axis`.
+    #[must_use]
+    pub fn extent(&self, axis: usize) -> f64 {
+        self.hi[axis] - self.lo[axis]
+    }
+
+    /// Whether `x` lies inside the region (inclusive bounds).
+    #[must_use]
+    pub fn contains(&self, x: &[f64]) -> bool {
+        x.len() == self.dim()
+            && x.iter()
+                .zip(self.lo.iter().zip(&self.hi))
+                .all(|(&xi, (&l, &h))| xi >= l && xi <= h)
+    }
+
+    /// Split the region into two equal halves along `axis`, returning
+    /// `(lower_half, upper_half)`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= self.dim()`.
+    #[must_use]
+    pub fn split(&self, axis: usize) -> (Region, Region) {
+        assert!(axis < self.dim(), "split axis {axis} out of range");
+        let mid = 0.5 * (self.lo[axis] + self.hi[axis]);
+        let mut left = self.clone();
+        let mut right = self.clone();
+        left.hi[axis] = mid;
+        right.lo[axis] = mid;
+        (left, right)
+    }
+
+    /// Partition the region into `d^dim` equal sub-regions by cutting every axis into
+    /// `d` equal parts — PAGANI's initial uniform split (Algorithm 2, line 4).
+    ///
+    /// Sub-regions are returned in row-major order of their grid coordinates.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn uniform_split(&self, d: usize) -> Vec<Region> {
+        assert!(d > 0, "uniform split requires at least one part per axis");
+        let dim = self.dim();
+        let total = d.checked_pow(dim as u32).expect("d^dim overflows usize");
+        let mut out = Vec::with_capacity(total);
+        let mut coords = vec![0usize; dim];
+        for _ in 0..total {
+            let mut lo = Vec::with_capacity(dim);
+            let mut hi = Vec::with_capacity(dim);
+            for (axis, &c) in coords.iter().enumerate() {
+                let step = (self.hi[axis] - self.lo[axis]) / d as f64;
+                lo.push(self.lo[axis] + c as f64 * step);
+                hi.push(if c + 1 == d {
+                    self.hi[axis]
+                } else {
+                    self.lo[axis] + (c + 1) as f64 * step
+                });
+            }
+            out.push(Region::new(lo, hi));
+            // Increment mixed-radix counter.
+            for c in coords.iter_mut().rev() {
+                *c += 1;
+                if *c < d {
+                    break;
+                }
+                *c = 0;
+            }
+        }
+        out
+    }
+
+    /// Map a point from the unit cube into this region.
+    #[must_use]
+    pub fn from_unit(&self, u: &[f64]) -> Vec<f64> {
+        u.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .map(|(&ui, (&l, &h))| l + ui * (h - l))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unit_cube_properties() {
+        let r = Region::unit_cube(4);
+        assert_eq!(r.dim(), 4);
+        assert_eq!(r.volume(), 1.0);
+        assert_eq!(r.center(), vec![0.5; 4]);
+        assert_eq!(r.halfwidths(), vec![0.5; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same dimension")]
+    fn mismatched_bounds_panic() {
+        let _ = Region::new(vec![0.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn inverted_bounds_panic() {
+        let _ = Region::new(vec![1.0, 0.0], vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn split_halves_volume() {
+        let r = Region::new(vec![0.0, -1.0], vec![2.0, 3.0]);
+        let (a, b) = r.split(1);
+        assert_eq!(a.volume() + b.volume(), r.volume());
+        assert_eq!(a.hi()[1], 1.0);
+        assert_eq!(b.lo()[1], 1.0);
+        assert_eq!(a.lo()[0], 0.0);
+        assert_eq!(a.hi()[0], 2.0);
+    }
+
+    #[test]
+    fn contains_checks_bounds_and_dim() {
+        let r = Region::unit_cube(2);
+        assert!(r.contains(&[0.0, 1.0]));
+        assert!(!r.contains(&[1.1, 0.5]));
+        assert!(!r.contains(&[0.5]));
+    }
+
+    #[test]
+    fn uniform_split_counts_and_volume() {
+        let r = Region::unit_cube(3);
+        let parts = r.uniform_split(2);
+        assert_eq!(parts.len(), 8);
+        let total: f64 = parts.iter().map(Region::volume).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_split_of_one_returns_whole_region() {
+        let r = Region::new(vec![-1.0], vec![5.0]);
+        let parts = r.uniform_split(1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], r);
+    }
+
+    #[test]
+    fn uniform_split_covers_without_gaps() {
+        let r = Region::unit_cube(2);
+        let parts = r.uniform_split(4);
+        // Every test point must be inside exactly one part (up to shared boundaries).
+        for &x in &[0.05, 0.3, 0.62, 0.99] {
+            for &y in &[0.01, 0.55, 0.76] {
+                let inside = parts.iter().filter(|p| p.contains(&[x, y])).count();
+                assert!(inside >= 1, "point ({x},{y}) not covered");
+            }
+        }
+    }
+
+    #[test]
+    fn from_unit_maps_corners() {
+        let r = Region::new(vec![2.0, -1.0], vec![4.0, 1.0]);
+        assert_eq!(r.from_unit(&[0.0, 0.0]), vec![2.0, -1.0]);
+        assert_eq!(r.from_unit(&[1.0, 1.0]), vec![4.0, 1.0]);
+        assert_eq!(r.from_unit(&[0.5, 0.5]), r.center());
+    }
+
+    #[test]
+    fn extent_returns_edge_length() {
+        let r = Region::new(vec![0.0, 1.0], vec![3.0, 1.5]);
+        assert_eq!(r.extent(0), 3.0);
+        assert_eq!(r.extent(1), 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_preserves_volume(
+            dim in 1usize..6,
+            axis_seed in 0usize..100,
+            width in 0.1f64..10.0,
+        ) {
+            let lo = vec![-1.0; dim];
+            let hi = vec![-1.0 + width; dim];
+            let r = Region::new(lo, hi);
+            let axis = axis_seed % dim;
+            let (a, b) = r.split(axis);
+            let rel = ((a.volume() + b.volume()) - r.volume()).abs() / r.volume();
+            prop_assert!(rel < 1e-12);
+        }
+
+        #[test]
+        fn prop_uniform_split_preserves_volume(dim in 1usize..4, d in 1usize..5) {
+            let r = Region::new(vec![0.5; dim], vec![2.5; dim]);
+            let parts = r.uniform_split(d);
+            prop_assert_eq!(parts.len(), d.pow(dim as u32));
+            let total: f64 = parts.iter().map(Region::volume).sum();
+            let rel = (total - r.volume()).abs() / r.volume();
+            prop_assert!(rel < 1e-10);
+        }
+
+        #[test]
+        fn prop_from_unit_stays_inside(
+            dim in 1usize..5,
+            u in proptest::collection::vec(0.0f64..=1.0, 1..5),
+        ) {
+            let dim = dim.min(u.len());
+            let r = Region::new(vec![-3.0; dim], vec![7.0; dim]);
+            let x = r.from_unit(&u[..dim]);
+            prop_assert!(r.contains(&x));
+        }
+    }
+}

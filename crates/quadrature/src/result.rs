@@ -1,0 +1,220 @@
+//! Result, tolerance and termination types shared by all integrators.
+
+use std::time::Duration;
+
+/// User-specified accuracy targets.
+///
+/// An integrator terminates successfully when either the estimated relative error
+/// `e/|v|` drops below `rel` or the estimated absolute error `e` drops below `abs`
+/// (Algorithm 2, line 15).  The paper's experiments fix `abs = 1e-20` so that the
+/// relative tolerance is always the binding constraint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Relative error tolerance τ_rel.
+    pub rel: f64,
+    /// Absolute error tolerance τ_abs.
+    pub abs: f64,
+}
+
+impl Tolerances {
+    /// Relative tolerance `rel` with the paper's absolute tolerance of `1e-20`.
+    #[must_use]
+    pub fn rel(rel: f64) -> Self {
+        Self { rel, abs: 1e-20 }
+    }
+
+    /// Tolerance corresponding to `digits` decimal digits of relative precision.
+    #[must_use]
+    pub fn digits(digits: f64) -> Self {
+        Self::rel(rel_tol_for_digits(digits))
+    }
+
+    /// Whether an estimate `v` with error estimate `e` satisfies the tolerances.
+    #[must_use]
+    pub fn satisfied_by(&self, v: f64, e: f64) -> bool {
+        e <= self.rel * v.abs() || e <= self.abs
+    }
+
+    /// The requested number of digits of precision, `log10(1/rel)`.
+    #[must_use]
+    pub fn digits_requested(&self) -> f64 {
+        -self.rel.log10()
+    }
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Self::rel(1e-3)
+    }
+}
+
+/// Relative tolerance corresponding to a requested number of precision digits,
+/// i.e. `10^-digits`.
+#[must_use]
+pub fn rel_tol_for_digits(digits: f64) -> f64 {
+    10f64.powf(-digits)
+}
+
+/// The τ_rel sweep used throughout the paper's evaluation: starting at `10^-3` and
+/// dividing by 5 each step down to `1.024·10^-10` (11 values).
+#[must_use]
+pub fn paper_tolerance_sweep() -> Vec<f64> {
+    let mut out = Vec::with_capacity(11);
+    let mut rel = 1e-3;
+    for _ in 0..11 {
+        out.push(rel);
+        rel /= 5.0;
+    }
+    out
+}
+
+/// Why an integrator stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The error estimates satisfied the user tolerances.
+    Converged,
+    /// The iteration limit was reached before convergence.
+    MaxIterations,
+    /// The function-evaluation budget was exhausted before convergence.
+    MaxEvaluations,
+    /// Device memory was exhausted and no further subdivision was possible.
+    MemoryExhausted,
+}
+
+impl Termination {
+    /// Whether the run reported convergence to the requested accuracy.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        matches!(self, Termination::Converged)
+    }
+}
+
+/// The outcome of an integration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegrationResult {
+    /// Estimate of the integral.
+    pub estimate: f64,
+    /// Estimate of the absolute error.
+    pub error_estimate: f64,
+    /// Why the integrator stopped.
+    pub termination: Termination,
+    /// Number of outer iterations executed (PAGANI/two-phase) or heap pops (Cuhre).
+    pub iterations: usize,
+    /// Total number of integrand evaluations.
+    pub function_evaluations: u64,
+    /// Total number of sub-regions ever created (Figure 9's metric).
+    pub regions_generated: u64,
+    /// Number of regions still active (unconverged) at termination.
+    pub active_regions_final: usize,
+    /// Wall-clock time of the integration call (excluding one-time setup, matching the
+    /// paper's timing methodology).
+    pub wall_time: Duration,
+}
+
+impl IntegrationResult {
+    /// Whether the run reported convergence to the requested accuracy.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.termination.converged()
+    }
+
+    /// Estimated relative error `e/|v|`; infinite if the estimate is exactly zero.
+    #[must_use]
+    pub fn relative_error_estimate(&self) -> f64 {
+        if self.estimate == 0.0 {
+            if self.error_estimate == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.error_estimate / self.estimate.abs()
+        }
+    }
+
+    /// True relative error against a known reference value; infinite if the reference
+    /// is exactly zero and the estimate is not.
+    #[must_use]
+    pub fn true_relative_error(&self, reference: f64) -> f64 {
+        if reference == 0.0 {
+            if self.estimate == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.estimate - reference).abs() / reference.abs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerances_from_digits() {
+        let t = Tolerances::digits(3.0);
+        assert!((t.rel - 1e-3).abs() < 1e-18);
+        assert_eq!(t.abs, 1e-20);
+        assert!((t.digits_requested() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn satisfied_by_uses_either_tolerance() {
+        let t = Tolerances { rel: 1e-2, abs: 1e-6 };
+        assert!(t.satisfied_by(10.0, 0.05)); // relative: 0.5% < 1%
+        assert!(t.satisfied_by(0.0, 1e-7)); // absolute
+        assert!(!t.satisfied_by(1.0, 0.5));
+    }
+
+    #[test]
+    fn paper_sweep_matches_endpoints() {
+        let sweep = paper_tolerance_sweep();
+        assert_eq!(sweep.len(), 11);
+        assert!((sweep[0] - 1e-3).abs() < 1e-18);
+        assert!((sweep[10] - 1.024e-10).abs() < 1e-22);
+        for pair in sweep.windows(2) {
+            assert!(pair[1] < pair[0]);
+        }
+    }
+
+    #[test]
+    fn termination_converged_flag() {
+        assert!(Termination::Converged.converged());
+        assert!(!Termination::MaxIterations.converged());
+        assert!(!Termination::MemoryExhausted.converged());
+    }
+
+    fn dummy(estimate: f64, error: f64) -> IntegrationResult {
+        IntegrationResult {
+            estimate,
+            error_estimate: error,
+            termination: Termination::Converged,
+            iterations: 1,
+            function_evaluations: 10,
+            regions_generated: 1,
+            active_regions_final: 0,
+            wall_time: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn relative_error_estimate_handles_zero_estimate() {
+        assert_eq!(dummy(0.0, 0.0).relative_error_estimate(), 0.0);
+        assert_eq!(dummy(0.0, 1.0).relative_error_estimate(), f64::INFINITY);
+        assert!((dummy(2.0, 0.1).relative_error_estimate() - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn true_relative_error_handles_zero_reference() {
+        assert_eq!(dummy(0.0, 0.0).true_relative_error(0.0), 0.0);
+        assert_eq!(dummy(1.0, 0.0).true_relative_error(0.0), f64::INFINITY);
+        assert!((dummy(1.05, 0.0).true_relative_error(1.0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_tol_for_digits_matches_powers_of_ten() {
+        assert!((rel_tol_for_digits(5.0) - 1e-5).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,67 @@
+//! Head-to-head comparison of all four integrators on one paper integrand.
+//!
+//! This is the single-integrand version of the paper's Figures 4–6: for a sweep of
+//! requested digits it prints, per method, the wall time, the estimated and the true
+//! relative error, and whether the method claimed convergence.
+//!
+//! Run with `cargo run --release --example compare_methods [-- <integrand>]` where
+//! `<integrand>` is one of `f3`, `f4`, `f5`, `f7` (default `f4`).
+
+use pagani::prelude::*;
+
+fn pick_integrand(name: &str) -> PaperIntegrand {
+    match name {
+        "f3" => PaperIntegrand::f3(3),
+        "f5" => PaperIntegrand::f5(5),
+        "f7" => PaperIntegrand::f7(8),
+        _ => PaperIntegrand::f4(5),
+    }
+}
+
+fn main() {
+    let choice = std::env::args().nth(1).unwrap_or_else(|| "f4".to_owned());
+    let integrand = pick_integrand(&choice);
+    let reference = integrand.reference_value();
+    println!(
+        "integrand {}  (reference value {:.12e})\n",
+        integrand.label(),
+        reference
+    );
+    println!(
+        "{:<8} {:<12} {:>10} {:>12} {:>12} {:>10}",
+        "digits", "method", "time[ms]", "est.rel.err", "true.rel.err", "converged"
+    );
+
+    let device = Device::new(DeviceConfig::test_small().with_memory_capacity(512 << 20));
+    for digits in [3.0, 4.0, 5.0] {
+        let tol = Tolerances::digits(digits);
+
+        let pagani = Pagani::new(device.clone(), PaganiConfig::new(tol)).integrate(&integrand);
+        print_row(digits, "PAGANI", &pagani.result, reference);
+
+        let two_phase =
+            TwoPhase::new(device.clone(), TwoPhaseConfig::new(tol)).integrate(&integrand);
+        print_row(digits, "two-phase", &two_phase, reference);
+
+        let cuhre = Cuhre::new(CuhreConfig::new(tol).with_max_evaluations(200_000_000))
+            .integrate(&integrand);
+        print_row(digits, "cuhre", &cuhre, reference);
+
+        let qmc = Qmc::new(device.clone(), QmcConfig::new(tol).with_max_evaluations(50_000_000))
+            .integrate(&integrand);
+        print_row(digits, "qmc", &qmc, reference);
+        println!();
+    }
+}
+
+fn print_row(digits: f64, method: &str, result: &IntegrationResult, reference: f64) {
+    println!(
+        "{:<8} {:<12} {:>10.1} {:>12.2e} {:>12.2e} {:>10}",
+        digits,
+        method,
+        result.wall_time.as_secs_f64() * 1e3,
+        result.relative_error_estimate(),
+        result.true_relative_error(reference),
+        result.converged()
+    );
+}

@@ -1,0 +1,35 @@
+//! Quick start: integrate one of the paper's test integrands with PAGANI and compare
+//! the estimate against the analytic reference value.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use pagani::prelude::*;
+
+fn main() {
+    // The 5-dimensional sharp Gaussian f4 from the paper's test suite (§4.1).
+    let integrand = PaperIntegrand::f4(5);
+    println!("integrand        : {}", integrand.label());
+    println!("analytic value   : {:.15e}", integrand.reference_value());
+
+    // A laptop-scale simulated device; use `Device::v100_like()` for the paper's
+    // 16 GiB configuration.
+    let device = Device::new(DeviceConfig::test_small().with_memory_capacity(256 << 20));
+
+    for digits in [3.0, 5.0, 7.0] {
+        let config = PaganiConfig::new(Tolerances::digits(digits));
+        let pagani = Pagani::new(device.clone(), config);
+        let output = pagani.integrate(&integrand);
+        let result = &output.result;
+        println!(
+            "digits {digits:>4}: estimate {:.12e}  est.rel.err {:.2e}  true.rel.err {:.2e}  \
+             iterations {:>3}  regions {:>9}  {:>6} ms  converged: {}",
+            result.estimate,
+            result.relative_error_estimate(),
+            result.true_relative_error(integrand.reference_value()),
+            result.iterations,
+            result.regions_generated,
+            result.wall_time.as_millis(),
+            result.converged(),
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Reproduce the paper's Figure 3: the threshold search on a five-dimensional
+//! Gaussian integrand.
+//!
+//! PAGANI is run on 5D f4 at a demanding tolerance on a deliberately small device so
+//! that the heuristic threshold classification (Algorithm 3) triggers; every candidate
+//! threshold is printed with the fraction of regions it would finish and the fraction
+//! of the error budget those regions would consume, mirroring the annotations of the
+//! published figure.
+//!
+//! Run with `cargo run --release --example threshold_trace`.
+
+use pagani::prelude::*;
+
+fn main() {
+    let integrand = PaperIntegrand::f4(5);
+    // A small device forces memory pressure early, so the search runs within seconds.
+    let device = Device::new(DeviceConfig::test_small().with_memory_capacity(24 << 20));
+    let config = PaganiConfig::new(Tolerances::digits(6.0));
+    let pagani = Pagani::new(device, config);
+    let output = pagani.integrate(&integrand);
+
+    println!("integrand : {}", integrand.label());
+    println!(
+        "result    : estimate {:.10e}, est.rel.err {:.2e}, converged: {}\n",
+        output.result.estimate,
+        output.result.relative_error_estimate(),
+        output.result.converged()
+    );
+
+    if output.trace.threshold_searches.is_empty() {
+        println!("the threshold classification never triggered (increase the requested digits)");
+        return;
+    }
+    for search in &output.trace.threshold_searches {
+        println!(
+            "threshold search @ iteration {} (trigger: {:?}, successful: {})",
+            search.iteration, search.trigger, search.successful
+        );
+        for (i, probe) in search.probes.iter().enumerate() {
+            println!(
+                "  probe {:>2}: threshold {:>12.4e}  regions finished {:>5.1}%  error budget used {:>6.1}%  {}",
+                i,
+                probe.threshold,
+                probe.fraction_finished * 100.0,
+                probe.budget_fraction * 100.0,
+                if probe.accepted { "ACCEPTED" } else { "rejected" }
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,79 @@
+//! # pagani
+//!
+//! A from-scratch Rust reproduction of **PAGANI** — the parallel adaptive algorithm
+//! for multi-dimensional numerical integration of Sakiotis et al. (SC 2021) — together
+//! with every substrate and baseline the paper's evaluation depends on:
+//!
+//! * a simulated massively-parallel device with tracked memory ([`device`]),
+//! * Genz–Malik embedded cubature, two-level error estimation and 1-D quadrature
+//!   ([`quadrature`]),
+//! * the paper's test-integrand suite with analytic reference values ([`integrands`]),
+//! * the PAGANI algorithm itself ([`core`]), and
+//! * the baselines it is compared against: sequential Cuhre, the two-phase GPU method
+//!   and randomized quasi-Monte Carlo ([`baselines`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pagani::prelude::*;
+//!
+//! // A 4-dimensional Gaussian bump on the unit cube.
+//! let f = FnIntegrand::new(4, |x: &[f64]| {
+//!     (-x.iter().map(|&v| (v - 0.5) * (v - 0.5)).sum::<f64>() * 25.0).exp()
+//! });
+//!
+//! let device = Device::test_small();
+//! let pagani = Pagani::new(device, PaganiConfig::test_small(Tolerances::rel(1e-5)));
+//! let output = pagani.integrate(&f);
+//!
+//! assert!(output.result.converged());
+//! assert!(output.result.relative_error_estimate() <= 1e-5);
+//! ```
+//!
+//! The `examples/` directory contains runnable end-to-end scenarios (quick start, a
+//! cosmology-flavoured likelihood normalisation, a basket-option payoff, the threshold
+//! search trace of the paper's Figure 3 and a head-to-head method comparison), and the
+//! `pagani-bench` crate regenerates every figure of the paper's evaluation.
+
+#![warn(missing_docs)]
+
+pub use pagani_baselines as baselines;
+pub use pagani_core as core;
+pub use pagani_device as device;
+pub use pagani_integrands as integrands;
+pub use pagani_quadrature as quadrature;
+
+/// The most commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use pagani_baselines::{
+        Cuhre, CuhreConfig, MonteCarlo, MonteCarloConfig, Qmc, QmcConfig, TwoPhase,
+        TwoPhaseConfig,
+    };
+    pub use pagani_core::{
+        HeuristicFiltering, MultiDeviceOutput, MultiDevicePagani, Pagani, PaganiConfig,
+        PaganiOutput,
+    };
+    pub use pagani_device::{Device, DeviceConfig};
+    pub use pagani_integrands::paper::PaperIntegrand;
+    pub use pagani_integrands::workloads::{BasketOption, GaussianLikelihood};
+    pub use pagani_quadrature::{
+        FnIntegrand, IntegrationResult, Integrand, Region, Termination, Tolerances,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_a_working_pipeline() {
+        let f = FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]);
+        let pagani = Pagani::new(
+            Device::test_small(),
+            PaganiConfig::test_small(Tolerances::rel(1e-6)),
+        );
+        let out = pagani.integrate(&f);
+        assert!(out.result.converged());
+        assert!((out.result.estimate - 1.0).abs() < 1e-6);
+    }
+}

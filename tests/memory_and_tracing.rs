@@ -1,0 +1,100 @@
+//! Integration tests of the device-memory behaviour and execution tracing that the
+//! paper's evaluation leans on (memory exhaustion, threshold rescue, kernel profile).
+
+use pagani::prelude::*;
+use pagani_core::trace::ThresholdTrigger;
+
+#[test]
+fn device_memory_is_fully_released_after_a_run() {
+    let device = Device::new(DeviceConfig::test_small().with_memory_capacity(64 << 20));
+    let pagani = Pagani::new(device.clone(), PaganiConfig::test_small(Tolerances::rel(1e-4)));
+    let _ = pagani.integrate(&PaperIntegrand::f4(4));
+    assert_eq!(
+        device.memory().usage().used,
+        0,
+        "region lists must be freed when the run ends"
+    );
+    assert!(device.memory().usage().peak > 0);
+}
+
+#[test]
+fn constrained_memory_triggers_threshold_classification_or_clean_exhaustion() {
+    // A 5-D Gaussian at six digits cannot fit a tiny device without the heuristic;
+    // PAGANI must either rescue itself (threshold searches appear in the trace) or
+    // stop cleanly with a memory-exhaustion flag — never panic.
+    let device = Device::new(DeviceConfig::test_small().with_memory_capacity(2 << 20));
+    let pagani = Pagani::new(device, PaganiConfig::test_small(Tolerances::rel(1e-6)));
+    let out = pagani.integrate(&PaperIntegrand::f4(5));
+    let rescued = out
+        .trace
+        .threshold_searches
+        .iter()
+        .any(|s| s.trigger == ThresholdTrigger::MemoryPressure);
+    match out.result.termination {
+        Termination::Converged => assert!(rescued || out.result.iterations < 20),
+        Termination::MemoryExhausted | Termination::MaxIterations => {}
+        Termination::MaxEvaluations => panic!("PAGANI has no evaluation budget"),
+    }
+    assert!(out.result.estimate.is_finite());
+}
+
+#[test]
+fn disabling_the_heuristic_reproduces_the_no_filtering_failure_mode() {
+    // Figure 8: without heuristic filtering the sharp Gaussian exhausts a small device.
+    let device = Device::new(DeviceConfig::test_small().with_memory_capacity(2 << 20));
+    let config = PaganiConfig::test_small(Tolerances::rel(1e-7))
+        .with_heuristic_filtering(HeuristicFiltering::Disabled);
+    let out = Pagani::new(device, config).integrate(&PaperIntegrand::f4(5));
+    assert!(
+        !out.result.converged(),
+        "without filtering this configuration should not converge"
+    );
+    assert_eq!(out.result.termination, Termination::MemoryExhausted);
+}
+
+#[test]
+fn kernel_profile_supports_the_breakdown_experiment() {
+    let device = Device::new(DeviceConfig::test_small().with_memory_capacity(64 << 20));
+    let pagani = Pagani::new(device.clone(), PaganiConfig::test_small(Tolerances::rel(1e-5)));
+    let _ = pagani.integrate(&PaperIntegrand::f4(4));
+    let profile = device.profile();
+    // The four §4.3.2 categories are all present...
+    assert!(profile.kernel("evaluate").is_some());
+    assert!(profile.fraction_for_prefix("postprocess") > 0.0);
+    assert!(profile.fraction_for_prefix("filter") > 0.0);
+    // ...and evaluation dominates the other categories.
+    let evaluate = profile.fraction_for_prefix("evaluate");
+    assert!(
+        evaluate > profile.fraction_for_prefix("postprocess"),
+        "evaluate ({evaluate}) should dominate post-processing"
+    );
+}
+
+#[test]
+fn trace_region_counts_are_consistent_with_the_result_counters() {
+    let device = Device::new(DeviceConfig::test_small().with_memory_capacity(64 << 20));
+    let pagani = Pagani::new(device, PaganiConfig::test_small(Tolerances::rel(1e-4)));
+    let out = pagani.integrate(&PaperIntegrand::f3(3));
+    let processed = out.trace.total_regions_processed();
+    assert!(processed >= out.trace.peak_regions() as u64);
+    // Every processed region cost exactly one rule application.
+    let per_region = pagani::quadrature::GenzMalik::new(3).num_points() as u64;
+    assert_eq!(out.result.function_evaluations, processed * per_region);
+}
+
+#[test]
+fn identical_configurations_give_identical_estimates() {
+    // The breadth-first algorithm with deterministic reductions must be bit-stable
+    // across runs (important for the benchmark harness).
+    let run = || {
+        let device = Device::new(DeviceConfig::test_small().with_memory_capacity(64 << 20));
+        Pagani::new(device, PaganiConfig::test_small(Tolerances::rel(1e-5)))
+            .integrate(&PaperIntegrand::f4(4))
+            .result
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+    assert_eq!(a.error_estimate.to_bits(), b.error_estimate.to_bits());
+    assert_eq!(a.regions_generated, b.regions_generated);
+}
