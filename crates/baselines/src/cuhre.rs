@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use pagani_quadrature::two_level::refine_error;
 use pagani_quadrature::{
-    EvalScratch, GenzMalik, IntegrationResult, Integrand, Region, Termination, Tolerances,
+    EvalScratch, GenzMalik, Integrand, IntegrationResult, Region, Termination, Tolerances,
 };
 
 /// Configuration of the sequential Cuhre baseline.
@@ -276,10 +276,9 @@ mod tests {
     fn evaluation_budget_is_respected() {
         let f = PaperIntegrand::f4(5);
         let budget = 50_000;
-        let result = Cuhre::new(
-            CuhreConfig::new(Tolerances::rel(1e-10)).with_max_evaluations(budget),
-        )
-        .integrate(&f);
+        let result =
+            Cuhre::new(CuhreConfig::new(Tolerances::rel(1e-10)).with_max_evaluations(budget))
+                .integrate(&f);
         assert!(!result.converged());
         assert_eq!(result.termination, Termination::MaxEvaluations);
         // One extra region evaluation pair may be in flight when the budget trips.

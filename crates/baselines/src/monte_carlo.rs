@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use pagani_device::Device;
-use pagani_quadrature::{IntegrationResult, Integrand, Region, Termination, Tolerances};
+use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination, Tolerances};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -138,8 +138,7 @@ impl MonteCarlo {
             round += 1;
 
             let mean = total_sum / total_samples as f64;
-            let variance =
-                (total_sum_sq / total_samples as f64 - mean * mean).max(0.0);
+            let variance = (total_sum_sq / total_samples as f64 - mean * mean).max(0.0);
             let estimate = volume * mean;
             let error = volume * (variance / total_samples as f64).sqrt();
 

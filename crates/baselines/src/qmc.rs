@@ -12,14 +12,14 @@
 use std::time::Instant;
 
 use pagani_device::Device;
-use pagani_quadrature::{IntegrationResult, Integrand, Region, Termination, Tolerances};
+use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination, Tolerances};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// The first thirty primes, used as Halton bases (dimension ≤ 30, like Genz–Malik).
 const PRIMES: [u32; 30] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113,
 ];
 
 /// Radical-inverse function in base `base` (the building block of Halton sequences).
@@ -122,7 +122,10 @@ impl Qmc {
     ) -> IntegrationResult {
         assert_eq!(region.dim(), f.dim(), "region/integrand dimension mismatch");
         let dim = f.dim();
-        assert!(dim <= PRIMES.len(), "QMC baseline supports up to 30 dimensions");
+        assert!(
+            dim <= PRIMES.len(),
+            "QMC baseline supports up to 30 dimensions"
+        );
         let start = Instant::now();
         let tolerances = self.config.tolerances;
         let volume = region.volume();

@@ -19,7 +19,7 @@ use std::time::Instant;
 use pagani_device::{reduce, Device};
 use pagani_quadrature::two_level::refine_generation;
 use pagani_quadrature::{
-    EvalScratch, GenzMalik, IntegrationResult, Integrand, Region, Termination, Tolerances,
+    EvalScratch, GenzMalik, Integrand, IntegrationResult, Region, Termination, Tolerances,
 };
 
 /// Configuration of the two-phase baseline.
@@ -188,8 +188,7 @@ impl TwoPhase {
                 }
             }
             if survivors.is_empty() {
-                converged_in_phase1 =
-                    tolerances.satisfied_by(finished_estimate, finished_error);
+                converged_in_phase1 = tolerances.satisfied_by(finished_estimate, finished_error);
                 break;
             }
             if survivors.len() >= self.config.phase1_region_target {

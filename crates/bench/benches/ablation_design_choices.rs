@@ -7,7 +7,10 @@ use pagani_integrands::paper::PaperIntegrand;
 use pagani_quadrature::Tolerances;
 
 fn main() {
-    banner("Ablations", "two-level error refinement and initial-split granularity");
+    banner(
+        "Ablations",
+        "two-level error refinement and initial-split granularity",
+    );
     let device = bench_device();
     let integrand = PaperIntegrand::f4(5);
     let reference = integrand.reference_value();

@@ -32,9 +32,8 @@ fn main() {
         }
     }
 
-    let cuhre = Cuhre::new(
-        CuhreConfig::new(Tolerances::rel(1e-6)).with_max_evaluations(10_000_000),
-    );
+    let cuhre =
+        Cuhre::new(CuhreConfig::new(Tolerances::rel(1e-6)).with_max_evaluations(10_000_000));
     let counts: Vec<u64> = partitions
         .iter()
         .map(|region| cuhre.integrate_region(&integrand, region).regions_generated)

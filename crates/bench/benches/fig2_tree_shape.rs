@@ -10,7 +10,10 @@ use pagani_bench::{banner, bench_device, run_cuhre, run_pagani, run_two_phase};
 use pagani_integrands::paper::PaperIntegrand;
 
 fn main() {
-    banner("Figure 2", "sub-region tree shapes on 5D f4 at 5 digits of precision");
+    banner(
+        "Figure 2",
+        "sub-region tree shapes on 5D f4 at 5 digits of precision",
+    );
     let integrand = PaperIntegrand::f4(5);
     let digits = 5.0;
     let device = bench_device();

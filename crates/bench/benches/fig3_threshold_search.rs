@@ -25,7 +25,9 @@ fn main() {
         output.result.regions_generated
     );
     if output.trace.threshold_searches.is_empty() {
-        println!("no threshold search was required at this precision (increase PAGANI_BENCH_MAX_DIGITS)");
+        println!(
+            "no threshold search was required at this precision (increase PAGANI_BENCH_MAX_DIGITS)"
+        );
         return;
     }
     for search in &output.trace.threshold_searches {

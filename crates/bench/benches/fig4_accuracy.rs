@@ -16,7 +16,11 @@ fn main() {
         "Figure 4",
         "true relative error vs requested digits (5D f4, 6D f6, 8D f7)",
     );
-    let mut cases = vec![PaperIntegrand::f4(5), PaperIntegrand::f6(), PaperIntegrand::f7(8)];
+    let mut cases = vec![
+        PaperIntegrand::f4(5),
+        PaperIntegrand::f6(),
+        PaperIntegrand::f7(8),
+    ];
     if full_sweep() {
         cases.push(PaperIntegrand::f3(8));
         cases.push(PaperIntegrand::f5(8));
@@ -32,7 +36,10 @@ fn main() {
             let pagani = run_pagani(&device, integrand, digits);
             print_result_row(integrand, "PAGANI", digits, &pagani.result);
             if pagani.result.converged()
-                && pagani.result.true_relative_error(integrand.reference_value()) <= target
+                && pagani
+                    .result
+                    .true_relative_error(integrand.reference_value())
+                    <= target
             {
                 record(&mut attained, integrand, "PAGANI", digits);
             }
@@ -47,8 +54,7 @@ fn main() {
 
             let cuhre = run_cuhre(integrand, digits);
             print_result_row(integrand, "cuhre", digits, &cuhre);
-            if cuhre.converged()
-                && cuhre.true_relative_error(integrand.reference_value()) <= target
+            if cuhre.converged() && cuhre.true_relative_error(integrand.reference_value()) <= target
             {
                 record(&mut attained, integrand, "cuhre", digits);
             }
@@ -74,10 +80,7 @@ fn record(
 fn attained_summary(raw: &[(String, &'static str, f64)]) -> Vec<(String, &'static str, f64)> {
     let mut best: Vec<(String, &'static str, f64)> = Vec::new();
     for (label, method, digits) in raw {
-        match best
-            .iter_mut()
-            .find(|(l, m, _)| l == label && m == method)
-        {
+        match best.iter_mut().find(|(l, m, _)| l == label && m == method) {
             Some(entry) => entry.2 = entry.2.max(*digits),
             None => best.push((label.clone(), method, *digits)),
         }

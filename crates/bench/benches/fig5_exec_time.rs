@@ -12,8 +12,15 @@ use pagani_bench::{
 use pagani_integrands::paper::PaperIntegrand;
 
 fn main() {
-    banner("Figure 5", "execution time vs requested digits (5D f4, 6D f6, 8D f7)");
-    let mut cases = vec![PaperIntegrand::f4(5), PaperIntegrand::f6(), PaperIntegrand::f7(8)];
+    banner(
+        "Figure 5",
+        "execution time vs requested digits (5D f4, 6D f6, 8D f7)",
+    );
+    let mut cases = vec![
+        PaperIntegrand::f4(5),
+        PaperIntegrand::f6(),
+        PaperIntegrand::f7(8),
+    ];
     if full_sweep() {
         cases.push(PaperIntegrand::f3(8));
     }

@@ -10,8 +10,15 @@ use pagani_bench::{
 use pagani_integrands::paper::PaperIntegrand;
 
 fn main() {
-    banner("Figure 6", "PAGANI speedup over Cuhre and over the two-phase method");
-    let cases = vec![PaperIntegrand::f5(5), PaperIntegrand::f6(), PaperIntegrand::f7(8)];
+    banner(
+        "Figure 6",
+        "PAGANI speedup over Cuhre and over the two-phase method",
+    );
+    let cases = vec![
+        PaperIntegrand::f5(5),
+        PaperIntegrand::f6(),
+        PaperIntegrand::f7(8),
+    ];
     let device = bench_device();
 
     println!(
@@ -33,9 +40,17 @@ fn main() {
                 integrand.label(),
                 digits,
                 speedup_cuhre,
-                if only_pagani_cuhre { " [only-PAGANI]" } else { "" },
+                if only_pagani_cuhre {
+                    " [only-PAGANI]"
+                } else {
+                    ""
+                },
                 speedup_two_phase,
-                if only_pagani_two { " [only-PAGANI]" } else { "" },
+                if only_pagani_two {
+                    " [only-PAGANI]"
+                } else {
+                    ""
+                },
             );
         }
         println!();

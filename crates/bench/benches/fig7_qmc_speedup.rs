@@ -9,7 +9,10 @@ use pagani_bench::{banner, bench_device, digits_sweep, full_sweep, millis, run_p
 use pagani_integrands::paper::PaperIntegrand;
 
 fn main() {
-    banner("Figure 7", "PAGANI speedup over the randomized QMC baseline");
+    banner(
+        "Figure 7",
+        "PAGANI speedup over the randomized QMC baseline",
+    );
     let mut cases = vec![
         PaperIntegrand::f3(3),
         PaperIntegrand::f5(5),
@@ -24,7 +27,10 @@ fn main() {
     }
     let device = bench_device();
 
-    println!("{:<8} {:>6} {:>14} {:>14} {:>12}", "case", "digits", "QMC[ms]", "PAGANI[ms]", "speedup");
+    println!(
+        "{:<8} {:>6} {:>14} {:>14} {:>12}",
+        "case", "digits", "QMC[ms]", "PAGANI[ms]", "speedup"
+    );
     for integrand in &cases {
         for digits in digits_sweep() {
             let qmc = run_qmc(&device, integrand, digits);

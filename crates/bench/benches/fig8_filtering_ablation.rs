@@ -6,12 +6,17 @@
 //! filtering only).  Panels: 5D f4, 8D f4 and 8D f5 (the latter two only in the full
 //! sweep — they are the paper's hardest cases).
 
-use pagani_bench::{banner, bench_device, digits_sweep, full_sweep, millis, run_pagani_with_filtering};
+use pagani_bench::{
+    banner, bench_device, digits_sweep, full_sweep, millis, run_pagani_with_filtering,
+};
 use pagani_core::HeuristicFiltering;
 use pagani_integrands::paper::PaperIntegrand;
 
 fn main() {
-    banner("Figure 8", "filtering ablation: PAGANI vs mem-exhaustion-only vs no filtering");
+    banner(
+        "Figure 8",
+        "filtering ablation: PAGANI vs mem-exhaustion-only vs no filtering",
+    );
     let mut cases = vec![PaperIntegrand::f4(5)];
     if full_sweep() {
         cases.push(PaperIntegrand::f4(8));

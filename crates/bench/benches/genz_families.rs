@@ -14,7 +14,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    banner("Genz families", "random-instance robustness sweep (PAGANI, 4 digits, 4D)");
+    banner(
+        "Genz families",
+        "random-instance robustness sweep (PAGANI, 4 digits, 4D)",
+    );
     let device = bench_device();
     let tolerances = Tolerances::digits(4.0);
     let instances_per_family = 4;

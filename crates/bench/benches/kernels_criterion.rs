@@ -39,7 +39,9 @@ fn bench_reductions(c: &mut Criterion) {
     group.bench_function("masked_sum_1M", |b| {
         b.iter(|| black_box(reduce::masked_sum(&values, &mask)))
     });
-    group.bench_function("min_max_1M", |b| b.iter(|| black_box(reduce::min_max(&values))));
+    group.bench_function("min_max_1M", |b| {
+        b.iter(|| black_box(reduce::min_max(&values)))
+    });
     group.bench_function("compact_1M", |b| {
         b.iter(|| black_box(scan::compact_by_mask(&values, &mask).len()))
     });
@@ -87,7 +89,11 @@ fn bench_integrand_suite(c: &mut Criterion) {
     let mut group = c.benchmark_group("integrand_eval");
     group.sample_size(30);
     let point8 = [0.37; 8];
-    for integrand in [PaperIntegrand::f1(8), PaperIntegrand::f4(8), PaperIntegrand::f7(8)] {
+    for integrand in [
+        PaperIntegrand::f1(8),
+        PaperIntegrand::f4(8),
+        PaperIntegrand::f7(8),
+    ] {
         group.bench_function(integrand.label(), |b| {
             b.iter(|| black_box(integrand.eval(&point8)))
         });

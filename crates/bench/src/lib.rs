@@ -38,7 +38,9 @@ fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
 /// Whether the full (paper-scale) sweep was requested.
 #[must_use]
 pub fn full_sweep() -> bool {
-    std::env::var("PAGANI_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("PAGANI_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The digits-of-precision sweep: 3 up to `PAGANI_BENCH_MAX_DIGITS` (default 5).
@@ -52,9 +54,7 @@ pub fn digits_sweep() -> Vec<f64> {
 #[must_use]
 pub fn bench_device() -> Device {
     let mib: usize = env_or("PAGANI_BENCH_DEVICE_MB", 1024);
-    Device::new(
-        DeviceConfig::v100_like().with_memory_capacity(mib * (1 << 20)),
-    )
+    Device::new(DeviceConfig::v100_like().with_memory_capacity(mib * (1 << 20)))
 }
 
 /// Evaluation budget for the sequential and QMC baselines.
@@ -81,8 +81,7 @@ pub fn run_pagani_with_filtering(
     digits: f64,
     mode: HeuristicFiltering,
 ) -> PaganiOutput {
-    let mut config =
-        PaganiConfig::new(Tolerances::digits(digits)).with_heuristic_filtering(mode);
+    let mut config = PaganiConfig::new(Tolerances::digits(digits)).with_heuristic_filtering(mode);
     if integrand.is_sign_oscillating() {
         config = config.without_rel_err_filtering();
     }
@@ -97,7 +96,11 @@ pub fn run_pagani_with_filtering(
 /// with `PAGANI_BENCH_TWO_PHASE_REGIONS` / `PAGANI_BENCH_TWO_PHASE_HEAP` to restore
 /// the paper's configuration.
 #[must_use]
-pub fn run_two_phase(device: &Device, integrand: &PaperIntegrand, digits: f64) -> IntegrationResult {
+pub fn run_two_phase(
+    device: &Device,
+    integrand: &PaperIntegrand,
+    digits: f64,
+) -> IntegrationResult {
     let config = TwoPhaseConfig {
         phase1_region_target: env_or("PAGANI_BENCH_TWO_PHASE_REGIONS", 2048),
         phase2_heap_capacity: env_or("PAGANI_BENCH_TWO_PHASE_HEAP", 512),

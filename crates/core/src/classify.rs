@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn absolute_tolerance_also_finishes_regions() {
-        let tol = Tolerances { rel: 1e-12, abs: 1e-6 };
+        let tol = Tolerances {
+            rel: 1e-12,
+            abs: 1e-6,
+        };
         let mask = rel_err_classify(&[0.0, 5.0], &[1e-7, 1e-3], tol, true);
         assert_eq!(mask, vec![FINISHED, ACTIVE]);
     }

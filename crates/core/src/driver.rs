@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use pagani_device::{reduce, Device, DeviceError};
 use pagani_quadrature::two_level::refine_generation;
-use pagani_quadrature::{GenzMalik, IntegrationResult, Integrand, Region, Termination};
+use pagani_quadrature::{GenzMalik, Integrand, IntegrationResult, Region, Termination};
 
 use crate::classify::{active_count, rel_err_classify};
 use crate::config::{HeuristicFiltering, PaganiConfig};
@@ -90,7 +90,17 @@ impl Pagani {
                 Ok(list) => break list,
                 Err(DeviceError::OutOfDeviceMemory { .. }) if d > 1 => d -= 1,
                 Err(err) => {
-                    return self.bail_out(0.0, 0.0, Termination::MemoryExhausted, 0, 0, 0, start, trace, Some(err))
+                    return self.bail_out(
+                        0.0,
+                        0.0,
+                        Termination::MemoryExhausted,
+                        0,
+                        0,
+                        0,
+                        start,
+                        trace,
+                        Some(err),
+                    )
                 }
             }
         };
@@ -143,13 +153,17 @@ impl Pagani {
 
             // --- Relative-error classification (line 12). -----------------------
             let mut mask = self.device.timed_section("postprocess.classify", || {
-                rel_err_classify(&integrals, &errors, tolerances, self.config.rel_err_filtering)
+                rel_err_classify(
+                    &integrals,
+                    &errors,
+                    tolerances,
+                    self.config.rel_err_filtering,
+                )
             });
 
             // --- Global reductions and termination (lines 13-16). ---------------
-            let (iter_estimate, iter_error) = self
-                .device
-                .timed_section("postprocess.reduce", || {
+            let (iter_estimate, iter_error) =
+                self.device.timed_section("postprocess.reduce", || {
                     (reduce::sum(&integrals), reduce::sum(&errors))
                 });
             let cumulative_estimate = iter_estimate + finished_estimate;
@@ -177,8 +191,7 @@ impl Pagani {
             // --- Heuristic threshold classification (line 17, §3.5.2). ----------
             let active_now = active_count(&mask);
             let estimate_converged = previous_cumulative.is_some_and(|prev| {
-                (cumulative_estimate - prev).abs()
-                    <= cumulative_estimate.abs() * tolerances.rel
+                (cumulative_estimate - prev).abs() <= cumulative_estimate.abs() * tolerances.rel
             });
             // Splitting keeps the filtered copy and the doubled generation alive at
             // the same time as the current list, so require room for 3× the active
@@ -275,9 +288,9 @@ impl Pagani {
                 };
                 break;
             }
-            let filter_result = self.device.timed_section("filter.compact", || {
-                list.filter(&mask, &pool)
-            });
+            let filter_result = self
+                .device
+                .timed_section("filter.compact", || list.filter(&mask, &pool));
             let filtered = match filter_result {
                 Ok(filtered) => filtered,
                 Err(_) => {
@@ -285,15 +298,14 @@ impl Pagani {
                     break;
                 }
             };
-            let active_integrals =
-                pagani_device::scan::compact_by_mask(&integrals, &mask);
+            let active_integrals = pagani_device::scan::compact_by_mask(&integrals, &mask);
             let active_axes = pagani_device::scan::compact_by_mask(&split_axes, &mask);
             drop(list);
 
             // --- Update parents and split every active region (lines 21-23). -----
-            let split_result = self.device.timed_section("filter.split", || {
-                filtered.split_all(&active_axes, &pool)
-            });
+            let split_result = self
+                .device
+                .timed_section("filter.split", || filtered.split_all(&active_axes, &pool));
             match split_result {
                 Ok(children) => {
                     regions_generated += children.len() as u64;
@@ -469,7 +481,11 @@ mod tests {
     fn estimated_error_bounds_true_error_for_suite_members() {
         // §4.2's requirement: the estimated relative error at termination should not
         // understate the true error for the well-behaved suite members.
-        for f in [PaperIntegrand::f4(3), PaperIntegrand::f5(3), PaperIntegrand::f3(3)] {
+        for f in [
+            PaperIntegrand::f4(3),
+            PaperIntegrand::f5(3),
+            PaperIntegrand::f3(3),
+        ] {
             let pagani = test_pagani(1e-4);
             let out = pagani.integrate(&f);
             assert!(out.result.converged(), "{}", f.label());
@@ -532,8 +548,7 @@ mod tests {
         // regions, while retaining full accuracy.
         let f = PaperIntegrand::f4(4);
         let tol = Tolerances::rel(1e-4);
-        let make_device =
-            || Device::new(DeviceConfig::test_small().with_memory_capacity(32 << 20));
+        let make_device = || Device::new(DeviceConfig::test_small().with_memory_capacity(32 << 20));
         let with = Pagani::new(
             make_device(),
             PaganiConfig::test_small(tol).with_heuristic_filtering(HeuristicFiltering::Full),
@@ -576,10 +591,16 @@ mod tests {
     #[test]
     fn kernel_profile_is_dominated_by_evaluate() {
         let device = Device::test_small();
-        let pagani = Pagani::new(device.clone(), PaganiConfig::test_small(Tolerances::rel(1e-5)));
+        let pagani = Pagani::new(
+            device.clone(),
+            PaganiConfig::test_small(Tolerances::rel(1e-5)),
+        );
         let _ = pagani.integrate(&PaperIntegrand::f4(4));
         let evaluate_fraction = device.profile().fraction_for_prefix("evaluate");
-        assert!(evaluate_fraction > 0.3, "evaluate fraction {evaluate_fraction}");
+        assert!(
+            evaluate_fraction > 0.3,
+            "evaluate fraction {evaluate_fraction}"
+        );
     }
 
     #[test]

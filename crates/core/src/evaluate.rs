@@ -84,10 +84,7 @@ mod tests {
         let total: f64 = eval.integrals.iter().sum();
         assert!((total - 2.0).abs() < 1e-10);
         assert!(eval.errors.iter().all(|&e| e < 1e-10));
-        assert_eq!(
-            eval.function_evaluations,
-            (rule.num_points() * 64) as u64
-        );
+        assert_eq!(eval.function_evaluations, (rule.num_points() * 64) as u64);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use pagani_quadrature::{IntegrationResult, Integrand, Region, Termination};
+use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination};
 
 use crate::config::PaganiConfig;
 use crate::driver::{Pagani, PaganiOutput};
@@ -229,7 +229,9 @@ mod tests {
         }
         assert!(multi.result.estimate.is_finite());
         assert!(
-            multi.result.true_relative_error(integrand.reference_value())
+            multi
+                .result
+                .true_relative_error(integrand.reference_value())
                 <= single
                     .result
                     .true_relative_error(integrand.reference_value())

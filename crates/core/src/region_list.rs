@@ -284,9 +284,8 @@ mod tests {
     #[test]
     fn centered_view_matches_region() {
         let pool = big_pool();
-        let list =
-            RegionList::from_regions(&[Region::new(vec![0.0, 1.0], vec![2.0, 5.0])], &pool)
-                .unwrap();
+        let list = RegionList::from_regions(&[Region::new(vec![0.0, 1.0], vec![2.0, 5.0])], &pool)
+            .unwrap();
         let mut center = [0.0; 2];
         let mut halfwidth = [0.0; 2];
         list.centered_view(0, &mut center, &mut halfwidth);
@@ -343,7 +342,7 @@ mod tests {
         let initial = RegionList::bytes_for(16, dim);
         let pool = MemoryPool::new(initial + RegionList::bytes_for(8, dim));
         let list = RegionList::initial_split(&Region::unit_cube(dim), 4, &pool).unwrap();
-        assert!(list.split_all(&vec![0; 16], &pool).is_err());
+        assert!(list.split_all(&[0; 16], &pool).is_err());
     }
 
     proptest! {

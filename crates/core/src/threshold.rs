@@ -222,13 +222,7 @@ mod tests {
     #[test]
     fn exhausted_budget_returns_unchanged() {
         let mask = all_active(4);
-        let out = threshold_classify(
-            &mask,
-            &[1e-9; 4],
-            0.0,
-            4e-9,
-            ThresholdPolicy::default(),
-        );
+        let out = threshold_classify(&mask, &[1e-9; 4], 0.0, 4e-9, ThresholdPolicy::default());
         assert!(!out.successful);
         assert_eq!(out.mask, mask);
     }
@@ -305,7 +299,9 @@ mod tests {
         let last = out.probes.last().unwrap();
         assert!(last.accepted);
         // All earlier probes were rejected.
-        assert!(out.probes[..out.probes.len() - 1].iter().all(|p| !p.accepted));
+        assert!(out.probes[..out.probes.len() - 1]
+            .iter()
+            .all(|p| !p.accepted));
     }
 
     #[test]
@@ -335,7 +331,10 @@ mod tests {
             }
             assert!(frozen <= headroom, "frozen {frozen} exceeded headroom");
         }
-        assert!(frozen > 0.0, "at least one round should have frozen something");
+        assert!(
+            frozen > 0.0,
+            "at least one round should have frozen something"
+        );
     }
 
     proptest! {

@@ -96,7 +96,10 @@ impl ExecutionTrace {
     /// The width of the sub-region tree per depth — the Figure 2 comparison data.
     #[must_use]
     pub fn tree_widths(&self) -> Vec<usize> {
-        self.iterations.iter().map(|r| r.regions_processed).collect()
+        self.iterations
+            .iter()
+            .map(|r| r.regions_processed)
+            .collect()
     }
 }
 

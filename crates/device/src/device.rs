@@ -250,7 +250,9 @@ impl Device {
                 })
                 .collect()
         });
-        self.inner.profile.record(kernel, grid_size, start.elapsed());
+        self.inner
+            .profile
+            .record(kernel, grid_size, start.elapsed());
         Ok(out)
     }
 

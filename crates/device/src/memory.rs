@@ -117,14 +117,18 @@ impl MemoryPool {
         let mut used = self.inner.used.load(Ordering::Relaxed);
         loop {
             let Some(next) = used.checked_add(bytes) else {
-                self.inner.failed_allocations.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .failed_allocations
+                    .fetch_add(1, Ordering::Relaxed);
                 return Err(DeviceError::OutOfDeviceMemory {
                     requested: bytes,
                     available: self.inner.capacity.saturating_sub(used),
                 });
             };
             if next > self.inner.capacity {
-                self.inner.failed_allocations.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .failed_allocations
+                    .fetch_add(1, Ordering::Relaxed);
                 return Err(DeviceError::OutOfDeviceMemory {
                     requested: bytes,
                     available: self.inner.capacity.saturating_sub(used),
@@ -168,8 +172,7 @@ impl MemoryPool {
     {
         let bytes = len * std::mem::size_of::<T>();
         self.reserve(bytes)?;
-        let mut init = init;
-        let data: Vec<T> = (0..len).map(|i| init(i)).collect();
+        let data: Vec<T> = (0..len).map(init).collect();
         Ok(DeviceBuffer {
             data,
             charged_bytes: bytes,
@@ -294,7 +297,7 @@ mod tests {
 
     #[test]
     fn out_of_memory_is_reported() {
-        let pool = MemoryPool::new(1 * KIB);
+        let pool = MemoryPool::new(KIB);
         let err = pool.alloc_zeroed::<f64>(1024).unwrap_err();
         match err {
             DeviceError::OutOfDeviceMemory {

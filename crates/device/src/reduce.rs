@@ -53,7 +53,11 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 #[must_use]
 pub fn masked_sum(values: &[f64], mask: &[u8]) -> f64 {
-    assert_eq!(values.len(), mask.len(), "masked sum requires equal lengths");
+    assert_eq!(
+        values.len(),
+        mask.len(),
+        "masked sum requires equal lengths"
+    );
     if values.len() <= CHUNK {
         return values
             .iter()
@@ -136,7 +140,9 @@ mod tests {
 
     #[test]
     fn sum_is_deterministic_across_calls() {
-        let values: Vec<f64> = (0..50_000).map(|i| ((i * 2654435761_usize) % 1000) as f64 / 7.0).collect();
+        let values: Vec<f64> = (0..50_000)
+            .map(|i| ((i * 2654435761_usize) % 1000) as f64 / 7.0)
+            .collect();
         let a = sum(&values);
         let b = sum(&values);
         assert_eq!(a.to_bits(), b.to_bits());

@@ -70,7 +70,11 @@ pub fn compaction_indices(mask: &[u8]) -> (Vec<usize>, usize) {
 /// Panics if the slices have different lengths.
 #[must_use]
 pub fn compact_by_mask<T: Clone + Send + Sync>(values: &[T], mask: &[u8]) -> Vec<T> {
-    assert_eq!(values.len(), mask.len(), "compaction requires equal lengths");
+    assert_eq!(
+        values.len(),
+        mask.len(),
+        "compaction requires equal lengths"
+    );
     // Scan for destination offsets, then gather in parallel: every destination is
     // produced by exactly one source, so the gather is embarrassingly parallel.
     let sources = surviving_indices(mask);
@@ -83,10 +87,7 @@ pub fn compact_by_mask<T: Clone + Send + Sync>(values: &[T], mask: &[u8]) -> Vec
 /// parallel arrays must be compacted consistently.
 #[must_use]
 pub fn gather<T: Clone + Send + Sync>(values: &[T], sources: &[usize]) -> Vec<T> {
-    sources
-        .par_iter()
-        .map(|&src| values[src].clone())
-        .collect()
+    sources.par_iter().map(|&src| values[src].clone()).collect()
 }
 
 /// Indices of the non-zero entries of `mask`, in order.

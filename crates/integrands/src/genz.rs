@@ -77,7 +77,10 @@ impl GenzIntegrand {
     pub fn new(family: GenzFamily, a: Vec<f64>, u: Vec<f64>) -> Self {
         assert_eq!(a.len(), u.len(), "parameter vectors must match in length");
         assert!(!a.is_empty(), "Genz integrands need at least one dimension");
-        assert!(a.iter().all(|&ai| ai > 0.0), "affective parameters must be positive");
+        assert!(
+            a.iter().all(|&ai| ai > 0.0),
+            "affective parameters must be positive"
+        );
         Self { family, a, u }
     }
 
@@ -189,11 +192,7 @@ impl Integrand for GenzIntegrand {
                 (-s).exp()
             }
             GenzFamily::Discontinuous => {
-                let outside = x
-                    .iter()
-                    .zip(&self.u)
-                    .take(2)
-                    .any(|(&xi, &ui)| xi > ui);
+                let outside = x.iter().zip(&self.u).take(2).any(|(&xi, &ui)| xi > ui);
                 if outside {
                     0.0
                 } else {

@@ -184,7 +184,9 @@ impl Integrand for PaperIntegrand {
                 .cos(),
             PaperFamily::F2ProductPeak => {
                 let a2 = (1.0f64 / 50.0) * (1.0 / 50.0);
-                x.iter().map(|&xi| 1.0 / (a2 + (xi - 0.5) * (xi - 0.5))).product()
+                x.iter()
+                    .map(|&xi| 1.0 / (a2 + (xi - 0.5) * (xi - 0.5)))
+                    .product()
             }
             PaperFamily::F3CornerPeak => {
                 let s: f64 = x
@@ -368,7 +370,9 @@ mod tests {
     #[test]
     fn plot_suite_contains_the_figure_cases() {
         let labels: Vec<String> = paper_plot_suite().iter().map(|f| f.label()).collect();
-        for needed in ["5D f4", "6D f6", "8D f7", "5D f5", "3D f3", "8D f1", "8D f8"] {
+        for needed in [
+            "5D f4", "6D f6", "8D f7", "5D f5", "3D f3", "8D f1", "8D f8",
+        ] {
             assert!(labels.iter().any(|l| l == needed), "missing {needed}");
         }
     }

@@ -55,7 +55,10 @@ pub fn product_lorentzian_reference(a: f64, centers: &[f64]) -> f64 {
 #[must_use]
 pub fn corner_peak_reference(coefficients: &[f64]) -> f64 {
     let n = coefficients.len();
-    assert!(n >= 1 && n <= 30, "corner peak supports 1..=30 dimensions");
+    assert!(
+        (1..=30).contains(&n),
+        "corner peak supports 1..=30 dimensions"
+    );
     assert!(
         coefficients.iter().all(|&c| c > 0.0),
         "corner peak requires positive coefficients"
@@ -158,8 +161,11 @@ pub fn box_integral_even_reference(dim: usize, p: usize) -> f64 {
 #[must_use]
 pub fn box_integral_odd_reference(dim: usize, s: usize) -> f64 {
     assert!(dim >= 1, "box integral needs at least one dimension");
-    assert!(s % 2 == 1, "use box_integral_even_reference for even powers");
-    let k = (s + 1) / 2; // k - s/2 = 1/2
+    assert!(
+        s % 2 == 1,
+        "use box_integral_even_reference for even powers"
+    );
+    let k = s.div_ceil(2); // k - s/2 = 1/2
     let prefactor = 1.0 / gamma(k as f64 - s as f64 / 2.0);
 
     // S_k(t) = Σ_{|a| = k} k!/∏ a_i! ∏ m_{a_i}(t), accumulated by a convolution DP over
@@ -269,8 +275,7 @@ mod tests {
         let coeffs = [1.5, 0.5, 2.5];
         let phase = 0.7;
         let reference = cos_sum_reference(&coeffs, phase);
-        let brute =
-            brute_force_3d(|x| (0.7 + 1.5 * x[0] + 0.5 * x[1] + 2.5 * x[2]).cos());
+        let brute = brute_force_3d(|x| (0.7 + 1.5 * x[0] + 0.5 * x[1] + 2.5 * x[2]).cos());
         assert!((reference - brute).abs() < 1e-10);
     }
 
@@ -292,8 +297,7 @@ mod tests {
     fn corner_peak_matches_brute_force() {
         let coeffs = [1.0, 2.0, 3.0];
         let reference = corner_peak_reference(&coeffs);
-        let brute =
-            brute_force_3d(|x| (1.0 + x[0] + 2.0 * x[1] + 3.0 * x[2]).powi(-4));
+        let brute = brute_force_3d(|x| (1.0 + x[0] + 2.0 * x[1] + 3.0 * x[2]).powi(-4));
         assert!((reference - brute).abs() / brute < 1e-9);
     }
 
@@ -317,9 +321,8 @@ mod tests {
     #[test]
     fn abs_exponential_matches_brute_force() {
         let reference = abs_exponential_reference(10.0, &[0.5, 0.5, 0.5]);
-        let brute = brute_force_3d(|x| {
-            (-10.0 * x.iter().map(|&v| (v - 0.5).abs()).sum::<f64>()).exp()
-        });
+        let brute =
+            brute_force_3d(|x| (-10.0 * x.iter().map(|&v| (v - 0.5).abs()).sum::<f64>()).exp());
         assert!((reference - brute).abs() / brute < 1e-9);
     }
 
@@ -381,10 +384,7 @@ mod tests {
                     1.0,
                 )
                 .integral;
-                assert!(
-                    (m - direct).abs() < 1e-12,
-                    "t={t}, a={a}: {m} vs {direct}"
-                );
+                assert!((m - direct).abs() < 1e-12, "t={t}, a={a}: {m} vs {direct}");
             }
         }
     }
@@ -395,10 +395,7 @@ mod tests {
         // (Robbins' constant relative): ∫ |x| dx ≈ 0.960591956455...
         let reference = box_integral_odd_reference(3, 1);
         let brute = brute_force_3d(|x| x.iter().map(|&v| v * v).sum::<f64>().sqrt());
-        assert!(
-            (reference - brute).abs() < 1e-8,
-            "{reference} vs {brute}"
-        );
+        assert!((reference - brute).abs() < 1e-8, "{reference} vs {brute}");
         assert!((reference - 0.960_591_956_455_052).abs() < 1e-9);
     }
 
@@ -406,8 +403,7 @@ mod tests {
     fn box_odd_matches_brute_force_higher_power() {
         // dim 3, s = 3.
         let reference = box_integral_odd_reference(3, 3);
-        let brute =
-            brute_force_3d(|x| x.iter().map(|&v| v * v).sum::<f64>().powf(1.5));
+        let brute = brute_force_3d(|x| x.iter().map(|&v| v * v).sum::<f64>().powf(1.5));
         assert!(
             (reference - brute).abs() / brute < 1e-8,
             "{reference} vs {brute}"

@@ -46,9 +46,7 @@ impl GaussianLikelihood {
         let means = (0..dim)
             .map(|i| 0.35 + 0.3 * (i as f64 / dim.max(1) as f64))
             .collect();
-        let sigmas = (0..dim)
-            .map(|i| 0.15 / (1.0 + i as f64 * 0.8))
-            .collect();
+        let sigmas = (0..dim).map(|i| 0.15 / (1.0 + i as f64 * 0.8)).collect();
         Self::new(means, sigmas)
     }
 
@@ -127,7 +125,10 @@ impl BasketOption {
         assert_eq!(spots.len(), vols.len());
         assert!(!spots.is_empty(), "at least one asset required");
         assert!(spots.iter().all(|&s| s > 0.0), "spots must be positive");
-        assert!(vols.iter().all(|&v| v > 0.0), "volatilities must be positive");
+        assert!(
+            vols.iter().all(|&v| v > 0.0),
+            "volatilities must be positive"
+        );
         assert!(maturity > 0.0, "maturity must be positive");
         Self {
             spots,
@@ -161,7 +162,7 @@ impl BasketOption {
             -3.969_683_028_665_376e1,
             2.209_460_984_245_205e2,
             -2.759_285_104_469_687e2,
-            1.383_577_518_672_690e2,
+            1.383_577_518_672_69e2,
             -3.066_479_806_614_716e1,
             2.506_628_277_459_239,
         ];

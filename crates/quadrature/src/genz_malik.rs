@@ -225,13 +225,16 @@ impl GenzMalik {
         let mut split_axis = 0;
         let mut best_diff = scratch.fourth_diff[0];
         let mut best_width = halfwidth[0];
-        for axis in 1..dim {
-            let d = scratch.fourth_diff[axis];
-            let wider = halfwidth[axis] > best_width;
-            if d > best_diff || (d == best_diff && wider) {
+        for (axis, (&d, &width)) in scratch.fourth_diff[..dim]
+            .iter()
+            .zip(&halfwidth[..dim])
+            .enumerate()
+            .skip(1)
+        {
+            if d > best_diff || (d == best_diff && width > best_width) {
                 split_axis = axis;
                 best_diff = d;
-                best_width = halfwidth[axis];
+                best_width = width;
             }
         }
 
@@ -355,7 +358,14 @@ mod tests {
         let region = Region::new(vec![0.45, 0.45], vec![0.55, 0.55]);
         let est = rule.evaluate(&f, &region, &mut scratch);
         // Reference from a fine tensor Simpson evaluation of the same patch.
-        let reference = simpson_2d(&|x, y| (-((x - 0.5f64).powi(2) + (y - 0.5).powi(2)) * 4.0).exp(), 0.45, 0.55, 0.45, 0.55, 64);
+        let reference = simpson_2d(
+            &|x, y| (-((x - 0.5f64).powi(2) + (y - 0.5).powi(2)) * 4.0).exp(),
+            0.45,
+            0.55,
+            0.45,
+            0.55,
+            64,
+        );
         assert!((est.integral - reference).abs() < 1e-9);
     }
 

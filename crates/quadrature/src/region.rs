@@ -78,11 +78,7 @@ impl Region {
     /// Volume (product of edge lengths).
     #[must_use]
     pub fn volume(&self) -> f64 {
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(&l, &h)| h - l)
-            .product()
+        self.lo.iter().zip(&self.hi).map(|(&l, &h)| h - l).product()
     }
 
     /// Length of the edge along `axis`.

@@ -162,7 +162,10 @@ mod tests {
 
     #[test]
     fn satisfied_by_uses_either_tolerance() {
-        let t = Tolerances { rel: 1e-2, abs: 1e-6 };
+        let t = Tolerances {
+            rel: 1e-2,
+            abs: 1e-6,
+        };
         assert!(t.satisfied_by(10.0, 0.05)); // relative: 0.5% < 1%
         assert!(t.satisfied_by(0.0, 1e-7)); // absolute
         assert!(!t.satisfied_by(1.0, 0.5));

@@ -45,7 +45,11 @@ pub fn refine_error(
 /// Panics if `integrals`/`errors` do not have the same even length `2m` or if
 /// `parent_integrals` does not have length `m`.
 pub fn refine_generation(integrals: &[f64], errors: &mut [f64], parent_integrals: &[f64]) {
-    assert_eq!(integrals.len(), errors.len(), "integral/error length mismatch");
+    assert_eq!(
+        integrals.len(),
+        errors.len(),
+        "integral/error length mismatch"
+    );
     assert!(
         integrals.len() % 2 == 0,
         "a full generation has an even number of children"

@@ -47,8 +47,11 @@ fn main() {
             .integrate(&integrand);
         print_row(digits, "cuhre", &cuhre, reference);
 
-        let qmc = Qmc::new(device.clone(), QmcConfig::new(tol).with_max_evaluations(50_000_000))
-            .integrate(&integrand);
+        let qmc = Qmc::new(
+            device.clone(),
+            QmcConfig::new(tol).with_max_evaluations(50_000_000),
+        )
+        .integrate(&integrand);
         print_row(digits, "qmc", &qmc, reference);
         println!();
     }

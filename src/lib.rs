@@ -46,8 +46,7 @@ pub use pagani_quadrature as quadrature;
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use pagani_baselines::{
-        Cuhre, CuhreConfig, MonteCarlo, MonteCarloConfig, Qmc, QmcConfig, TwoPhase,
-        TwoPhaseConfig,
+        Cuhre, CuhreConfig, MonteCarlo, MonteCarloConfig, Qmc, QmcConfig, TwoPhase, TwoPhaseConfig,
     };
     pub use pagani_core::{
         HeuristicFiltering, MultiDeviceOutput, MultiDevicePagani, Pagani, PaganiConfig,
@@ -57,7 +56,7 @@ pub mod prelude {
     pub use pagani_integrands::paper::PaperIntegrand;
     pub use pagani_integrands::workloads::{BasketOption, GaussianLikelihood};
     pub use pagani_quadrature::{
-        FnIntegrand, IntegrationResult, Integrand, Region, Termination, Tolerances,
+        FnIntegrand, Integrand, IntegrationResult, Region, Termination, Tolerances,
     };
 }
 

@@ -9,7 +9,10 @@ fn small_device() -> Device {
 }
 
 fn pagani(tol: f64) -> Pagani {
-    Pagani::new(small_device(), PaganiConfig::test_small(Tolerances::rel(tol)))
+    Pagani::new(
+        small_device(),
+        PaganiConfig::test_small(Tolerances::rel(tol)),
+    )
 }
 
 fn cuhre(tol: f64) -> Cuhre {
@@ -28,7 +31,11 @@ fn pagani_and_cuhre_agree_on_the_low_dimensional_suite() {
         let tol = 1e-5;
         let p = pagani(tol).integrate(&integrand);
         let c = cuhre(tol).integrate(&integrand);
-        assert!(p.result.converged(), "PAGANI failed on {}", integrand.label());
+        assert!(
+            p.result.converged(),
+            "PAGANI failed on {}",
+            integrand.label()
+        );
         assert!(c.converged(), "Cuhre failed on {}", integrand.label());
         let reference = integrand.reference_value();
         assert!(
@@ -61,8 +68,11 @@ fn all_methods_hit_three_digits_on_the_5d_gaussian() {
     assert!(p.result.converged());
     assert!(p.result.true_relative_error(reference) < tol);
 
-    let t = TwoPhase::new(small_device(), TwoPhaseConfig::test_small(Tolerances::rel(tol)))
-        .integrate(&integrand);
+    let t = TwoPhase::new(
+        small_device(),
+        TwoPhaseConfig::test_small(Tolerances::rel(tol)),
+    )
+    .integrate(&integrand);
     assert!(t.converged(), "two-phase failed: {:?}", t.termination);
     assert!(t.true_relative_error(reference) < tol);
 
@@ -96,7 +106,11 @@ fn estimated_errors_do_not_understate_true_errors_at_convergence() {
     // The §4.2 accuracy criterion: when a method claims convergence at τ_rel, its true
     // relative error should also be at or below τ_rel (for the well-behaved members).
     let tol = 1e-4;
-    for integrand in [PaperIntegrand::f3(3), PaperIntegrand::f4(4), PaperIntegrand::f5(4)] {
+    for integrand in [
+        PaperIntegrand::f3(3),
+        PaperIntegrand::f4(4),
+        PaperIntegrand::f5(4),
+    ] {
         let reference = integrand.reference_value();
         let p = pagani(tol).integrate(&integrand);
         if p.result.converged() {
@@ -109,7 +123,11 @@ fn estimated_errors_do_not_understate_true_errors_at_convergence() {
         }
         let c = cuhre(tol).integrate(&integrand);
         if c.converged() {
-            assert!(c.true_relative_error(reference) <= tol, "{}", integrand.label());
+            assert!(
+                c.true_relative_error(reference) <= tol,
+                "{}",
+                integrand.label()
+            );
         }
     }
 }

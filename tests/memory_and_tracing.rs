@@ -7,7 +7,10 @@ use pagani_core::trace::ThresholdTrigger;
 #[test]
 fn device_memory_is_fully_released_after_a_run() {
     let device = Device::new(DeviceConfig::test_small().with_memory_capacity(64 << 20));
-    let pagani = Pagani::new(device.clone(), PaganiConfig::test_small(Tolerances::rel(1e-4)));
+    let pagani = Pagani::new(
+        device.clone(),
+        PaganiConfig::test_small(Tolerances::rel(1e-4)),
+    );
     let _ = pagani.integrate(&PaperIntegrand::f4(4));
     assert_eq!(
         device.memory().usage().used,
@@ -55,7 +58,10 @@ fn disabling_the_heuristic_reproduces_the_no_filtering_failure_mode() {
 #[test]
 fn kernel_profile_supports_the_breakdown_experiment() {
     let device = Device::new(DeviceConfig::test_small().with_memory_capacity(64 << 20));
-    let pagani = Pagani::new(device.clone(), PaganiConfig::test_small(Tolerances::rel(1e-5)));
+    let pagani = Pagani::new(
+        device.clone(),
+        PaganiConfig::test_small(Tolerances::rel(1e-5)),
+    );
     let _ = pagani.integrate(&PaperIntegrand::f4(4));
     let profile = device.profile();
     // The four §4.3.2 categories are all present...

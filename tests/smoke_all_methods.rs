@@ -1,0 +1,67 @@
+//! Smoke test: every integrator in the workspace — PAGANI, Cuhre, the two-phase
+//! method and QMC — runs end to end on one fixed Genz integrand and lands within
+//! tolerance of the analytic reference value.
+
+use pagani::integrands::genz::{GenzFamily, GenzIntegrand};
+use pagani::prelude::*;
+
+/// A mild 3-D Gaussian-family Genz integrand with fixed parameters, smooth enough
+/// that all four methods (including QMC) can reach three digits quickly.
+fn gaussian_genz() -> GenzIntegrand {
+    GenzIntegrand::new(
+        GenzFamily::Gaussian,
+        vec![3.0, 2.0, 2.5],
+        vec![0.3, 0.6, 0.5],
+    )
+}
+
+fn device() -> Device {
+    Device::new(DeviceConfig::test_small().with_memory_capacity(64 << 20))
+}
+
+#[test]
+fn all_four_methods_agree_with_the_analytic_reference() {
+    let integrand = gaussian_genz();
+    let reference = integrand.reference_value();
+    assert!(reference.is_finite() && reference > 0.0);
+    let tol = 1e-3;
+
+    let pagani =
+        Pagani::new(device(), PaganiConfig::test_small(Tolerances::rel(tol))).integrate(&integrand);
+    assert!(pagani.result.converged(), "PAGANI did not converge");
+    assert!(
+        pagani.result.true_relative_error(reference) < tol,
+        "PAGANI estimate {} vs reference {reference}",
+        pagani.result.estimate
+    );
+
+    let cuhre = Cuhre::new(CuhreConfig::new(Tolerances::rel(tol)).with_max_evaluations(10_000_000))
+        .integrate(&integrand);
+    assert!(cuhre.converged(), "Cuhre did not converge");
+    assert!(
+        cuhre.true_relative_error(reference) < tol,
+        "Cuhre estimate {} vs reference {reference}",
+        cuhre.estimate
+    );
+
+    let two_phase = TwoPhase::new(device(), TwoPhaseConfig::test_small(Tolerances::rel(tol)))
+        .integrate(&integrand);
+    assert!(two_phase.converged(), "two-phase did not converge");
+    assert!(
+        two_phase.true_relative_error(reference) < tol,
+        "two-phase estimate {} vs reference {reference}",
+        two_phase.estimate
+    );
+
+    let qmc = Qmc::new(
+        device(),
+        QmcConfig::new(Tolerances::rel(tol)).with_max_evaluations(4_000_000),
+    )
+    .integrate(&integrand);
+    assert!(qmc.converged(), "QMC did not converge");
+    assert!(
+        qmc.true_relative_error(reference) < tol,
+        "QMC estimate {} vs reference {reference}",
+        qmc.estimate
+    );
+}

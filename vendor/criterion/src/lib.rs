@@ -1,0 +1,252 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Implements the subset of the API this workspace's benchmarks use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros —
+//! with a simple wall-clock measurement loop: a short warm-up, then batches of
+//! iterations until a time budget is spent, reporting the median batch mean.
+//!
+//! No statistical analysis, plotting or HTML reports; output is one line per
+//! benchmark on stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { filter: None }
+    }
+}
+
+impl Criterion {
+    /// Apply command-line arguments (only a name substring filter is honoured;
+    /// harness flags such as `--bench` are ignored).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|arg| !arg.starts_with('-'));
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Benchmark `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.run_one(&id, DEFAULT_SAMPLE_SIZE, f);
+    }
+
+    fn run_one<F>(&mut self, id: &str, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples,
+            measurement: None,
+        };
+        f(&mut bencher);
+        match bencher.measurement {
+            Some(ns_per_iter) => println!("{id:<50} time: {}", format_ns(ns_per_iter)),
+            None => println!("{id:<50} (no measurement)"),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of measurement batches for benchmarks in this
+    /// group; the overall time budget scales with it.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Benchmark `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmark `f` under `group/id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Default measurement-batch count, matching criterion's default sample size.
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+
+/// Passed to every benchmark closure; [`Bencher::iter`] runs the measurement.
+pub struct Bencher {
+    samples: usize,
+    measurement: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up briefly, then time batches of calls and record
+    /// the median per-iteration wall time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: at least one call, at most ~50 ms.
+        let warmup_budget = Duration::from_millis(50);
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters == 0 || warmup_start.elapsed() < warmup_budget {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter_estimate = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        // Measurement: up to `samples` batches of ~20 ms each, within an overall
+        // budget that scales with the requested sample size (capped at 2 s).
+        let batches = self.samples.clamp(5, 1_000);
+        let batch_iters = ((0.02 / per_iter_estimate.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let mut batch_means: Vec<f64> = Vec::with_capacity(batches);
+        let budget = Duration::from_millis((20 * batches as u64).min(2_000));
+        let start = Instant::now();
+        while batch_means.len() < batches && (batch_means.is_empty() || start.elapsed() < budget) {
+            let batch_start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            batch_means
+                .push(batch_start.elapsed().as_secs_f64() * 1e9 / batch_iters as f64);
+        }
+        batch_means.sort_by(f64::total_cmp);
+        self.measurement = Some(batch_means[batch_means.len() / 2]);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("demo");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

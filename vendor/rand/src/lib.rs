@@ -1,0 +1,233 @@
+//! Offline stand-in for [rand](https://crates.io/crates/rand) 0.8.
+//!
+//! Implements the subset of the API this workspace uses: the [`RngCore`] /
+//! [`SeedableRng`] / [`Rng`] traits, `rngs::StdRng` (xoshiro256++ seeded via
+//! SplitMix64, so `seed_from_u64` gives high-quality, reproducible streams) and
+//! `gen_range` over float and integer ranges.
+//!
+//! The streams differ from upstream rand's (which uses ChaCha12 for `StdRng`);
+//! nothing in this workspace depends on the exact stream, only on determinism
+//! for a fixed seed.
+
+use std::ops::Range;
+
+/// Low-level uniform bit generation.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed, expanding it to full state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let value = self.start + unit * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if value < self.end {
+            value
+        } else {
+            self.end.next_down()
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        let value = self.start + unit * (self.end - self.start);
+        if value < self.end {
+            value
+        } else {
+            self.end.next_down()
+        }
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Modulo bias is negligible for the spans used here and
+                // irrelevant to correctness-style tests.
+                let span = u64::from(self.end.abs_diff(self.start));
+                self.start.wrapping_add((rng.next_u64() % span) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32);
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end - self.start;
+        self.start + rng.next_u64() % span
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as usize
+    }
+}
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end.abs_diff(self.start);
+        self.start.wrapping_add((rng.next_u64() % span) as i64)
+    }
+}
+
+impl SampleRange<i32> for Range<i32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> i32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = u64::from(self.end.abs_diff(self.start));
+        self.start.wrapping_add((rng.next_u64() % span) as i32)
+    }
+}
+
+/// Generators shipped with the crate.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++ seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, as recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                state: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0
+                .wrapping_add(s3)
+                .rotate_left(23)
+                .wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let mut s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.state = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0.0f64..1.0).to_bits(),
+                b.gen_range(0.0f64..1.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(0.01..1.0);
+            assert!((0.01..1.0).contains(&v), "{v} out of range");
+        }
+    }
+
+    #[test]
+    fn f64_samples_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..1000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn f64_ranges_with_non_positive_ends_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(-1.0..0.0);
+            assert!((-1.0..0.0).contains(&v), "{v} out of range");
+            let w: f64 = rng.gen_range(-2.0..-1.0);
+            assert!((-2.0..-1.0).contains(&w), "{w} out of range");
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.gen_range(0u64..u64::MAX);
+            assert!(w < u64::MAX);
+            let x: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment for this workspace has no access to crates.io, so this
+//! crate provides the (small) subset of rayon's API that the workspace actually
+//! uses, implemented on `std::thread::scope`:
+//!
+//! * `(a..b).into_par_iter()` with `for_each` / `map(..).collect()`,
+//! * `slice.par_chunks(n)` / `par_chunks_mut(n)` / `par_iter()` with
+//!   `zip` / `map` / `for_each` / `collect` / `sum` / `reduce`,
+//! * `ThreadPool` / `ThreadPoolBuilder` with `install`.
+//!
+//! Work is split into one contiguous span per worker thread.  Combining steps
+//! (`collect`, `sum`, `reduce`) merge the per-span partial results in span order,
+//! so results are deterministic and item order is preserved exactly as rayon's
+//! indexed parallel iterators guarantee.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads the next parallel call should use.
+fn current_threads() -> usize {
+    POOL_LIMIT
+        .with(Cell::get)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1)
+}
+
+/// Split `items` into at most `current_threads()` contiguous spans and run `work`
+/// on each span concurrently, returning the per-span outputs in span order.
+fn run_spans<I: Send, T: Send>(items: Vec<I>, work: impl Fn(Vec<I>) -> T + Sync) -> Vec<T> {
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = current_threads().min(len);
+    if threads <= 1 {
+        return vec![work(items)];
+    }
+    let per_span = len.div_ceil(threads);
+    let mut spans = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > per_span {
+        let tail = rest.split_off(per_span);
+        spans.push(std::mem::replace(&mut rest, tail));
+    }
+    spans.push(rest);
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .into_iter()
+            .map(|span| scope.spawn(move || work(span)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("rayon stand-in worker panicked"))
+            .collect()
+    })
+}
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The parallel-iterator type produced.
+    type Iter;
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Run `f` on every index, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        run_spans(self.range.collect(), |span| {
+            for i in span {
+                f(i);
+            }
+        });
+    }
+
+    /// Map every index through `f`.
+    pub fn map<F, R>(self, f: F) -> ParRangeMap<F, R>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+            _out: PhantomData,
+        }
+    }
+}
+
+/// Mapped parallel range iterator.
+pub struct ParRangeMap<F, R> {
+    range: Range<usize>,
+    f: F,
+    _out: PhantomData<fn() -> R>,
+}
+
+impl<F, R> ParRangeMap<F, R>
+where
+    F: Fn(usize) -> R + Sync,
+    R: Send,
+{
+    /// Collect the mapped values in index order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        let f = self.f;
+        run_spans(self.range.collect(), |span| {
+            span.into_iter().map(&f).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// Parallel iterator over an eagerly materialised item list (slices, chunks, zips).
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Pair this iterator's items with `other`'s, element by element.
+    pub fn zip<J: Send>(self, other: ParIter<J>) -> ParIter<(I, J)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Map every item through `f`.
+    pub fn map<F, R>(self, f: F) -> ParMap<I, F, R>
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _out: PhantomData,
+        }
+    }
+
+    /// Run `f` on every item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        run_spans(self.items, |span| {
+            for item in span {
+                f(item);
+            }
+        });
+    }
+}
+
+/// Mapped parallel iterator.
+pub struct ParMap<I, F, R> {
+    items: Vec<I>,
+    f: F,
+    _out: PhantomData<fn() -> R>,
+}
+
+impl<I: Send, F, R> ParMap<I, F, R>
+where
+    F: Fn(I) -> R + Sync,
+    R: Send,
+{
+    /// Collect the mapped values in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        let f = self.f;
+        run_spans(self.items, |span| {
+            span.into_iter().map(&f).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Sum the mapped values (partial sums are combined in input order).
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<R> + std::iter::Sum<S>,
+    {
+        let f = self.f;
+        run_spans(self.items, |span| span.into_iter().map(&f).sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Fold the mapped values with `op`, seeding every span with `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let f = &self.f;
+        let op_ref = &op;
+        run_spans(self.items, |span| {
+            span.into_iter()
+                .map(f)
+                .fold(identity(), |acc, v| op_ref(acc, v))
+        })
+        .into_iter()
+        .fold(identity(), op)
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-length sub-slices.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `chunk_size`-length sub-slices.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_iter` on shared collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element reference type.
+    type Item;
+    /// Parallel iterator over references to the elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]; the stand-in never fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a capped [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `num_threads` workers.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self
+                .num_threads
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+                .max(1),
+        })
+    }
+}
+
+/// A worker pool that caps the parallelism of the parallel calls run inside
+/// [`ThreadPool::install`].
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread cap applied to all parallel calls made
+    /// from the current thread inside it.
+    pub fn install<R, OP>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let previous = POOL_LIMIT.with(|limit| limit.replace(Some(self.num_threads)));
+        let out = op();
+        POOL_LIMIT.with(|limit| limit.set(previous));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn range_for_each_visits_everything() {
+        let counter = AtomicUsize::new(0);
+        (0..1000).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..257).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 257);
+        for (i, v) in squares.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn chunk_zip_map_collect_matches_sequential() {
+        let a: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..10_000).map(|i| (i * 2) as f64).collect();
+        let partial: Vec<f64> = a
+            .par_chunks(128)
+            .zip(b.par_chunks(128))
+            .map(|(ca, cb)| ca.iter().zip(cb).map(|(x, y)| x * y).sum::<f64>())
+            .collect();
+        let expected: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((partial.iter().sum::<f64>() - expected).abs() < 1e-6 * expected);
+    }
+
+    #[test]
+    fn chunks_mut_for_each_writes_disjoint_spans() {
+        let mut out = vec![0usize; 1000];
+        let values: Vec<usize> = (0..1000).collect();
+        out.par_chunks_mut(64)
+            .zip(values.par_chunks(64))
+            .for_each(|(o, v)| {
+                for (dst, src) in o.iter_mut().zip(v) {
+                    *dst = src + 1;
+                }
+            });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn map_reduce_merges_in_order() {
+        let values: Vec<f64> = (0..5000).map(|i| i as f64).collect();
+        let max = values
+            .par_chunks(97)
+            .map(|c| c.iter().copied().fold(f64::MIN, f64::max))
+            .reduce(|| f64::MIN, f64::max);
+        assert_eq!(max, 4999.0);
+    }
+
+    #[test]
+    fn installed_pool_caps_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: usize = pool.install(|| {
+            assert_eq!(current_threads(), 1);
+            (0..100).into_par_iter().map(|i| i).collect::<Vec<_>>().len()
+        });
+        assert_eq!(out, 100);
+        assert_eq!(POOL_LIMIT.with(Cell::get), None);
+    }
+}
