@@ -8,7 +8,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use pagani_core::classify::ACTIVE;
 use pagani_core::region_list::RegionList;
 use pagani_core::threshold::{threshold_classify, ThresholdPolicy};
-use pagani_device::{reduce, scan, MemoryPool};
+use pagani_device::{reduce, scan, Device, DeviceConfig, MemoryPool};
 use pagani_integrands::paper::PaperIntegrand;
 use pagani_quadrature::{EvalScratch, GenzMalik, Integrand, Region};
 
@@ -85,6 +85,35 @@ fn bench_region_list(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-launch overhead of the substrate itself: a small grid with a trivial
+/// body, repeated.  With the spawn-per-call substrate this was dominated by
+/// OS-thread creation on every launch; the persistent pool pays only queue
+/// traffic, so this is the number that makes the fig5/fig6 small-kernel
+/// timings meaningful.
+fn bench_launch_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("launch_overhead");
+    group.sample_size(50);
+    let shared = Device::v100_like();
+    group.bench_function("launch_map_64_trivial_global_pool", |b| {
+        b.iter(|| {
+            let out: Vec<usize> = shared
+                .launch_map("bench.trivial", 64, |ctx| ctx.block_idx)
+                .unwrap();
+            black_box(out.len())
+        })
+    });
+    let pooled = Device::new(DeviceConfig::v100_like().with_worker_threads(2));
+    group.bench_function("launch_map_64_trivial_2_workers", |b| {
+        b.iter(|| {
+            let out: Vec<usize> = pooled
+                .launch_map("bench.trivial", 64, |ctx| ctx.block_idx)
+                .unwrap();
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
 fn bench_integrand_suite(c: &mut Criterion) {
     let mut group = c.benchmark_group("integrand_eval");
     group.sample_size(30);
@@ -107,6 +136,7 @@ criterion_group!(
     bench_reductions,
     bench_threshold_search,
     bench_region_list,
+    bench_launch_overhead,
     bench_integrand_suite
 );
 criterion_main!(kernels);

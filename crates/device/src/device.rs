@@ -16,13 +16,17 @@ use crate::profile::DeviceProfile;
 pub struct DeviceConfig {
     /// Device memory capacity in bytes (the paper's V100 has 16 GiB).
     pub memory_capacity: usize,
-    /// Maximum number of blocks a single launch may contain before the launch is
-    /// serialised into waves (purely a bookkeeping limit; the paper's phase-I cap is
-    /// 2^15 concurrent blocks).
+    /// Maximum number of blocks resident at once.  Launches with larger grids are
+    /// serialised into waves of at most this many blocks (the paper's phase-I cap is
+    /// 2^15 concurrent blocks); the wave count is recorded in the profile.
     pub max_resident_blocks: usize,
     /// Default threads per block.
     pub default_block_size: usize,
-    /// Number of worker threads to use.  `None` lets Rayon pick (all cores).
+    /// Number of worker threads to use.  `Some(n)` gives the device a dedicated
+    /// persistent pool of `n` workers that caps every parallel call made during a
+    /// launch — including calls nested inside kernel bodies, which inherit the
+    /// pool through their worker thread.  `None` uses the shared global pool
+    /// (all cores).
     pub worker_threads: Option<usize>,
     /// Human-readable device name, reported in benchmark output.
     pub name: String,
@@ -162,6 +166,63 @@ impl Device {
         }
     }
 
+    /// The one execution path every kernel launch goes through: validate the
+    /// launch, serialise the grid into waves of at most `max_resident_blocks`
+    /// blocks, run each wave in parallel inside the device's worker pool, and
+    /// record wall time, block count and wave count in the profile.
+    fn execute_grid<T, F>(
+        &self,
+        kernel: &'static str,
+        config: LaunchConfig,
+        body: &F,
+    ) -> DeviceResult<Vec<T>>
+    where
+        T: Send,
+        F: Fn(BlockContext) -> T + Sync,
+    {
+        if config.grid_size == 0 {
+            return Err(DeviceError::EmptyLaunch { kernel });
+        }
+        if config.block_size == 0 {
+            return Err(DeviceError::InvalidLaunchConfig {
+                reason: format!("kernel `{kernel}` launched with zero threads per block"),
+            });
+        }
+        let grid_size = config.grid_size;
+        let block_size = config.block_size;
+        let wave_cap = self.inner.config.max_resident_blocks.max(1);
+        let waves = grid_size.div_ceil(wave_cap);
+        let run_block = |block_idx: usize| {
+            body(BlockContext {
+                block_idx,
+                grid_size,
+                block_size,
+            })
+        };
+        let start = Instant::now();
+        let out = self.run_in_pool(|| {
+            if waves == 1 {
+                (0..grid_size).into_par_iter().map(run_block).collect()
+            } else {
+                let mut out = Vec::with_capacity(grid_size);
+                for wave in 0..waves {
+                    let wave_start = wave * wave_cap;
+                    let wave_end = grid_size.min(wave_start + wave_cap);
+                    let wave_out: Vec<T> = (wave_start..wave_end)
+                        .into_par_iter()
+                        .map(run_block)
+                        .collect();
+                    out.extend(wave_out);
+                }
+                out
+            }
+        });
+        self.inner
+            .profile
+            .record_launch(kernel, grid_size, waves, start.elapsed());
+        Ok(out)
+    }
+
     /// Launch `grid_size` blocks of the default block size; see [`Device::launch_with`].
     ///
     /// # Errors
@@ -178,8 +239,9 @@ impl Device {
     }
 
     /// Launch a kernel: run `body` once per block of `config`, in parallel, and block
-    /// until the whole grid has completed.  Wall time is recorded in the profile under
-    /// `kernel`.
+    /// until the whole grid has completed.  Grids larger than the device's
+    /// `max_resident_blocks` execute as consecutive waves of at most that many
+    /// blocks.  Wall time is recorded in the profile under `kernel`.
     ///
     /// # Errors
     /// Returns [`DeviceError::EmptyLaunch`] for an empty grid and
@@ -193,33 +255,13 @@ impl Device {
     where
         F: Fn(BlockContext) + Sync,
     {
-        if config.grid_size == 0 {
-            return Err(DeviceError::EmptyLaunch { kernel });
-        }
-        if config.block_size == 0 {
-            return Err(DeviceError::InvalidLaunchConfig {
-                reason: format!("kernel `{kernel}` launched with zero threads per block"),
-            });
-        }
-        let start = Instant::now();
-        self.run_in_pool(|| {
-            (0..config.grid_size).into_par_iter().for_each(|block_idx| {
-                body(BlockContext {
-                    block_idx,
-                    grid_size: config.grid_size,
-                    block_size: config.block_size,
-                });
-            });
-        });
-        self.inner
-            .profile
-            .record(kernel, config.grid_size, start.elapsed());
-        Ok(())
+        self.execute_grid::<(), _>(kernel, config, &|ctx| body(ctx))
+            .map(|_| ())
     }
 
     /// Launch a kernel in which every block produces one output value; the outputs are
-    /// returned in block order.  This is the shape of PAGANI's `evaluate` kernel
-    /// (one block evaluates one region and produces its estimates).
+    /// returned in block order (waves preserve it).  This is the shape of PAGANI's
+    /// `evaluate` kernel (one block evaluates one region and produces its estimates).
     ///
     /// # Errors
     /// Returns [`DeviceError::EmptyLaunch`] for an empty grid.
@@ -233,27 +275,11 @@ impl Device {
         T: Send,
         F: Fn(BlockContext) -> T + Sync,
     {
-        if grid_size == 0 {
-            return Err(DeviceError::EmptyLaunch { kernel });
-        }
-        let block_size = self.inner.config.default_block_size;
-        let start = Instant::now();
-        let out = self.run_in_pool(|| {
-            (0..grid_size)
-                .into_par_iter()
-                .map(|block_idx| {
-                    body(BlockContext {
-                        block_idx,
-                        grid_size,
-                        block_size,
-                    })
-                })
-                .collect()
-        });
-        self.inner
-            .profile
-            .record(kernel, grid_size, start.elapsed());
-        Ok(out)
+        let cfg = LaunchConfig {
+            grid_size,
+            block_size: self.inner.config.default_block_size,
+        };
+        self.execute_grid(kernel, cfg, &body)
     }
 
     /// Run a host-side parallel section inside the device's worker pool and record it
@@ -337,6 +363,36 @@ mod tests {
             })
             .unwrap();
         assert!(order.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn oversized_grids_are_serialised_into_waves() {
+        let device = Device::test_small(); // max_resident_blocks = 1024
+        device.launch("waved", 4096, |_| {}).unwrap();
+        let t = device.profile().kernel("waved").unwrap();
+        assert_eq!(t.launches, 1);
+        assert_eq!(t.blocks, 4096);
+        assert_eq!(t.waves, 4);
+    }
+
+    #[test]
+    fn wave_execution_preserves_block_order_and_coverage() {
+        let device = Device::test_small();
+        // 2.5 waves worth of blocks; outputs must still arrive in block order.
+        let out = device
+            .launch_map("waved.map", 2560, |ctx| ctx.block_idx)
+            .unwrap();
+        assert_eq!(out.len(), 2560);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+        let t = device.profile().kernel("waved.map").unwrap();
+        assert_eq!(t.waves, 3);
+    }
+
+    #[test]
+    fn resident_grids_run_in_one_wave() {
+        let device = Device::test_small();
+        device.launch("single", 1024, |_| {}).unwrap();
+        assert_eq!(device.profile().kernel("single").unwrap().waves, 1);
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct KernelTiming {
     pub total: Duration,
     /// Total number of blocks executed across all launches.
     pub blocks: usize,
+    /// Total number of resident-block waves across all launches.  A launch
+    /// whose grid fits within `max_resident_blocks` contributes one wave;
+    /// larger grids are serialised and contribute `ceil(grid / cap)` waves.
+    pub waves: usize,
 }
 
 impl KernelTiming {
@@ -46,13 +50,22 @@ impl DeviceProfile {
         Self::default()
     }
 
-    /// Record one launch of `kernel` that ran `blocks` blocks in `elapsed`.
+    /// Record one launch of `kernel` that ran `blocks` blocks in a single
+    /// wave in `elapsed`.  Equivalent to [`DeviceProfile::record_launch`] with
+    /// one wave.
     pub fn record(&self, kernel: &str, blocks: usize, elapsed: Duration) {
+        self.record_launch(kernel, blocks, 1, elapsed);
+    }
+
+    /// Record one launch of `kernel` that ran `blocks` blocks serialised into
+    /// `waves` resident-block waves in `elapsed`.
+    pub fn record_launch(&self, kernel: &str, blocks: usize, waves: usize, elapsed: Duration) {
         let mut records = self.records.lock();
         let entry = records.entry(kernel.to_owned()).or_default();
         entry.launches += 1;
         entry.total += elapsed;
         entry.blocks += blocks;
+        entry.waves += waves;
     }
 
     /// Timing for one kernel, if any launches were recorded.
@@ -115,6 +128,17 @@ mod tests {
         assert_eq!(t.blocks, 30);
         assert_eq!(t.total, Duration::from_millis(10));
         assert_eq!(t.mean(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn waves_accumulate_across_launches() {
+        let profile = DeviceProfile::new();
+        profile.record_launch("evaluate", 4096, 4, Duration::from_millis(2));
+        profile.record("evaluate", 100, Duration::from_millis(1));
+        let t = profile.kernel("evaluate").unwrap();
+        assert_eq!(t.launches, 2);
+        assert_eq!(t.blocks, 4196);
+        assert_eq!(t.waves, 5);
     }
 
     #[test]

@@ -161,6 +161,52 @@ fn pagani_is_no_less_robust_than_two_phase_on_a_constrained_device() {
 
 #[test]
 fn workload_integrands_are_consistent_across_methods() {
+    // Scaled-down version of `workload_integrands_full_size` (which is
+    // `#[ignore]`d and run in release mode by the CI smoke job): same
+    // assertions, one dimension / one asset fewer and smaller evaluation
+    // budgets so the debug-mode suite stays fast.
+    let like = GaussianLikelihood::cosmology_like(3);
+    let tol = 1e-4;
+    let p = pagani(tol).integrate(&like);
+    let c = cuhre(tol).integrate(&like);
+    assert!(p.result.converged());
+    assert!(c.converged());
+    assert!(p.result.true_relative_error(like.reference_value()) < tol);
+    assert!(c.true_relative_error(like.reference_value()) < tol);
+
+    // A small equally-weighted basket like `demo_basket`, one asset shorter.
+    let option = BasketOption::new(
+        vec![100.0; 4],
+        vec![0.25; 4],
+        vec![0.2, 0.25, 0.3, 0.35],
+        100.0,
+        0.03,
+        1.0,
+    );
+    let q = Qmc::new(
+        small_device(),
+        QmcConfig::new(Tolerances::rel(1e-3)).with_max_evaluations(1_000_000),
+    )
+    .integrate(&option);
+    let p_option = Pagani::new(
+        Device::new(DeviceConfig::test_small().with_memory_capacity(128 << 20)),
+        PaganiConfig::test_small(Tolerances::rel(1e-3)),
+    )
+    .integrate(&option);
+    assert!(q.estimate.is_finite() && q.estimate > 0.0);
+    assert!(p_option.result.estimate.is_finite() && p_option.result.estimate > 0.0);
+    let disagreement = (q.estimate - p_option.result.estimate).abs();
+    assert!(
+        disagreement <= 5.0 * (q.error_estimate + p_option.result.error_estimate).max(1e-3),
+        "PAGANI {} vs QMC {}",
+        p_option.result.estimate,
+        q.estimate
+    );
+}
+
+#[test]
+#[ignore = "long tail (~minutes in debug): full-size workload consistency, run in release by the CI smoke job"]
+fn workload_integrands_full_size() {
     let like = GaussianLikelihood::cosmology_like(4);
     let tol = 1e-4;
     let p = pagani(tol).integrate(&like);

@@ -2,65 +2,82 @@
 //!
 //! The build environment for this workspace has no access to crates.io, so this
 //! crate provides the (small) subset of rayon's API that the workspace actually
-//! uses, implemented on `std::thread::scope`:
+//! uses:
 //!
 //! * `(a..b).into_par_iter()` with `for_each` / `map(..).collect()`,
 //! * `slice.par_chunks(n)` / `par_chunks_mut(n)` / `par_iter()` with
 //!   `zip` / `map` / `for_each` / `collect` / `sum` / `reduce`,
-//! * `ThreadPool` / `ThreadPoolBuilder` with `install`.
+//! * `ThreadPool` / `ThreadPoolBuilder` with `install`, and
+//!   [`current_num_threads`].
 //!
-//! Work is split into one contiguous span per worker thread.  Combining steps
-//! (`collect`, `sum`, `reduce`) merge the per-span partial results in span order,
-//! so results are deterministic and item order is preserved exactly as rayon's
-//! indexed parallel iterators guarantee.
+//! Unlike the earlier stand-in — which spawned fresh OS threads inside every
+//! parallel call — execution happens on **persistent worker pools** (see
+//! [`pool`]): a lazily-created global pool, plus dedicated pools built by
+//! [`ThreadPoolBuilder::num_threads`].  Pool membership is part of a worker
+//! thread's identity, so a nested parallel call made from inside a parallel
+//! body runs on the same pool and respects its thread cap; range iterators
+//! split by index arithmetic without materialising the index space.
+//!
+//! # Determinism
+//!
+//! Work is split into contiguous spans whose boundaries depend only on the
+//! input length — never on the executing pool's size — and combining steps
+//! (`collect`, `sum`, `reduce`) merge the per-span partial results in span
+//! order.  Results are therefore deterministic, item order is preserved
+//! exactly as rayon's indexed parallel iterators guarantee, and floating-point
+//! reductions are bit-identical across pools of different thread counts.
 
-use std::cell::Cell;
 use std::marker::PhantomData;
 use std::ops::Range;
 
-thread_local! {
-    /// Thread-count override installed by [`ThreadPool::install`].
-    static POOL_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+mod pool;
+
+use pool::run_spans;
+
+/// Split `range` into at most [`pool::MAX_SPANS`] contiguous sub-ranges.
+///
+/// The split depends only on the range length, which is what keeps combining
+/// order (and therefore floating-point rounding) independent of the pool size.
+fn split_range(range: Range<usize>) -> Vec<Range<usize>> {
+    let len = range.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let per_span = len.div_ceil(len.min(pool::MAX_SPANS));
+    let mut spans = Vec::with_capacity(len.div_ceil(per_span));
+    let mut lo = range.start;
+    while lo < range.end {
+        let hi = range.end.min(lo + per_span);
+        spans.push(lo..hi);
+        lo = hi;
+    }
+    spans
 }
 
-/// Number of worker threads the next parallel call should use.
-fn current_threads() -> usize {
-    POOL_LIMIT
-        .with(Cell::get)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
-        .max(1)
-}
-
-/// Split `items` into at most `current_threads()` contiguous spans and run `work`
-/// on each span concurrently, returning the per-span outputs in span order.
-fn run_spans<I: Send, T: Send>(items: Vec<I>, work: impl Fn(Vec<I>) -> T + Sync) -> Vec<T> {
+/// Split `items` into at most [`pool::MAX_SPANS`] contiguous spans, preserving
+/// order.  Like [`split_range`], the split depends only on the length.
+fn split_items<I>(items: Vec<I>) -> Vec<Vec<I>> {
     let len = items.len();
     if len == 0 {
         return Vec::new();
     }
-    let threads = current_threads().min(len);
-    if threads <= 1 {
-        return vec![work(items)];
-    }
-    let per_span = len.div_ceil(threads);
-    let mut spans = Vec::with_capacity(threads);
+    let per_span = len.div_ceil(len.min(pool::MAX_SPANS));
+    let mut spans = Vec::with_capacity(len.div_ceil(per_span));
     let mut rest = items;
     while rest.len() > per_span {
         let tail = rest.split_off(per_span);
         spans.push(std::mem::replace(&mut rest, tail));
     }
     spans.push(rest);
-    let work = &work;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = spans
-            .into_iter()
-            .map(|span| scope.spawn(move || work(span)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("rayon stand-in worker panicked"))
-            .collect()
-    })
+    spans
+}
+
+/// Number of threads the current pool context would use for a parallel call:
+/// the pool installed by [`ThreadPool::install`], the pool the current thread
+/// works for, or the global pool, in that order.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    pool::current_thread_cap()
 }
 
 /// Commonly used traits, mirroring `rayon::prelude`.
@@ -83,7 +100,8 @@ impl IntoParallelIterator for Range<usize> {
     }
 }
 
-/// Parallel iterator over a `usize` range.
+/// Parallel iterator over a `usize` range.  The index space is split by
+/// arithmetic on the bounds; it is never collected into a vector.
 pub struct ParRange {
     range: Range<usize>,
 }
@@ -94,7 +112,7 @@ impl ParRange {
     where
         F: Fn(usize) + Sync,
     {
-        run_spans(self.range.collect(), |span| {
+        run_spans(split_range(self.range), |span| {
             for i in span {
                 f(i);
             }
@@ -133,8 +151,8 @@ where
         C: FromIterator<R>,
     {
         let f = self.f;
-        run_spans(self.range.collect(), |span| {
-            span.into_iter().map(&f).collect::<Vec<R>>()
+        run_spans(split_range(self.range), |span| {
+            span.map(&f).collect::<Vec<R>>()
         })
         .into_iter()
         .flatten()
@@ -142,7 +160,9 @@ where
     }
 }
 
-/// Parallel iterator over an eagerly materialised item list (slices, chunks, zips).
+/// Parallel iterator over an eagerly materialised item list (slices, chunks,
+/// zips).  The items themselves are cheap handles (references / sub-slices);
+/// only the handle list is materialised, not the underlying data.
 pub struct ParIter<I> {
     items: Vec<I>,
 }
@@ -173,7 +193,7 @@ impl<I: Send> ParIter<I> {
     where
         F: Fn(I) + Sync,
     {
-        run_spans(self.items, |span| {
+        run_spans(split_items(self.items), |span| {
             for item in span {
                 f(item);
             }
@@ -199,7 +219,7 @@ where
         C: FromIterator<R>,
     {
         let f = self.f;
-        run_spans(self.items, |span| {
+        run_spans(split_items(self.items), |span| {
             span.into_iter().map(&f).collect::<Vec<R>>()
         })
         .into_iter()
@@ -213,9 +233,11 @@ where
         S: Send + std::iter::Sum<R> + std::iter::Sum<S>,
     {
         let f = self.f;
-        run_spans(self.items, |span| span.into_iter().map(&f).sum::<S>())
-            .into_iter()
-            .sum()
+        run_spans(split_items(self.items), |span| {
+            span.into_iter().map(&f).sum::<S>()
+        })
+        .into_iter()
+        .sum()
     }
 
     /// Fold the mapped values with `op`, seeding every span with `identity()`.
@@ -226,7 +248,7 @@ where
     {
         let f = &self.f;
         let op_ref = &op;
-        run_spans(self.items, |span| {
+        run_spans(split_items(self.items), |span| {
             span.into_iter()
                 .map(f)
                 .fold(identity(), |acc, v| op_ref(acc, v))
@@ -293,7 +315,7 @@ impl std::fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// Builder for a capped [`ThreadPool`].
+/// Builder for a dedicated [`ThreadPool`].
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: Option<usize>,
@@ -301,45 +323,77 @@ pub struct ThreadPoolBuilder {
 
 impl ThreadPoolBuilder {
     /// New builder with default settings.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Cap the pool at `num_threads` workers.
+    #[must_use]
     pub fn num_threads(mut self, num_threads: usize) -> Self {
         self.num_threads = Some(num_threads);
         self
     }
 
-    /// Build the pool.
+    /// Build the pool, spawning its persistent workers.
+    ///
+    /// # Errors
+    /// The stand-in never fails; the `Result` mirrors rayon's signature.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: self
-                .num_threads
-                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
-                .max(1),
-        })
+        let num_threads = self.num_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        });
+        let (core, workers) = pool::PoolCore::start(num_threads, "rayon-pool");
+        Ok(ThreadPool { core, workers })
     }
 }
 
-/// A worker pool that caps the parallelism of the parallel calls run inside
-/// [`ThreadPool::install`].
+/// A dedicated pool of persistent worker threads.
+///
+/// Parallel calls made inside [`ThreadPool::install`] — including calls nested
+/// inside the bodies of other parallel calls, which execute on the pool's
+/// workers — run on this pool and are capped at its thread count.  Dropping
+/// the pool shuts the workers down after the queue drains.
 pub struct ThreadPool {
-    num_threads: usize,
+    core: std::sync::Arc<pool::PoolCore>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
-    /// Run `op` with this pool's thread cap applied to all parallel calls made
-    /// from the current thread inside it.
+    /// Run `op` inside this pool: every parallel call made within it
+    /// (directly or nested inside span bodies) uses this pool and its thread
+    /// cap.
+    ///
+    /// Like rayon, `op` executes *on* one of the pool's worker threads — so
+    /// concurrent `install` calls from different outside threads are
+    /// serialised through the pool and observed parallelism stays within the
+    /// cap.  If the current thread already belongs to the pool, `op` runs
+    /// inline.
     pub fn install<R, OP>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R + Send,
         R: Send,
     {
-        let previous = POOL_LIMIT.with(|limit| limit.replace(Some(self.num_threads)));
-        let out = op();
-        POOL_LIMIT.with(|limit| limit.set(previous));
-        out
+        if self.core.is_current_thread_worker() {
+            let _guard = pool::InstallGuard::push(std::sync::Arc::clone(&self.core));
+            return op();
+        }
+        self.core.run_install(op)
+    }
+
+    /// The pool's thread cap.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.core.num_threads
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.core.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
     }
 }
 
@@ -348,6 +402,27 @@ mod tests {
     use super::prelude::*;
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    /// Tracks the peak number of threads simultaneously inside a section.
+    #[derive(Default)]
+    struct Gauge {
+        active: AtomicUsize,
+        peak: AtomicUsize,
+    }
+
+    impl Gauge {
+        fn enter(&self) {
+            let now = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+            self.peak.fetch_max(now, Ordering::SeqCst);
+        }
+        fn exit(&self) {
+            self.active.fetch_sub(1, Ordering::SeqCst);
+        }
+        fn peak(&self) -> usize {
+            self.peak.load(Ordering::SeqCst)
+        }
+    }
 
     #[test]
     fn range_for_each_visits_everything() {
@@ -408,10 +483,157 @@ mod tests {
     fn installed_pool_caps_threads() {
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         let out: usize = pool.install(|| {
-            assert_eq!(current_threads(), 1);
+            assert_eq!(current_num_threads(), 1);
             (0..100).into_par_iter().map(|i| i).collect::<Vec<_>>().len()
         });
         assert_eq!(out, 100);
-        assert_eq!(POOL_LIMIT.with(Cell::get), None);
+    }
+
+    #[test]
+    fn install_context_is_restored_after_the_call() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let outside = current_num_threads();
+        pool.install(|| assert_eq!(current_num_threads(), 1));
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn nested_parallel_calls_inherit_the_pool_cap() {
+        // The regression this crate's rewrite fixes: with the old
+        // spawn-per-call substrate, the cap installed by `install` was a
+        // plain thread-local that spawned workers never inherited, so a
+        // parallel call nested inside a parallel body ran at the machine's
+        // full parallelism.  With persistent pools, workers know their pool
+        // and nested calls stay within its cap.
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let gauge = Gauge::default();
+        pool.install(|| {
+            (0..4).into_par_iter().for_each(|_| {
+                assert_eq!(current_num_threads(), 1);
+                (0..64).into_par_iter().for_each(|_| {
+                    gauge.enter();
+                    std::thread::sleep(Duration::from_micros(50));
+                    gauge.exit();
+                });
+            });
+        });
+        assert_eq!(gauge.peak(), 1);
+    }
+
+    #[test]
+    fn nested_parallelism_stays_within_a_multi_thread_cap() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let gauge = Gauge::default();
+        pool.install(|| {
+            (0..6).into_par_iter().for_each(|_| {
+                assert_eq!(current_num_threads(), 3);
+                (0..32).into_par_iter().for_each(|_| {
+                    gauge.enter();
+                    std::thread::sleep(Duration::from_micros(50));
+                    gauge.exit();
+                });
+            });
+        });
+        assert!(gauge.peak() >= 1 && gauge.peak() <= 3, "peak {}", gauge.peak());
+    }
+
+    #[test]
+    fn concurrent_installs_share_the_pool_cap() {
+        // Two outside threads driving the same 1-thread pool must be
+        // serialised through its single worker, not run inline concurrently.
+        let pool = std::sync::Arc::new(ThreadPoolBuilder::new().num_threads(1).build().unwrap());
+        let gauge = std::sync::Arc::new(Gauge::default());
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = std::sync::Arc::clone(&pool);
+                let gauge = std::sync::Arc::clone(&gauge);
+                std::thread::spawn(move || {
+                    pool.install(|| {
+                        (0..16).into_par_iter().for_each(|_| {
+                            gauge.enter();
+                            std::thread::sleep(Duration::from_micros(100));
+                            gauge.exit();
+                        });
+                    });
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(gauge.peak(), 1);
+    }
+
+    #[test]
+    fn sums_are_bit_identical_across_pool_sizes() {
+        let values: Vec<f64> = (0..50_000)
+            .map(|i| ((i * 2654435761_usize) % 1000) as f64 / 7.0)
+            .collect();
+        let sums: Vec<u64> = [1usize, 2, 8]
+            .iter()
+            .map(|&n| {
+                let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+                pool.install(|| {
+                    values
+                        .par_chunks(97)
+                        .map(|c| c.iter().sum::<f64>())
+                        .sum::<f64>()
+                        .to_bits()
+                })
+            })
+            .collect();
+        assert_eq!(sums[0], sums[1]);
+        assert_eq!(sums[1], sums[2]);
+    }
+
+    #[test]
+    fn repeated_runs_on_one_pool_are_bit_identical() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let values: Vec<f64> = (0..30_000).map(|i| (i as f64).sin()).collect();
+        let run = || {
+            pool.install(|| {
+                values
+                    .par_chunks(128)
+                    .map(|c| c.iter().sum::<f64>())
+                    .sum::<f64>()
+                    .to_bits()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn panics_in_parallel_bodies_propagate() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..128).into_par_iter().for_each(|i| {
+                    assert!(i != 97, "boom at 97");
+                });
+            });
+        }));
+        assert!(result.is_err());
+        // The pool stays usable after a panic.
+        let total: usize = pool.install(|| (0..100).into_par_iter().map(|i| i).collect::<Vec<_>>().len());
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (0..1000).into_par_iter().for_each(|_| {});
+        });
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn empty_range_and_empty_slice_are_fine() {
+        (0..0).into_par_iter().for_each(|_| unreachable!());
+        let collected: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(collected.is_empty());
+        let empty: [f64; 0] = [];
+        let sum: f64 = empty.par_chunks(8).map(|c| c.iter().sum::<f64>()).sum();
+        assert_eq!(sum, 0.0);
     }
 }

@@ -1,0 +1,475 @@
+//! The persistent worker pool behind the parallel iterators.
+//!
+//! Every parallel call is split into contiguous *spans* and the spans are
+//! executed as jobs on a long-lived pool of worker threads:
+//!
+//! * a lazily-initialised **global pool** (sized by
+//!   `std::thread::available_parallelism`) serves calls made outside any
+//!   explicit pool, and
+//! * [`crate::ThreadPoolBuilder::num_threads`] builds **dedicated pools** with
+//!   their own workers.
+//!
+//! The pool a parallel call runs on is resolved from thread context, in
+//! priority order:
+//!
+//! 1. the pool installed on the current thread by [`crate::ThreadPool::install`],
+//! 2. the pool the current thread *belongs to* as a worker — this is how a
+//!    nested parallel call made from inside a span body inherits its pool's
+//!    thread cap instead of silently escaping to the global default,
+//! 3. the global pool.
+//!
+//! # Determinism
+//!
+//! Span partitioning is a function of the input length only ([`MAX_SPANS`]
+//! fixed spans, never "one span per thread"), and combining steps merge the
+//! per-span results in span order once all spans have finished.  Results are
+//! therefore bit-identical across pools of different sizes and across repeated
+//! runs — worker count only changes how many spans execute at once.
+//!
+//! # Scheduling and deadlock freedom
+//!
+//! Jobs live on the submitting thread's stack and are pushed into the pool's
+//! injector queue as type-erased pointers; the submitter blocks until the whole
+//! batch has completed, which keeps the pointed-to state alive.  A submitter
+//! that is itself a pool worker *helps*: while its batch is incomplete it keeps
+//! popping and executing queued jobs, so nested parallel calls can never
+//! deadlock the pool even when every worker is occupied.  A submitter outside
+//! the pool just sleeps on the batch latch, which keeps the number of threads
+//! executing spans at or below the pool's thread cap.
+
+use std::any::Any;
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+/// Upper bound on the number of spans a single parallel call is divided into.
+///
+/// The bound is a constant — independent of the executing pool's thread count —
+/// because the span structure determines the floating-point combining order of
+/// `sum`/`reduce`/`collect`.  Keeping it fixed is what makes results
+/// bit-identical across `ThreadPool`s of different sizes.
+pub(crate) const MAX_SPANS: usize = 64;
+
+/// Lock a mutex, ignoring poisoning (jobs catch panics before they can poison).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    /// Pool installed on this thread by [`crate::ThreadPool::install`].
+    static INSTALLED: RefCell<Option<Arc<PoolCore>>> = const { RefCell::new(None) };
+    /// The pool this thread serves as a worker, set once at worker startup.
+    /// This is what a nested parallel call made from a span body sees, so the
+    /// pool's thread cap is inherited across nesting.
+    static WORKER_OF: RefCell<Option<Arc<PoolCore>>> = const { RefCell::new(None) };
+}
+
+/// The pool the next parallel call on this thread will execute on.
+pub(crate) fn current_pool() -> Arc<PoolCore> {
+    if let Some(pool) = INSTALLED.with(|slot| slot.borrow().clone()) {
+        return pool;
+    }
+    if let Some(pool) = WORKER_OF.with(|slot| slot.borrow().clone()) {
+        return pool;
+    }
+    global_pool()
+}
+
+/// Thread cap of the pool the current thread would execute parallel calls on.
+pub(crate) fn current_thread_cap() -> usize {
+    current_pool().num_threads
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The process-wide default pool, created on first use and never torn down.
+fn global_pool() -> Arc<PoolCore> {
+    static GLOBAL: OnceLock<Arc<PoolCore>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| {
+            // The worker handles are dropped: the global pool's workers are
+            // detached and live for the rest of the process.
+            let (core, _workers) = PoolCore::start(default_threads(), "rayon-global");
+            core
+        })
+        .clone()
+}
+
+/// Run `work` over `spans`, returning the per-span outputs in span order.
+///
+/// Uses the current thread's pool context; with a single span or a
+/// single-thread cap the spans run inline on the calling thread (in span
+/// order, so the combining structure is unchanged).
+pub(crate) fn run_spans<S, T, F>(spans: Vec<S>, work: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(S) -> T + Sync,
+{
+    let count = spans.len();
+    if count == 0 {
+        return Vec::new();
+    }
+    let pool = current_pool();
+    if count == 1 || pool.num_threads <= 1 {
+        return spans.into_iter().map(work).collect();
+    }
+    pool.run_batch(spans, &work)
+}
+
+/// A type-erased pointer to one span job living on the submitting thread's
+/// stack.
+struct JobRef {
+    data: *const (),
+    index: usize,
+    execute: unsafe fn(*const (), usize),
+}
+
+// SAFETY: the submitting thread blocks until the batch latch reaches zero,
+// keeping the pointed-to `BatchCtx` alive, and each job index is executed by
+// exactly one thread.
+#[allow(unsafe_code)]
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    fn run(self) {
+        // SAFETY: `execute` was instantiated for the concrete types behind
+        // `data` when the job was created, and the submitter keeps `data`
+        // alive until the batch completes.
+        #[allow(unsafe_code)]
+        unsafe {
+            (self.execute)(self.data, self.index)
+        }
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<JobRef>,
+    shutdown: bool,
+}
+
+/// Shared state of one pool: the injector queue and the thread cap.
+pub(crate) struct PoolCore {
+    queue: Mutex<QueueState>,
+    jobs_available: Condvar,
+    pub(crate) num_threads: usize,
+}
+
+impl PoolCore {
+    /// Spawn a pool with `num_threads` capacity and return it with its worker
+    /// handles.  Every pool gets its full complement of workers — even a
+    /// one-thread pool needs its worker so that [`PoolCore::run_install`] can
+    /// serialise concurrent outside submitters through it.
+    pub(crate) fn start(num_threads: usize, label: &str) -> (Arc<Self>, Vec<JoinHandle<()>>) {
+        let num_threads = num_threads.max(1);
+        let core = Arc::new(PoolCore {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            jobs_available: Condvar::new(),
+            num_threads,
+        });
+        let workers = (0..num_threads)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("{label}-{i}"))
+                    .spawn(move || worker_loop(&core))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect();
+        (core, workers)
+    }
+
+    /// Ask the workers to exit once the queue is drained.
+    pub(crate) fn shutdown(&self) {
+        lock(&self.queue).shutdown = true;
+        self.jobs_available.notify_all();
+    }
+
+    fn push_jobs(&self, jobs: impl IntoIterator<Item = JobRef>) {
+        let mut queue = lock(&self.queue);
+        queue.jobs.extend(jobs);
+        drop(queue);
+        self.jobs_available.notify_all();
+    }
+
+    fn try_pop(&self) -> Option<JobRef> {
+        lock(&self.queue).jobs.pop_front()
+    }
+
+    /// Wake every thread sleeping on the job queue: idle workers and workers
+    /// helping on a batch.  Called when a batch finishes so helpers re-check
+    /// their latch; the empty lock acquisition serialises with a helper's
+    /// check-then-wait window, preventing a lost wakeup.
+    fn wake_sleepers(&self) {
+        drop(lock(&self.queue));
+        self.jobs_available.notify_all();
+    }
+
+    pub(crate) fn is_current_thread_worker(self: &Arc<Self>) -> bool {
+        WORKER_OF.with(|slot| {
+            slot.borrow()
+                .as_ref()
+                .is_some_and(|pool| Arc::ptr_eq(pool, self))
+        })
+    }
+
+    /// Run `op` on one of this pool's worker threads and block until it
+    /// returns.  This is how [`crate::ThreadPool::install`] enters the pool:
+    /// with `op` executing *on* a worker, every parallel call it makes — and
+    /// any concurrent `install` from another outside thread — is scheduled
+    /// through the pool's workers, so observed parallelism never exceeds the
+    /// thread cap.
+    pub(crate) fn run_install<R, OP>(self: &Arc<Self>, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let mut out = self.run_batch(vec![op], &|op: OP| op());
+        out.pop().expect("install batch produced no output")
+    }
+
+    /// Execute a multi-span batch on this pool and collect the outputs in span
+    /// order.  Blocks until every span has finished; span panics are replayed
+    /// on the calling thread afterwards.
+    fn run_batch<S, T, F>(self: &Arc<Self>, spans: Vec<S>, work: &F) -> Vec<T>
+    where
+        S: Send,
+        T: Send,
+        F: Fn(S) -> T + Sync,
+    {
+        let count = spans.len();
+        let batch = Batch::new(count);
+        let slots: Vec<SpanSlot<S, T>> = spans.into_iter().map(SpanSlot::new).collect();
+        let ctx = BatchCtx {
+            work,
+            batch: &batch,
+            pool: self,
+            slots: &slots,
+        };
+        let data: *const () = std::ptr::from_ref(&ctx).cast();
+        let help = self.is_current_thread_worker();
+        self.push_jobs((0..count).map(|index| JobRef {
+            data,
+            index,
+            execute: execute_span::<S, T, F>,
+        }));
+        if help {
+            // A worker waiting on a nested batch keeps executing queued jobs
+            // (its own batch's or anyone else's) so the pool can never
+            // deadlock on nested parallelism.  It sleeps on the *job queue*
+            // condvar — woken by new pushes and by batch completions — so it
+            // never stays asleep while work is available.
+            loop {
+                if batch.is_done() {
+                    break;
+                }
+                match self.try_pop() {
+                    Some(job) => job.run(),
+                    None => {
+                        let queue = lock(&self.queue);
+                        if queue.jobs.is_empty() && !batch.is_done() {
+                            drop(
+                                self.jobs_available
+                                    .wait(queue)
+                                    .unwrap_or_else(PoisonError::into_inner),
+                            );
+                        }
+                    }
+                }
+            }
+        } else {
+            // An outside submitter sleeps, leaving execution to the workers so
+            // observed parallelism stays within the pool's thread cap.
+            batch.wait_done();
+        }
+        if let Some(payload) = batch.take_panic() {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.into_output().expect("completed span produced no output"))
+            .collect()
+    }
+}
+
+fn worker_loop(core: &Arc<PoolCore>) {
+    WORKER_OF.with(|slot| *slot.borrow_mut() = Some(Arc::clone(core)));
+    loop {
+        let job = {
+            let mut queue = lock(&core.queue);
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break Some(job);
+                }
+                if queue.shutdown {
+                    break None;
+                }
+                queue = core
+                    .jobs_available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match job {
+            Some(job) => job.run(),
+            None => return,
+        }
+    }
+}
+
+/// Completion latch for one batch of span jobs, plus the first panic payload.
+struct Batch {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    pending: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Batch {
+    fn new(pending: usize) -> Self {
+        Self {
+            state: Mutex::new(BatchState {
+                pending,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Mark one span complete; returns whether the batch just finished.
+    fn complete_one(&self) -> bool {
+        let mut state = lock(&self.state);
+        state.pending -= 1;
+        let finished = state.pending == 0;
+        if finished {
+            // Notify while still holding the lock: the submitter cannot
+            // re-check the latch and free the batch until the lock is
+            // released, which makes the unlock this thread's last touch of
+            // the batch.
+            self.done.notify_all();
+        }
+        finished
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut state = lock(&self.state);
+        state.panic.get_or_insert(payload);
+    }
+
+    fn is_done(&self) -> bool {
+        lock(&self.state).pending == 0
+    }
+
+    /// Block until every span job has completed.
+    fn wait_done(&self) {
+        let mut state = lock(&self.state);
+        while state.pending > 0 {
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        lock(&self.state).panic.take()
+    }
+}
+
+/// Input/output cell for one span.  Each slot is touched by exactly one
+/// executing thread (which takes the input and writes the output); the
+/// submitter reads the output only after the batch latch has reached zero.
+struct SpanSlot<S, T> {
+    input: UnsafeCell<Option<S>>,
+    output: UnsafeCell<Option<T>>,
+}
+
+// SAFETY: see the type docs — access to a slot is never concurrent.
+#[allow(unsafe_code)]
+unsafe impl<S: Send, T: Send> Sync for SpanSlot<S, T> {}
+
+impl<S, T> SpanSlot<S, T> {
+    fn new(input: S) -> Self {
+        Self {
+            input: UnsafeCell::new(Some(input)),
+            output: UnsafeCell::new(None),
+        }
+    }
+
+    fn into_output(self) -> Option<T> {
+        self.output.into_inner()
+    }
+}
+
+/// Everything a span job needs, shared by reference from the submitter's stack.
+struct BatchCtx<'scope, S, T, F> {
+    work: &'scope F,
+    batch: &'scope Batch,
+    pool: &'scope PoolCore,
+    slots: &'scope [SpanSlot<S, T>],
+}
+
+/// Execute span `index` of the batch behind `data`.
+///
+/// # Safety
+/// `data` must point to a live `BatchCtx<S, T, F>` whose slot `index` has not
+/// been executed yet; the submitter guarantees both by blocking on the batch
+/// latch until all spans complete.
+#[allow(unsafe_code)]
+unsafe fn execute_span<S, T, F>(data: *const (), index: usize)
+where
+    S: Send,
+    T: Send,
+    F: Fn(S) -> T + Sync,
+{
+    let ctx = unsafe { &*data.cast::<BatchCtx<'_, S, T, F>>() };
+    let slot = &ctx.slots[index];
+    let input = unsafe { (*slot.input.get()).take() }.expect("span job executed twice");
+    let result = catch_unwind(AssertUnwindSafe(|| (ctx.work)(input)));
+    // Copy the pool pointer out of `ctx` before completing: the moment the
+    // final `complete_one` lands, the submitter may return and free the
+    // stack-held ctx and batch.  The pool itself outlives the batch — the
+    // executing thread is one of its workers and holds an `Arc` to it.
+    let pool: *const PoolCore = ctx.pool;
+    let batch = ctx.batch;
+    match result {
+        Ok(value) => unsafe { *slot.output.get() = Some(value) },
+        Err(payload) => batch.record_panic(payload),
+    }
+    if batch.complete_one() {
+        // `batch` and `ctx` must not be touched past this point.  The batch
+        // owner may be a worker asleep on the job-queue condvar (helping);
+        // make sure it re-checks its latch.
+        unsafe { (*pool).wake_sleepers() };
+    }
+}
+
+/// RAII guard restoring the previously installed pool context.
+pub(crate) struct InstallGuard {
+    previous: Option<Arc<PoolCore>>,
+}
+
+impl InstallGuard {
+    /// Install `pool` as the current thread's pool context.
+    pub(crate) fn push(pool: Arc<PoolCore>) -> Self {
+        let previous = INSTALLED.with(|slot| slot.borrow_mut().replace(pool));
+        InstallGuard { previous }
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        INSTALLED.with(|slot| *slot.borrow_mut() = previous);
+    }
+}
