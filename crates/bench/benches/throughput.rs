@@ -1,0 +1,74 @@
+//! Throughput of the batch execution engine: integrals per second on a mixed
+//! Genz workload, `integrate_batch` vs the equivalent sequential loop.
+//!
+//! The batch engine wins on two axes, and this bench exposes both:
+//!
+//! * **Pool utilisation** — a single job alternates kernel launches with
+//!   serial host phases, leaving an 8-worker device partly idle; concurrent
+//!   jobs fill those gaps (visible on multi-core hosts).
+//! * **Buffer reuse** — each batch worker recycles region lists, estimate
+//!   arrays and masks across iterations and jobs through its scratch arena,
+//!   where the sequential loop reallocates them per generation (visible even
+//!   on one core).
+//!
+//! One bench iteration runs the whole 16-job batch, so `mean_ns / 16` is the
+//! per-integral cost and `16e9 / mean_ns` the integrals-per-second rate.  Run
+//! with `--save-json <path>` (or `CRITERION_SAVE_JSON`) to record the numbers;
+//! the CI bench-smoke job tracks this group as the perf trajectory.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pagani_core::{BatchJob, BatchRunner, Pagani, PaganiConfig};
+use pagani_device::{Device, DeviceConfig};
+use pagani_integrands::paper::PaperIntegrand;
+use pagani_quadrature::Tolerances;
+
+/// The 16-job mixed Genz workload: four single-sign families at four
+/// dimensionalities each, the shape of a request mix a batch service would see.
+fn mixed_workload() -> Vec<PaperIntegrand> {
+    let mut jobs = Vec::with_capacity(16);
+    for dim in [2usize, 3, 4, 5] {
+        jobs.push(PaperIntegrand::f3(dim));
+        jobs.push(PaperIntegrand::f4(dim));
+        jobs.push(PaperIntegrand::f5(dim));
+        jobs.push(PaperIntegrand::f7(dim));
+    }
+    jobs
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+    let device = Device::new(
+        DeviceConfig::v100_like()
+            .with_worker_threads(8)
+            .with_memory_capacity(256 << 20),
+    );
+    let config = PaganiConfig::test_small(Tolerances::rel(1e-3));
+    let workload = mixed_workload();
+
+    // The baseline a service without the batch engine would run: one job at a
+    // time through the plain single-shot API.
+    let sequential = Pagani::new(device.clone(), config.clone());
+    group.bench_function("sequential_loop_16_jobs", |b| {
+        b.iter(|| {
+            let total: f64 = workload
+                .iter()
+                .map(|f| sequential.integrate(f).result.estimate)
+                .sum();
+            black_box(total)
+        })
+    });
+
+    let runner = BatchRunner::new(device.clone(), config.clone());
+    let jobs: Vec<BatchJob<'_>> = workload.iter().map(|f| BatchJob::new(f)).collect();
+    group.bench_function("batch_16_jobs", |b| {
+        b.iter(|| {
+            let total: f64 = runner.run(&jobs).iter().map(|o| o.result.estimate).sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(throughput, bench_throughput);
+criterion_main!(throughput);

@@ -1,0 +1,295 @@
+//! The batch execution engine: many independent integration jobs over one
+//! shared device worker pool.
+//!
+//! A single [`crate::Pagani::integrate`] call alternates parallel kernel
+//! launches with serial host phases, so one job cannot keep a wide worker pool
+//! busy — and a service answering many integration requests cares about
+//! *throughput* (integrals per second), not single-job latency.  A
+//! [`BatchRunner`] runs N independent jobs concurrently over one [`Device`]:
+//!
+//! * **No oversubscription.**  Every kernel launch from every job lands on the
+//!   device's one worker pool, and whole jobs are admitted through the
+//!   device's FIFO [`pagani_device::FairGate`], sized to the worker count — so
+//!   however many jobs are submitted, at most a pool's worth are in flight,
+//!   and when jobs do queue they are admitted in the order they reached the
+//!   gate: a stream of short jobs can never starve a long one that arrived
+//!   first.
+//! * **Buffer reuse.**  Each runner worker owns a long-lived [`ScratchArena`];
+//!   region lists, estimate arrays and classification masks are recycled
+//!   across iterations and across the jobs that worker executes, instead of
+//!   being reallocated each generation.
+//! * **Per-job memory isolation.**  Each job runs against
+//!   [`Device::isolated_memory_view`]: a fresh, full-capacity pool sharing the
+//!   parent's workers.  Memory-pressure heuristics therefore see exactly what
+//!   they would see if the job ran alone, which makes batch results
+//!   **bit-identical** to running the same jobs sequentially — the invariant
+//!   the batch determinism tests pin down.  A combined cross-job memory quota
+//!   is an explicit non-goal of this engine (tracked on the roadmap).
+//!
+//! ```
+//! use pagani_core::{integrate_batch, BatchJob, PaganiConfig};
+//! use pagani_device::Device;
+//! use pagani_quadrature::{FnIntegrand, Tolerances};
+//!
+//! let a = FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]);
+//! let b = FnIntegrand::new(3, |x: &[f64]| x[0] * x[1] * x[2]);
+//! let jobs = [BatchJob::new(&a), BatchJob::new(&b)];
+//! let device = Device::test_small();
+//! let config = PaganiConfig::test_small(Tolerances::rel(1e-6));
+//! let outputs = integrate_batch(&device, &config, &jobs);
+//! assert!(outputs.iter().all(|o| o.result.converged()));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use pagani_device::Device;
+use pagani_quadrature::{Integrand, Region};
+
+use crate::arena::ScratchArena;
+use crate::config::PaganiConfig;
+use crate::driver::{Pagani, PaganiOutput};
+
+/// One independent integration job: an integrand and the region to integrate
+/// it over.
+#[derive(Clone)]
+pub struct BatchJob<'a> {
+    integrand: &'a dyn Integrand,
+    region: Region,
+}
+
+impl std::fmt::Debug for BatchJob<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchJob")
+            .field("integrand", &self.integrand.name())
+            .field("dim", &self.region.dim())
+            .finish()
+    }
+}
+
+impl<'a> BatchJob<'a> {
+    /// A job integrating `integrand` over its default bounds.
+    #[must_use]
+    pub fn new(integrand: &'a dyn Integrand) -> Self {
+        let (lo, hi) = integrand.default_bounds();
+        Self {
+            integrand,
+            region: Region::new(lo, hi),
+        }
+    }
+
+    /// A job integrating `integrand` over an explicit `region`.
+    #[must_use]
+    pub fn over(integrand: &'a dyn Integrand, region: Region) -> Self {
+        Self { integrand, region }
+    }
+
+    /// The job's integrand.
+    #[must_use]
+    pub fn integrand(&self) -> &'a dyn Integrand {
+        self.integrand
+    }
+
+    /// The job's integration region.
+    #[must_use]
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+}
+
+/// Runs batches of independent integration jobs concurrently on one device.
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    device: Device,
+    config: PaganiConfig,
+    concurrency: usize,
+}
+
+impl BatchRunner {
+    /// Create a runner on `device`; concurrency defaults to the device's
+    /// effective worker count.
+    #[must_use]
+    pub fn new(device: Device, config: PaganiConfig) -> Self {
+        let concurrency = device.effective_workers();
+        Self {
+            device,
+            config,
+            concurrency,
+        }
+    }
+
+    /// Override how many runner workers pull jobs at once.  Values above the
+    /// device's gate capacity are admitted FIFO by the gate, so raising this
+    /// past the worker count cannot oversubscribe the device.
+    #[must_use]
+    pub fn with_concurrency(mut self, concurrency: usize) -> Self {
+        self.concurrency = concurrency.max(1);
+        self
+    }
+
+    /// The device jobs run on.
+    #[must_use]
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The configuration applied to every job.
+    #[must_use]
+    pub fn config(&self) -> &PaganiConfig {
+        &self.config
+    }
+
+    /// Run every job and return their outputs in job order.
+    ///
+    /// Jobs are claimed by a fixed set of runner workers from a shared cursor,
+    /// admitted through the device's FIFO gate, and each executes on a
+    /// memory-isolated view of the device with its worker's long-lived scratch
+    /// arena.  Outputs are bit-identical to running the same jobs sequentially
+    /// with [`Pagani::integrate_region`] on the same device.
+    ///
+    /// # Panics
+    /// Panics if a job's integrand and region dimensions differ (propagated
+    /// from the driver).
+    #[must_use]
+    pub fn run(&self, jobs: &[BatchJob<'_>]) -> Vec<PaganiOutput> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.concurrency.min(jobs.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<PaganiOutput>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // One arena per runner worker: storage recycles across
+                    // every job this worker executes.
+                    let arena = ScratchArena::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(index) else { break };
+                        let _permit = self.device.submission_gate().acquire();
+                        let view = self.device.isolated_memory_view();
+                        let pagani = Pagani::new(view, self.config.clone());
+                        let output = pagani.integrate_region_in(job.integrand, &job.region, &arena);
+                        *slots[index].lock().expect("result slot poisoned") = Some(output);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job produces an output")
+            })
+            .collect()
+    }
+}
+
+/// Run `jobs` concurrently on `device` and return outputs in job order.
+///
+/// Convenience facade over [`BatchRunner`]; see the module docs for the
+/// execution model.
+#[must_use]
+pub fn integrate_batch(
+    device: &Device,
+    config: &PaganiConfig,
+    jobs: &[BatchJob<'_>],
+) -> Vec<PaganiOutput> {
+    BatchRunner::new(device.clone(), config.clone()).run(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagani_device::DeviceConfig;
+    use pagani_integrands::paper::PaperIntegrand;
+    use pagani_quadrature::{FnIntegrand, Tolerances};
+
+    fn test_device(workers: usize) -> Device {
+        Device::new(
+            DeviceConfig::test_small()
+                .with_memory_capacity(32 << 20)
+                .with_worker_threads(workers),
+        )
+    }
+
+    #[test]
+    fn outputs_arrive_in_job_order() {
+        let squares = FnIntegrand::new(2, |x: &[f64]| x[0] * x[0] + x[1] * x[1]);
+        let cubes = FnIntegrand::new(2, |x: &[f64]| x[0] * x[0] * x[0]);
+        let constant = FnIntegrand::new(2, |_: &[f64]| 5.0);
+        let jobs = [
+            BatchJob::new(&squares),
+            BatchJob::new(&cubes),
+            BatchJob::new(&constant),
+        ];
+        let outputs = integrate_batch(
+            &test_device(2),
+            &PaganiConfig::test_small(Tolerances::rel(1e-8)),
+            &jobs,
+        );
+        assert_eq!(outputs.len(), 3);
+        assert!((outputs[0].result.estimate - 2.0 / 3.0).abs() < 1e-7);
+        assert!((outputs[1].result.estimate - 0.25).abs() < 1e-7);
+        assert!((outputs[2].result.estimate - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let runner = BatchRunner::new(
+            test_device(1),
+            PaganiConfig::test_small(Tolerances::rel(1e-3)),
+        );
+        assert!(runner.run(&[]).is_empty());
+    }
+
+    #[test]
+    fn more_jobs_than_workers_all_complete() {
+        let f = PaperIntegrand::f4(3);
+        let jobs: Vec<BatchJob<'_>> = (0..9).map(|_| BatchJob::new(&f)).collect();
+        let runner = BatchRunner::new(
+            test_device(2),
+            PaganiConfig::test_small(Tolerances::rel(1e-3)),
+        )
+        .with_concurrency(4);
+        let outputs = runner.run(&jobs);
+        assert_eq!(outputs.len(), 9);
+        assert!(outputs.iter().all(|o| o.result.converged()));
+        // All nine jobs ran the same problem: identical to the last bit.
+        let first = outputs[0].result.estimate.to_bits();
+        assert!(outputs.iter().all(|o| o.result.estimate.to_bits() == first));
+    }
+
+    #[test]
+    fn explicit_region_jobs_are_honoured() {
+        let f = FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]);
+        let job = BatchJob::over(&f, Region::new(vec![0.0, 0.0], vec![2.0, 1.0]));
+        let outputs = integrate_batch(
+            &test_device(1),
+            &PaganiConfig::test_small(Tolerances::rel(1e-8)),
+            &[job],
+        );
+        // ∫∫ (x + y) over [0,2]×[0,1] = 2 + 1 = 3.
+        assert!((outputs[0].result.estimate - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn batch_leaves_the_parent_pool_untouched() {
+        let device = test_device(2);
+        let f = PaperIntegrand::f4(3);
+        let jobs = [BatchJob::new(&f), BatchJob::new(&f)];
+        let _ = integrate_batch(
+            &device,
+            &PaganiConfig::test_small(Tolerances::rel(1e-3)),
+            &jobs,
+        );
+        assert_eq!(
+            device.memory().usage().used,
+            0,
+            "jobs allocate only from their isolated views"
+        );
+    }
+}

@@ -29,21 +29,38 @@ pub fn rel_err_classify(
     tolerances: Tolerances,
     filtering_enabled: bool,
 ) -> Vec<u8> {
+    let mut mask = Vec::new();
+    rel_err_classify_into(integrals, errors, tolerances, filtering_enabled, &mut mask);
+    mask
+}
+
+/// [`rel_err_classify`] writing the mask into `out`, reusing its capacity.
+///
+/// `out` is cleared and refilled; this is the scratch-arena variant that lets
+/// repeated iterations recycle one mask vector per generation.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn rel_err_classify_into(
+    integrals: &[f64],
+    errors: &[f64],
+    tolerances: Tolerances,
+    filtering_enabled: bool,
+    out: &mut Vec<u8>,
+) {
     assert_eq!(integrals.len(), errors.len(), "length mismatch");
+    out.clear();
     if !filtering_enabled {
-        return vec![ACTIVE; integrals.len()];
+        out.resize(integrals.len(), ACTIVE);
+        return;
     }
-    integrals
-        .iter()
-        .zip(errors)
-        .map(|(&v, &e)| {
-            if tolerances.satisfied_by(v, e) {
-                FINISHED
-            } else {
-                ACTIVE
-            }
-        })
-        .collect()
+    out.extend(integrals.iter().zip(errors).map(|(&v, &e)| {
+        if tolerances.satisfied_by(v, e) {
+            FINISHED
+        } else {
+            ACTIVE
+        }
+    }));
 }
 
 /// Count the active regions in a classification mask.

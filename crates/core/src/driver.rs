@@ -2,13 +2,14 @@
 
 use std::time::Instant;
 
-use pagani_device::{reduce, Device, DeviceError};
+use pagani_device::{reduce, scan, Device, DeviceError};
 use pagani_quadrature::two_level::refine_generation;
 use pagani_quadrature::{GenzMalik, Integrand, IntegrationResult, Region, Termination};
 
-use crate::classify::{active_count, rel_err_classify};
+use crate::arena::ScratchArena;
+use crate::classify::{active_count, rel_err_classify_into};
 use crate::config::{HeuristicFiltering, PaganiConfig};
-use crate::evaluate::evaluate_all;
+use crate::evaluate::evaluate_all_in;
 use crate::region_list::RegionList;
 use crate::threshold::{threshold_classify, ThresholdPolicy};
 use crate::trace::{ExecutionTrace, IterationRecord, ThresholdSearchRecord, ThresholdTrigger};
@@ -71,6 +72,32 @@ impl Pagani {
     /// # Panics
     /// Panics if the region dimension does not match the integrand dimension.
     pub fn integrate_region<F: Integrand + ?Sized>(&self, f: &F, region: &Region) -> PaganiOutput {
+        self.integrate_region_in(f, region, &ScratchArena::default())
+    }
+
+    /// Integrate `f` over its default bounds, drawing scratch storage from `arena`.
+    ///
+    /// Recycling is value-transparent: the result is bit-identical to
+    /// [`Pagani::integrate`], whatever the arena already holds.  A caller that
+    /// runs many jobs — the batch engine's workers above all — passes one
+    /// long-lived arena so region lists, estimate arrays and masks are reused
+    /// across iterations *and* across jobs instead of reallocated per
+    /// generation.
+    pub fn integrate_in<F: Integrand + ?Sized>(&self, f: &F, arena: &ScratchArena) -> PaganiOutput {
+        let (lo, hi) = f.default_bounds();
+        self.integrate_region_in(f, &Region::new(lo, hi), arena)
+    }
+
+    /// Integrate `f` over an explicit region, drawing scratch storage from `arena`.
+    ///
+    /// # Panics
+    /// Panics if the region dimension does not match the integrand dimension.
+    pub fn integrate_region_in<F: Integrand + ?Sized>(
+        &self,
+        f: &F,
+        region: &Region,
+        arena: &ScratchArena,
+    ) -> PaganiOutput {
         assert_eq!(
             region.dim(),
             f.dim(),
@@ -86,7 +113,7 @@ impl Pagani {
         // --- Initial uniform split (Algorithm 2, lines 2-4). ---------------------
         let mut d = self.config.resolve_splits_per_axis(dim);
         let mut list = loop {
-            match RegionList::initial_split(region, d, &pool) {
+            match RegionList::initial_split_in(region, d, &pool, arena) {
                 Ok(list) => break list,
                 Err(DeviceError::OutOfDeviceMemory { .. }) if d > 1 => d -= 1,
                 Err(err) => {
@@ -132,7 +159,7 @@ impl Pagani {
             iterations_run = iteration + 1;
 
             // --- Evaluate all regions (line 10). --------------------------------
-            let evaluation = match evaluate_all(&self.device, &rule, f, &list) {
+            let evaluation = match evaluate_all_in(&self.device, &rule, f, &list, arena) {
                 Ok(e) => e,
                 Err(_) => break,
             };
@@ -152,13 +179,15 @@ impl Pagani {
             }
 
             // --- Relative-error classification (line 12). -----------------------
-            let mut mask = self.device.timed_section("postprocess.classify", || {
-                rel_err_classify(
+            let mut mask = arena.take_mask(integrals.len());
+            self.device.timed_section("postprocess.classify", || {
+                rel_err_classify_into(
                     &integrals,
                     &errors,
                     tolerances,
                     self.config.rel_err_filtering,
-                )
+                    &mut mask,
+                );
             });
 
             // --- Global reductions and termination (lines 13-16). ---------------
@@ -185,6 +214,10 @@ impl Pagani {
                 );
                 finished_estimate = cumulative_estimate;
                 finished_error = cumulative_error;
+                arena.put_f64(integrals);
+                arena.put_f64(errors);
+                arena.put_axes(split_axes);
+                arena.put_mask(mask);
                 break;
             }
 
@@ -248,7 +281,7 @@ impl Pagani {
                 }
                 if outcome.successful {
                     threshold_frozen_error += outcome.newly_committed_error;
-                    mask = outcome.mask;
+                    arena.put_mask(std::mem::replace(&mut mask, outcome.mask));
                 }
             }
 
@@ -286,11 +319,15 @@ impl Pagani {
                 } else {
                     Termination::MaxIterations
                 };
+                arena.put_f64(integrals);
+                arena.put_f64(errors);
+                arena.put_axes(split_axes);
+                arena.put_mask(mask);
                 break;
             }
             let filter_result = self
                 .device
-                .timed_section("filter.compact", || list.filter(&mask, &pool));
+                .timed_section("filter.compact", || list.filter_in(&mask, &pool, arena));
             let filtered = match filter_result {
                 Ok(filtered) => filtered,
                 Err(_) => {
@@ -298,26 +335,45 @@ impl Pagani {
                     break;
                 }
             };
-            let active_integrals = pagani_device::scan::compact_by_mask(&integrals, &mask);
-            let active_axes = pagani_device::scan::compact_by_mask(&split_axes, &mask);
-            drop(list);
+            let mut active_integrals = arena.take_f64(active_now);
+            scan::compact_by_mask_into(&integrals, &mask, &mut active_integrals);
+            let mut active_axes = arena.take_axes(active_now);
+            scan::compact_by_mask_into(&split_axes, &mask, &mut active_axes);
+            list.retire(arena);
 
             // --- Update parents and split every active region (lines 21-23). -----
-            let split_result = self
-                .device
-                .timed_section("filter.split", || filtered.split_all(&active_axes, &pool));
+            let split_result = self.device.timed_section("filter.split", || {
+                filtered.split_all_in(&active_axes, &pool, arena)
+            });
             match split_result {
                 Ok(children) => {
                     regions_generated += children.len() as u64;
-                    parent_integrals = Some(active_integrals);
+                    if let Some(old) = parent_integrals.replace(active_integrals) {
+                        arena.put_f64(old);
+                    }
+                    filtered.retire(arena);
                     list = children;
                 }
                 Err(_) => {
                     // Memory exhausted and no further subdivision possible (§3.5.2).
                     termination = Termination::MemoryExhausted;
+                    list = filtered;
                     break;
                 }
             }
+
+            // --- Shelve this generation's arrays for the next one. ---------------
+            arena.put_f64(integrals);
+            arena.put_f64(errors);
+            arena.put_axes(split_axes);
+            arena.put_mask(mask);
+            arena.put_axes(active_axes);
+        }
+        // The surviving list and parent array go back to the arena so the next
+        // job on this arena starts from recycled storage.
+        list.retire(arena);
+        if let Some(parents) = parent_integrals.take() {
+            arena.put_f64(parents);
         }
 
         // A converged run already folded everything into the finished accumulators; a

@@ -4,10 +4,20 @@
 //! 90 % of execution time).  One simulated block evaluates one region — the same 1-1
 //! block/region mapping the CUDA implementation uses — and produces the region's
 //! integral estimate, raw error estimate and recommended split axis.
+//!
+//! Two layers of storage are recycled on the hot path: the per-generation output
+//! arrays come from a [`ScratchArena`] (see [`evaluate_all_in`]), and the per-block
+//! rule scratch ([`EvalScratch`] plus the centre/half-width staging buffers) is
+//! cached per worker thread, mirroring how a CUDA block reuses its shared-memory
+//! scratch across kernel launches instead of re-allocating it per region.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 use pagani_device::{Device, DeviceResult};
 use pagani_quadrature::{EvalScratch, GenzMalik, Integrand};
 
+use crate::arena::ScratchArena;
 use crate::region_list::RegionList;
 
 /// Per-generation output of the evaluate kernel (PAGANI's `V`, `E` and `K` lists).
@@ -23,6 +33,51 @@ pub struct Evaluation {
     pub function_evaluations: u64,
 }
 
+impl Evaluation {
+    /// Shelve this generation's arrays into `arena` for the next one.
+    pub fn retire(self, arena: &ScratchArena) {
+        arena.put_f64(self.integrals);
+        arena.put_f64(self.errors);
+        arena.put_axes(self.split_axes);
+    }
+}
+
+/// Per-thread rule scratch, keyed by dimension.  Worker threads are
+/// persistent, so each worker allocates this once per dimension and reuses it
+/// for every region it ever evaluates.
+struct BlockScratch {
+    scratch: EvalScratch,
+    center: Vec<f64>,
+    halfwidth: Vec<f64>,
+}
+
+impl BlockScratch {
+    fn new(dim: usize) -> Self {
+        Self {
+            scratch: EvalScratch::new(dim),
+            center: vec![0.0; dim],
+            halfwidth: vec![0.0; dim],
+        }
+    }
+}
+
+thread_local! {
+    static BLOCK_SCRATCH: RefCell<HashMap<usize, BlockScratch>> = RefCell::new(HashMap::new());
+}
+
+/// Run `body` with this thread's cached scratch for `dim`, creating it on
+/// first use.  The scratch is taken out of the cache for the duration of the
+/// call (and re-inserted afterwards), so a re-entrant evaluation on the same
+/// thread degrades to a fresh allocation instead of a borrow panic.
+fn with_block_scratch<R>(dim: usize, body: impl FnOnce(&mut BlockScratch) -> R) -> R {
+    let mut block = BLOCK_SCRATCH
+        .with(|cache| cache.borrow_mut().remove(&dim))
+        .unwrap_or_else(|| BlockScratch::new(dim));
+    let out = body(&mut block);
+    BLOCK_SCRATCH.with(|cache| cache.borrow_mut().insert(dim, block));
+    out
+}
+
 /// Evaluate all regions of `list` with `rule`, one block per region.
 ///
 /// # Errors
@@ -34,19 +89,37 @@ pub fn evaluate_all<F: Integrand + ?Sized>(
     integrand: &F,
     list: &RegionList,
 ) -> DeviceResult<Evaluation> {
+    evaluate_all_in(device, rule, integrand, list, &ScratchArena::default())
+}
+
+/// [`evaluate_all`] drawing the output arrays from `arena`.
+///
+/// # Errors
+/// Propagates launch errors from the device.
+pub fn evaluate_all_in<F: Integrand + ?Sized>(
+    device: &Device,
+    rule: &GenzMalik,
+    integrand: &F,
+    list: &RegionList,
+    arena: &ScratchArena,
+) -> DeviceResult<Evaluation> {
     let dim = list.dim();
     debug_assert_eq!(rule.dim(), dim);
     let estimates = device.launch_map("evaluate", list.len(), |ctx| {
-        let mut scratch = EvalScratch::new(dim);
-        let mut center = vec![0.0; dim];
-        let mut halfwidth = vec![0.0; dim];
-        list.centered_view(ctx.block_idx, &mut center, &mut halfwidth);
-        rule.evaluate_centered(integrand, &center, &halfwidth, &mut scratch)
+        with_block_scratch(dim, |block| {
+            list.centered_view(ctx.block_idx, &mut block.center, &mut block.halfwidth);
+            rule.evaluate_centered(
+                integrand,
+                &block.center,
+                &block.halfwidth,
+                &mut block.scratch,
+            )
+        })
     })?;
 
-    let mut integrals = Vec::with_capacity(estimates.len());
-    let mut errors = Vec::with_capacity(estimates.len());
-    let mut split_axes = Vec::with_capacity(estimates.len());
+    let mut integrals = arena.take_f64(estimates.len());
+    let mut errors = arena.take_f64(estimates.len());
+    let mut split_axes = arena.take_axes(estimates.len());
     let mut function_evaluations = 0u64;
     for est in estimates {
         integrals.push(est.integral);
@@ -120,5 +193,25 @@ mod tests {
         let timing = device.profile().kernel("evaluate").unwrap();
         assert_eq!(timing.launches, 1);
         assert_eq!(timing.blocks, 16);
+    }
+
+    #[test]
+    fn arena_path_is_bit_identical_and_recycles() {
+        let (device, list, rule) = setup(3, 4);
+        let f = FnIntegrand::new(3, |x: &[f64]| (7.0 * x[0]).sin() + x[1] * x[2]);
+        let plain = evaluate_all(&device, &rule, &f, &list).unwrap();
+        let arena = ScratchArena::new();
+        let first = evaluate_all_in(&device, &rule, &f, &list, &arena).unwrap();
+        assert_eq!(plain.integrals, first.integrals);
+        assert_eq!(plain.errors, first.errors);
+        assert_eq!(plain.split_axes, first.split_axes);
+        first.retire(&arena);
+        let second = evaluate_all_in(&device, &rule, &f, &list, &arena).unwrap();
+        assert_eq!(plain.integrals, second.integrals);
+        assert!(
+            arena.reuse_hits() >= 3,
+            "retired arrays must be reused, hits {}",
+            arena.reuse_hits()
+        );
     }
 }

@@ -23,6 +23,8 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod batch;
 pub mod classify;
 pub mod config;
 pub mod driver;
@@ -32,6 +34,8 @@ pub mod region_list;
 pub mod threshold;
 pub mod trace;
 
+pub use arena::ScratchArena;
+pub use batch::{integrate_batch, BatchJob, BatchRunner};
 pub use config::{HeuristicFiltering, PaganiConfig};
 pub use driver::{Pagani, PaganiOutput};
 pub use multi_device::{MultiDeviceOutput, MultiDevicePagani};

@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination};
 
+use crate::batch::{BatchJob, BatchRunner};
 use crate::config::PaganiConfig;
 use crate::driver::{Pagani, PaganiOutput};
 use pagani_device::Device;
@@ -85,6 +86,46 @@ impl MultiDevicePagani {
     pub fn integrate<F: Integrand + Sync + ?Sized>(&self, f: &F) -> MultiDeviceOutput {
         let (lo, hi) = f.default_bounds();
         self.integrate_region(f, &Region::new(lo, hi))
+    }
+
+    /// Run a batch of independent jobs across the device pool, returning
+    /// outputs in job order.
+    ///
+    /// Jobs are sharded round-robin across the devices — job `i` runs wholly
+    /// on device `i mod n` — and each device executes its share through a
+    /// [`BatchRunner`], so jobs are spread across device slabs *and* recycled
+    /// buffers / shared worker pools within each device.  The assignment is a
+    /// pure function of the job index, so a given job always lands on the same
+    /// device and its result is bit-identical to running it alone there.
+    #[must_use]
+    pub fn integrate_batch(&self, jobs: &[BatchJob<'_>]) -> Vec<PaganiOutput> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let n = self.devices.len();
+        let mut shards: Vec<Vec<BatchJob<'_>>> = vec![Vec::new(); n];
+        for (i, job) in jobs.iter().enumerate() {
+            shards[i % n].push(job.clone());
+        }
+        let shard_outputs: Vec<Vec<PaganiOutput>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .devices
+                .iter()
+                .zip(&shards)
+                .map(|(device, shard)| {
+                    let runner = BatchRunner::new(device.clone(), self.config.clone());
+                    scope.spawn(move || runner.run(shard))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("device batch worker panicked"))
+                .collect()
+        });
+        let mut shard_iters: Vec<_> = shard_outputs.into_iter().map(Vec::into_iter).collect();
+        (0..jobs.len())
+            .map(|i| shard_iters[i % n].next().expect("shard output missing"))
+            .collect()
     }
 
     /// Integrate `f` over an explicit region, one slab per device, concurrently.
@@ -166,6 +207,7 @@ mod tests {
     use pagani_device::{Device, DeviceConfig};
     use pagani_integrands::paper::PaperIntegrand;
     use pagani_quadrature::Tolerances;
+    use proptest::prelude::*;
 
     fn devices(n: usize) -> Vec<Device> {
         (0..n)
@@ -243,5 +285,75 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_device_pool_is_rejected() {
         let _ = MultiDevicePagani::new(Vec::new(), PaganiConfig::default());
+    }
+
+    #[test]
+    fn batch_shards_across_devices_and_matches_single_device_results() {
+        let f4 = PaperIntegrand::f4(3);
+        let f3 = PaperIntegrand::f3(3);
+        let jobs = [
+            BatchJob::new(&f4),
+            BatchJob::new(&f3),
+            BatchJob::new(&f4),
+            BatchJob::new(&f3),
+            BatchJob::new(&f4),
+        ];
+        let config = PaganiConfig::test_small(Tolerances::rel(1e-4));
+        let multi = MultiDevicePagani::new(devices(2), config.clone());
+        let outputs = multi.integrate_batch(&jobs);
+        assert_eq!(outputs.len(), jobs.len());
+        // Every output matches the same job run alone on an equivalent device.
+        let lone_f4 = Pagani::new(devices(1).pop().unwrap(), config.clone()).integrate(&f4);
+        let lone_f3 = Pagani::new(devices(1).pop().unwrap(), config).integrate(&f3);
+        for (i, output) in outputs.iter().enumerate() {
+            let reference = if i % 2 == 0 { &lone_f4 } else { &lone_f3 };
+            assert_eq!(
+                output.result.estimate.to_bits(),
+                reference.result.estimate.to_bits(),
+                "job {i} diverged from its single-device run"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_multi_device_batch_is_empty() {
+        let multi = MultiDevicePagani::new(devices(2), PaganiConfig::default());
+        assert!(multi.integrate_batch(&[]).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// §4.4 composition: on single-sign Genz integrands, integrating each
+        /// slab to the full relative tolerance composes into the global
+        /// tolerance (the Lemma 3.1 argument applied across devices) — for
+        /// any device count and any integrand dimension.
+        #[test]
+        fn prop_slab_results_compose_to_the_global_tolerance(
+            device_count in 1usize..5,
+            dim in 2usize..4,
+            family in 0usize..2,
+        ) {
+            let f = if family == 0 {
+                PaperIntegrand::f4(dim)
+            } else {
+                PaperIntegrand::f3(dim)
+            };
+            let tol = 1e-3;
+            let multi = MultiDevicePagani::new(
+                devices(device_count),
+                PaganiConfig::test_small(Tolerances::rel(tol)),
+            )
+            .integrate(&f);
+            prop_assert!(multi.result.converged(), "{:?}", multi.result.termination);
+            prop_assert_eq!(multi.per_device.len(), device_count);
+            // The combined estimate is exactly the slab sum (same fold order).
+            let slab_sum: f64 = multi.per_device.iter().map(|o| o.result.estimate).sum();
+            prop_assert_eq!(slab_sum.to_bits(), multi.result.estimate.to_bits());
+            // Every slab satisfied its own tolerance, and the composition
+            // holds against the analytic reference.
+            let true_err = multi.result.true_relative_error(f.reference_value());
+            prop_assert!(true_err < tol, "true rel err {} vs {}", true_err, tol);
+        }
     }
 }

@@ -14,6 +14,8 @@
 use pagani_device::{DeviceBuffer, DeviceResult, MemoryPool};
 use pagani_quadrature::Region;
 
+use crate::arena::ScratchArena;
+
 /// Structure-of-arrays storage for one generation of sub-regions.
 #[derive(Debug)]
 pub struct RegionList {
@@ -23,6 +25,33 @@ pub struct RegionList {
     lefts: DeviceBuffer<f64>,
     /// `len * dim` edge lengths, region-major.
     lengths: DeviceBuffer<f64>,
+}
+
+/// Charge a geometry pair against `pool`.  On failure, whatever storage is
+/// still recoverable goes back to `arena`: the sibling vector (and, when the
+/// *second* charge fails, the already-charged first buffer), but not the
+/// vector consumed by the failing `adopt_vec` itself — so an OOM retry
+/// re-allocates at most one of the two arrays.
+fn adopt_pair(
+    pool: &MemoryPool,
+    arena: &ScratchArena,
+    lefts: Vec<f64>,
+    lengths: Vec<f64>,
+) -> DeviceResult<(DeviceBuffer<f64>, DeviceBuffer<f64>)> {
+    let lefts = match arena.adopt_f64(pool, lefts) {
+        Ok(buf) => buf,
+        Err(err) => {
+            arena.put_f64(lengths);
+            return Err(err);
+        }
+    };
+    match arena.adopt_f64(pool, lengths) {
+        Ok(lengths) => Ok((lefts, lengths)),
+        Err(err) => {
+            arena.retire_f64(lefts);
+            Err(err)
+        }
+    }
 }
 
 impl RegionList {
@@ -37,10 +66,23 @@ impl RegionList {
     /// # Errors
     /// Returns `OutOfDeviceMemory` if the `d^dim` regions do not fit in the pool.
     pub fn initial_split(root: &Region, d: usize, pool: &MemoryPool) -> DeviceResult<Self> {
+        Self::initial_split_in(root, d, pool, &ScratchArena::default())
+    }
+
+    /// [`RegionList::initial_split`] drawing its backing storage from `arena`.
+    ///
+    /// # Errors
+    /// Returns `OutOfDeviceMemory` if the `d^dim` regions do not fit in the pool.
+    pub fn initial_split_in(
+        root: &Region,
+        d: usize,
+        pool: &MemoryPool,
+        arena: &ScratchArena,
+    ) -> DeviceResult<Self> {
         let dim = root.dim();
         let count = d.pow(dim as u32);
-        let mut lefts = Vec::with_capacity(count * dim);
-        let mut lengths = Vec::with_capacity(count * dim);
+        let mut lefts = arena.take_f64(count * dim);
+        let mut lengths = arena.take_f64(count * dim);
         let mut coords = vec![0usize; dim];
         for _ in 0..count {
             for (axis, &c) in coords.iter().enumerate() {
@@ -56,11 +98,12 @@ impl RegionList {
                 *c = 0;
             }
         }
+        let (lefts, lengths) = adopt_pair(pool, arena, lefts, lengths)?;
         Ok(Self {
             dim,
             len: count,
-            lefts: pool.adopt_vec(lefts)?,
-            lengths: pool.adopt_vec(lengths)?,
+            lefts,
+            lengths,
         })
     }
 
@@ -167,24 +210,44 @@ impl RegionList {
     /// # Panics
     /// Panics if `mask.len() != self.len()`.
     pub fn filter(&self, mask: &[u8], pool: &MemoryPool) -> DeviceResult<Self> {
+        self.filter_in(mask, pool, &ScratchArena::default())
+    }
+
+    /// [`RegionList::filter`] drawing the compacted copy's storage from `arena`.
+    ///
+    /// # Errors
+    /// Returns `OutOfDeviceMemory` if the compacted copy does not fit.
+    ///
+    /// # Panics
+    /// Panics if `mask.len() != self.len()`.
+    pub fn filter_in(
+        &self,
+        mask: &[u8],
+        pool: &MemoryPool,
+        arena: &ScratchArena,
+    ) -> DeviceResult<Self> {
         assert_eq!(mask.len(), self.len, "mask length mismatch");
-        let survivors: Vec<usize> = mask
-            .iter()
-            .enumerate()
-            .filter(|(_, &m)| m != 0)
-            .map(|(i, _)| i)
-            .collect();
-        let mut lefts = Vec::with_capacity(survivors.len() * self.dim);
-        let mut lengths = Vec::with_capacity(survivors.len() * self.dim);
+        let mut survivors = arena.take_axes(self.len);
+        survivors.extend(
+            mask.iter()
+                .enumerate()
+                .filter(|(_, &m)| m != 0)
+                .map(|(i, _)| i),
+        );
+        let mut lefts = arena.take_f64(survivors.len() * self.dim);
+        let mut lengths = arena.take_f64(survivors.len() * self.dim);
         for &i in &survivors {
             lefts.extend_from_slice(self.lefts_of(i));
             lengths.extend_from_slice(self.lengths_of(i));
         }
+        let len = survivors.len();
+        arena.put_axes(survivors);
+        let (lefts, lengths) = adopt_pair(pool, arena, lefts, lengths)?;
         Ok(Self {
             dim: self.dim,
-            len: survivors.len(),
-            lefts: pool.adopt_vec(lefts)?,
-            lengths: pool.adopt_vec(lengths)?,
+            len,
+            lefts,
+            lengths,
         })
     }
 
@@ -198,11 +261,30 @@ impl RegionList {
     /// # Panics
     /// Panics if `axes.len() != self.len()` or any axis is out of range.
     pub fn split_all(&self, axes: &[usize], pool: &MemoryPool) -> DeviceResult<Self> {
+        self.split_all_in(axes, pool, &ScratchArena::default())
+    }
+
+    /// [`RegionList::split_all`] drawing the children's storage from `arena`.
+    ///
+    /// # Errors
+    /// Returns `OutOfDeviceMemory` if the doubled list does not fit while this
+    /// one is still allocated.
+    ///
+    /// # Panics
+    /// Panics if `axes.len() != self.len()` or any axis is out of range.
+    pub fn split_all_in(
+        &self,
+        axes: &[usize],
+        pool: &MemoryPool,
+        arena: &ScratchArena,
+    ) -> DeviceResult<Self> {
         assert_eq!(axes.len(), self.len, "axis list length mismatch");
         let m = self.len;
         let dim = self.dim;
-        let mut lefts = vec![0.0; 2 * m * dim];
-        let mut lengths = vec![0.0; 2 * m * dim];
+        let mut lefts = arena.take_f64(2 * m * dim);
+        lefts.resize(2 * m * dim, 0.0);
+        let mut lengths = arena.take_f64(2 * m * dim);
+        lengths.resize(2 * m * dim, 0.0);
         for i in 0..m {
             let axis = axes[i];
             assert!(axis < dim, "split axis {axis} out of range for dim {dim}");
@@ -221,12 +303,20 @@ impl RegionList {
             lengths[right_slot_start..right_slot_start + dim].copy_from_slice(src_len);
             lengths[right_slot_start + axis] = half;
         }
+        let (lefts, lengths) = adopt_pair(pool, arena, lefts, lengths)?;
         Ok(Self {
             dim,
             len: 2 * m,
-            lefts: pool.adopt_vec(lefts)?,
-            lengths: pool.adopt_vec(lengths)?,
+            lefts,
+            lengths,
         })
+    }
+
+    /// Consume the list, releasing its device-memory charge and shelving its
+    /// backing storage into `arena` for the next generation or job.
+    pub fn retire(self, arena: &ScratchArena) {
+        arena.retire_f64(self.lefts);
+        arena.retire_f64(self.lengths);
     }
 }
 
@@ -333,6 +423,47 @@ mod tests {
             assert!(pool.usage().used >= children.charged_bytes());
         }
         assert_eq!(pool.usage().used, 0);
+    }
+
+    #[test]
+    fn arena_path_produces_identical_geometry() {
+        let pool = big_pool();
+        let arena = ScratchArena::new();
+        let root = Region::unit_cube(3);
+        let plain = RegionList::initial_split(&root, 4, &pool).unwrap();
+        let arenad = RegionList::initial_split_in(&root, 4, &pool, &arena).unwrap();
+        assert_eq!(plain.len(), arenad.len());
+        for i in 0..plain.len() {
+            assert_eq!(plain.lefts_of(i), arenad.lefts_of(i));
+            assert_eq!(plain.lengths_of(i), arenad.lengths_of(i));
+        }
+        let axes = vec![0usize; plain.len()];
+        let mask: Vec<u8> = (0..plain.len()).map(|i| (i % 2) as u8).collect();
+        let plain_children = plain.split_all(&axes, &pool).unwrap();
+        let arena_children = arenad.split_all_in(&axes, &pool, &arena).unwrap();
+        for i in 0..plain_children.len() {
+            assert_eq!(plain_children.lefts_of(i), arena_children.lefts_of(i));
+        }
+        let plain_filtered = plain.filter(&mask, &pool).unwrap();
+        let arena_filtered = arenad.filter_in(&mask, &pool, &arena).unwrap();
+        assert_eq!(plain_filtered.len(), arena_filtered.len());
+        for i in 0..plain_filtered.len() {
+            assert_eq!(plain_filtered.lefts_of(i), arena_filtered.lefts_of(i));
+        }
+    }
+
+    #[test]
+    fn retire_releases_charge_and_enables_reuse() {
+        let pool = big_pool();
+        let arena = ScratchArena::new();
+        let list = RegionList::initial_split_in(&Region::unit_cube(3), 4, &pool, &arena).unwrap();
+        let bytes = list.charged_bytes();
+        assert_eq!(pool.usage().used, bytes);
+        list.retire(&arena);
+        assert_eq!(pool.usage().used, 0);
+        // The next generation of the same shape is served from the shelf.
+        let _again = RegionList::initial_split_in(&Region::unit_cube(3), 4, &pool, &arena).unwrap();
+        assert!(arena.reuse_hits() >= 2, "hits {}", arena.reuse_hits());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::time::Instant;
 use rayon::prelude::*;
 
 use crate::error::{DeviceError, DeviceResult};
+use crate::gate::FairGate;
 use crate::launch::{BlockContext, LaunchConfig};
 use crate::memory::MemoryPool;
 use crate::profile::DeviceProfile;
@@ -83,8 +84,15 @@ impl Default for DeviceConfig {
 struct DeviceInner {
     config: DeviceConfig,
     memory: MemoryPool,
-    profile: DeviceProfile,
-    thread_pool: Option<rayon::ThreadPool>,
+    /// Shared with memory-isolated views so the §4.3.2 breakdown aggregates
+    /// every job's kernels, wherever they ran.
+    profile: Arc<DeviceProfile>,
+    /// Shared with memory-isolated views: all views launch onto the same
+    /// workers, which is what keeps batch execution free of oversubscription.
+    thread_pool: Option<Arc<rayon::ThreadPool>>,
+    /// FIFO admission gate for concurrent job submitters, sized to the
+    /// device's effective worker count and shared across views.
+    gate: Arc<FairGate>,
 }
 
 /// Handle to the simulated accelerator.
@@ -114,17 +122,23 @@ impl Device {
     pub fn new(config: DeviceConfig) -> Self {
         let memory = MemoryPool::new(config.memory_capacity);
         let thread_pool = config.worker_threads.map(|threads| {
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(threads)
-                .build()
-                .expect("failed to build device worker pool")
+            Arc::new(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("failed to build device worker pool"),
+            )
         });
+        let workers = config
+            .worker_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         Self {
             inner: Arc::new(DeviceInner {
                 config,
                 memory,
-                profile: DeviceProfile::new(),
+                profile: Arc::new(DeviceProfile::new()),
                 thread_pool,
+                gate: Arc::new(FairGate::new(workers)),
             }),
         }
     }
@@ -157,6 +171,50 @@ impl Device {
     #[must_use]
     pub fn profile(&self) -> &DeviceProfile {
         &self.inner.profile
+    }
+
+    /// Number of worker threads a kernel launch on this device can occupy: the
+    /// dedicated pool's cap, or the host's available parallelism (sampled once
+    /// at construction) when the device shares the global pool.  Always equal
+    /// to the submission gate's capacity.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        self.inner.gate.capacity()
+    }
+
+    /// The device's FIFO admission gate for concurrent job submitters.
+    ///
+    /// Sized to [`Device::effective_workers`] and shared by every clone and
+    /// every [`Device::isolated_memory_view`], so however many host threads
+    /// submit whole jobs to this device, at most a worker-pool's worth are in
+    /// flight at once and they are admitted in arrival order.
+    #[must_use]
+    pub fn submission_gate(&self) -> &FairGate {
+        &self.inner.gate
+    }
+
+    /// A handle to this device that shares its workers, submission gate,
+    /// profile and configuration but draws from a **fresh, full-capacity
+    /// memory pool**.
+    ///
+    /// This is the per-job memory model of the batch execution engine: each
+    /// concurrent job sees the same empty, full-capacity pool it would see if
+    /// it were the only job on the device, so memory-pressure heuristics — and
+    /// therefore results — are bit-identical to running the job alone.  The
+    /// engine assumes each job individually fits the device; enforcing a
+    /// *combined* cross-job quota is an explicit non-goal here (tracked on the
+    /// roadmap).
+    #[must_use]
+    pub fn isolated_memory_view(&self) -> Device {
+        Device {
+            inner: Arc::new(DeviceInner {
+                config: self.inner.config.clone(),
+                memory: MemoryPool::new(self.inner.config.memory_capacity),
+                profile: Arc::clone(&self.inner.profile),
+                thread_pool: self.inner.thread_pool.clone(),
+                gate: Arc::clone(&self.inner.gate),
+            }),
+        }
     }
 
     fn run_in_pool<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
@@ -416,5 +474,41 @@ mod tests {
         let clone = device.clone();
         let _buf = clone.memory().alloc_zeroed::<f64>(128).unwrap();
         assert_eq!(device.memory().usage().used, 1024);
+    }
+
+    #[test]
+    fn isolated_view_has_its_own_memory_but_shares_the_profile() {
+        let device = Device::test_small();
+        let view = device.isolated_memory_view();
+        let _buf = view.memory().alloc_zeroed::<f64>(128).unwrap();
+        assert_eq!(view.memory().usage().used, 1024);
+        assert_eq!(
+            device.memory().usage().used,
+            0,
+            "view allocations are not charged to the parent pool"
+        );
+        assert_eq!(view.memory().capacity(), device.memory().capacity());
+        // Kernels launched on the view land in the shared profile.
+        view.launch("view.kernel", 8, |_| {}).unwrap();
+        assert!(device.profile().kernel("view.kernel").is_some());
+    }
+
+    #[test]
+    fn isolated_views_share_the_submission_gate() {
+        let device = Device::new(DeviceConfig::test_small().with_worker_threads(2));
+        assert_eq!(device.submission_gate().capacity(), 2);
+        let view = device.isolated_memory_view();
+        let _a = device.submission_gate().acquire();
+        let _b = view.submission_gate().acquire();
+        assert_eq!(device.submission_gate().in_flight(), 2);
+        assert_eq!(view.submission_gate().in_flight(), 2);
+    }
+
+    #[test]
+    fn effective_workers_reflects_the_dedicated_pool() {
+        let device = Device::new(DeviceConfig::test_small().with_worker_threads(3));
+        assert_eq!(device.effective_workers(), 3);
+        let shared = Device::test_small();
+        assert!(shared.effective_workers() >= 1);
     }
 }

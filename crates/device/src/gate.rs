@@ -1,0 +1,186 @@
+//! FIFO admission control for concurrent job submitters.
+//!
+//! A device executes kernel launches from any number of host threads, but its
+//! worker pool has a fixed width: admitting more concurrent *jobs* (full
+//! integration runs) than there are workers buys no extra parallelism and only
+//! adds queue contention.  [`FairGate`] is a ticket-ordered counting semaphore
+//! that bounds the number of in-flight jobs at the device's worker count while
+//! guaranteeing **fairness**: submitters are admitted strictly in arrival
+//! order, so a steady stream of short jobs can never starve a long one that
+//! arrived first.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[derive(Debug)]
+struct GateState {
+    /// Next ticket to hand out; tickets are admitted in issue order.
+    next_ticket: u64,
+    /// Number of permits released so far.  Ticket `t` may proceed once
+    /// `t < released + capacity`.
+    released: u64,
+}
+
+/// A first-in-first-out counting semaphore bounding concurrent submitters.
+#[derive(Debug)]
+pub struct FairGate {
+    capacity: u64,
+    state: Mutex<GateState>,
+    turn: Condvar,
+}
+
+impl FairGate {
+    /// Create a gate admitting at most `capacity` holders at once (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1) as u64,
+            state: Mutex::new(GateState {
+                next_ticket: 0,
+                released: 0,
+            }),
+            turn: Condvar::new(),
+        }
+    }
+
+    /// Maximum number of concurrent permit holders.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Number of submitters currently holding or waiting for a permit.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        let state = lock(&self.state);
+        (state.next_ticket - state.released) as usize
+    }
+
+    /// Block until admitted, in strict arrival order, and return the permit.
+    /// Dropping the permit releases the slot and wakes the next ticket.
+    pub fn acquire(&self) -> GatePermit<'_> {
+        let mut state = lock(&self.state);
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        while ticket >= state.released + self.capacity {
+            state = self
+                .turn
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(state);
+        GatePermit { gate: self }
+    }
+}
+
+/// RAII permit for one admitted submitter; dropping it admits the next ticket.
+#[derive(Debug)]
+pub struct GatePermit<'a> {
+    gate: &'a FairGate,
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        let mut state = lock(&self.gate.state);
+        state.released += 1;
+        drop(state);
+        // Every waiter re-checks its own ticket; admission order is enforced
+        // by the ticket comparison, not by wake order.
+        self.gate.turn.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier};
+    use std::time::Duration;
+
+    #[test]
+    fn permits_up_to_capacity_without_blocking() {
+        let gate = FairGate::new(3);
+        let a = gate.acquire();
+        let b = gate.acquire();
+        let c = gate.acquire();
+        assert_eq!(gate.in_flight(), 3);
+        drop((a, b, c));
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let gate = FairGate::new(0);
+        assert_eq!(gate.capacity(), 1);
+        let permit = gate.acquire();
+        drop(permit);
+    }
+
+    #[test]
+    fn observed_concurrency_never_exceeds_capacity() {
+        let gate = Arc::new(FairGate::new(2));
+        let active = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (gate, active, peak, barrier) = (
+                    Arc::clone(&gate),
+                    Arc::clone(&active),
+                    Arc::clone(&peak),
+                    Arc::clone(&barrier),
+                );
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for _ in 0..5 {
+                        let _permit = gate.acquire();
+                        let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_micros(200));
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "peak {}",
+            peak.load(Ordering::SeqCst)
+        );
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn admission_is_fifo() {
+        // Hold the single permit, queue several waiters with known arrival
+        // order, then release and check they are admitted in that order.
+        let gate = Arc::new(FairGate::new(1));
+        let admitted = Arc::new(Mutex::new(Vec::new()));
+        let first = gate.acquire();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let worker_gate = Arc::clone(&gate);
+            let admitted = Arc::clone(&admitted);
+            handles.push(std::thread::spawn(move || {
+                let _permit = worker_gate.acquire();
+                admitted.lock().unwrap().push(i);
+            }));
+            // Wait until this waiter has taken its ticket so arrival order is
+            // deterministic.
+            while gate.in_flight() < i + 2 {
+                std::thread::yield_now();
+            }
+        }
+        drop(first);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(*admitted.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+}

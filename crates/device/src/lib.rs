@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod gate;
 pub mod launch;
 pub mod memory;
 pub mod profile;
@@ -35,6 +36,7 @@ mod device;
 
 pub use device::{Device, DeviceConfig};
 pub use error::{DeviceError, DeviceResult};
+pub use gate::{FairGate, GatePermit};
 pub use launch::{BlockContext, LaunchConfig};
-pub use memory::{DeviceBuffer, MemoryPool, MemoryUsage};
+pub use memory::{DeviceBuffer, MemoryPool, MemoryUsage, VecShelf};
 pub use profile::{DeviceProfile, KernelTiming};

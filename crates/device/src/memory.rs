@@ -12,6 +12,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use crate::error::{DeviceError, DeviceResult};
 
 /// Snapshot of the pool occupancy.
@@ -275,6 +277,123 @@ impl<T> Drop for DeviceBuffer<T> {
     }
 }
 
+/// Most retired vectors a [`VecShelf`] retains before it starts dropping the
+/// smallest ones.  Bounds host memory held by idle shelves.
+const MAX_SHELVED: usize = 32;
+
+/// A free-list of retired `Vec<T>` backing storage: the buffer-recycling
+/// primitive behind the scratch arenas of the batch execution engine.
+///
+/// Shelved storage is **host capacity only** and is never charged against a
+/// [`MemoryPool`]: a [`DeviceBuffer`] retired through [`VecShelf::retire`]
+/// first releases its pool charge (via [`DeviceBuffer::into_vec`]), so pool
+/// accounting — and every memory-pressure heuristic built on it — behaves
+/// exactly as if the buffer had been freed and a later reuse were a fresh
+/// allocation.  What recycling saves is host allocator traffic: [`VecShelf::take`]
+/// hands back retained capacity instead of growing a new `Vec` from nothing,
+/// which is the dominant per-iteration cost of the simulated kernels.
+///
+/// `take` is deterministic best-fit, so recycling never changes computed
+/// values — a recycled vector is always cleared and refilled by its consumer.
+#[derive(Debug)]
+pub struct VecShelf<T> {
+    free: Mutex<Vec<Vec<T>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<T> Default for VecShelf<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> VecShelf<T> {
+    /// Create an empty shelf.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Take an empty vector with at least `capacity` reserved, reusing retired
+    /// storage when a large-enough vector is shelved (best fit); otherwise a
+    /// freshly allocated vector is returned and a miss is counted.
+    #[must_use]
+    pub fn take(&self, capacity: usize) -> Vec<T> {
+        let mut free = self.free.lock();
+        let best = free
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.capacity() >= capacity)
+            .min_by_key(|(_, v)| v.capacity())
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                free.swap_remove(i)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                drop(free);
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Shelve `storage` for reuse.  The vector is cleared; if the shelf is
+    /// full, the smallest retained vector is dropped to make room (or the
+    /// incoming one, when it is smaller still).
+    pub fn put(&self, mut storage: Vec<T>) {
+        if storage.capacity() == 0 {
+            return;
+        }
+        storage.clear();
+        let mut free = self.free.lock();
+        if free.len() >= MAX_SHELVED {
+            let smallest = free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, v)| v.capacity())
+                .map(|(i, _)| i);
+            match smallest {
+                Some(i) if free[i].capacity() < storage.capacity() => {
+                    free.swap_remove(i);
+                }
+                _ => return,
+            }
+        }
+        free.push(storage);
+    }
+
+    /// Retire a device buffer: release its pool charge and shelve its backing
+    /// storage for reuse.
+    pub fn retire(&self, buffer: DeviceBuffer<T>) {
+        self.put(buffer.into_vec());
+    }
+
+    /// Number of `take` calls served from retired storage.
+    #[must_use]
+    pub fn reuse_hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of `take` calls that had to allocate fresh storage.
+    #[must_use]
+    pub fn reuse_misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of vectors currently shelved.
+    #[must_use]
+    pub fn shelved(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +495,74 @@ mod tests {
         let pool = MemoryPool::new(0);
         assert!(pool.alloc_zeroed::<u8>(1).is_err());
         assert!((pool.usage().utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shelf_reuses_retired_capacity() {
+        let shelf = VecShelf::<f64>::new();
+        let mut v = shelf.take(100);
+        assert_eq!(shelf.reuse_misses(), 1);
+        v.extend(std::iter::repeat_n(1.0, 100));
+        let cap = v.capacity();
+        shelf.put(v);
+        assert_eq!(shelf.shelved(), 1);
+        let reused = shelf.take(50);
+        assert_eq!(shelf.reuse_hits(), 1);
+        assert!(reused.is_empty(), "shelved vectors are cleared");
+        assert_eq!(reused.capacity(), cap);
+        assert_eq!(shelf.shelved(), 0);
+    }
+
+    #[test]
+    fn shelf_take_is_best_fit() {
+        let shelf = VecShelf::<u8>::new();
+        shelf.put(vec![0u8; 1000]);
+        shelf.put(vec![0u8; 10]);
+        let v = shelf.take(5);
+        assert!(
+            v.capacity() >= 5 && v.capacity() < 1000,
+            "best fit picks the small vector"
+        );
+        let big = shelf.take(500);
+        assert!(big.capacity() >= 1000);
+        assert_eq!(shelf.reuse_hits(), 2);
+    }
+
+    #[test]
+    fn shelf_too_small_storage_is_a_miss() {
+        let shelf = VecShelf::<u8>::new();
+        shelf.put(vec![0u8; 4]);
+        let v = shelf.take(64);
+        assert!(v.capacity() >= 64);
+        assert_eq!(shelf.reuse_misses(), 1);
+        assert_eq!(shelf.shelved(), 1, "the too-small vector stays shelved");
+    }
+
+    #[test]
+    fn shelf_is_bounded() {
+        let shelf = VecShelf::<u8>::new();
+        for i in 0..100 {
+            shelf.put(vec![0u8; i + 1]);
+        }
+        assert!(shelf.shelved() <= super::MAX_SHELVED);
+    }
+
+    #[test]
+    fn retiring_a_device_buffer_releases_its_charge() {
+        let pool = MemoryPool::new(KIB);
+        let shelf = VecShelf::<f64>::new();
+        let buf = pool.alloc_zeroed::<f64>(64).unwrap();
+        assert_eq!(pool.usage().used, 512);
+        shelf.retire(buf);
+        assert_eq!(pool.usage().used, 0, "shelved storage is uncharged");
+        assert_eq!(shelf.shelved(), 1);
+    }
+
+    #[test]
+    fn empty_vectors_are_not_shelved() {
+        let shelf = VecShelf::<f64>::new();
+        shelf.put(Vec::new());
+        assert_eq!(shelf.shelved(), 0);
     }
 
     #[test]

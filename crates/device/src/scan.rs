@@ -81,6 +81,33 @@ pub fn compact_by_mask<T: Clone + Send + Sync>(values: &[T], mask: &[u8]) -> Vec
     gather(values, &sources)
 }
 
+/// Like [`compact_by_mask`], but writing into `out`, reusing its capacity.
+///
+/// This is the allocation-free variant used by the scratch-arena execution
+/// path: `out` is cleared and refilled, so repeated iterations recycle one
+/// vector instead of allocating a fresh one per generation.  The gather is
+/// sequential — the surviving count per generation is small compared to the
+/// evaluate kernel — and produces exactly the same element order as the
+/// parallel variant.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn compact_by_mask_into<T: Clone>(values: &[T], mask: &[u8], out: &mut Vec<T>) {
+    assert_eq!(
+        values.len(),
+        mask.len(),
+        "compaction requires equal lengths"
+    );
+    out.clear();
+    out.extend(
+        values
+            .iter()
+            .zip(mask)
+            .filter(|(_, &m)| m != 0)
+            .map(|(v, _)| v.clone()),
+    );
+}
+
 /// Gather `values[src]` for every index in `sources`.
 ///
 /// Used when the surviving-region indices have already been computed once and several
@@ -136,6 +163,18 @@ mod tests {
         let values = vec![10, 11, 12, 13, 14];
         let mask = vec![1u8, 0, 1, 0, 1];
         assert_eq!(compact_by_mask(&values, &mask), vec![10, 12, 14]);
+    }
+
+    #[test]
+    fn compact_into_matches_allocating_variant_and_reuses_storage() {
+        let values: Vec<i32> = (0..1000).collect();
+        let mask: Vec<u8> = (0..1000).map(|i| (i % 3 == 0) as u8).collect();
+        let mut out = Vec::with_capacity(1000);
+        out.push(-1); // stale content must be cleared
+        let cap = out.capacity();
+        compact_by_mask_into(&values, &mask, &mut out);
+        assert_eq!(out, compact_by_mask(&values, &mask));
+        assert_eq!(out.capacity(), cap, "no reallocation needed");
     }
 
     #[test]

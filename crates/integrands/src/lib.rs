@@ -9,7 +9,7 @@
 //!   reference value.
 //! * [`genz`] — the six Genz (1984) integrand families with randomised parameters and
 //!   analytic reference values, used for robustness testing beyond the paper's suite.
-//! * [`reference`] — the machinery that computes those reference values: product
+//! * [`mod@reference`] — the machinery that computes those reference values: product
 //!   formulas, inclusion–exclusion for the corner peak, a multinomial dynamic program
 //!   for even box integrals and a 1-D Gamma-representation reduction for the
 //!   half-integer box integral f8.

@@ -30,10 +30,34 @@
 //! assert!(output.result.relative_error_estimate() <= 1e-5);
 //! ```
 //!
+//! ## Batch execution
+//!
+//! For throughput-oriented workloads — many independent integrals answered
+//! from one device — [`integrate_batch`] runs jobs concurrently over the
+//! device's one worker pool, recycling buffers across iterations and jobs.
+//! Results are bit-identical to running the same jobs sequentially:
+//!
+//! ```
+//! use pagani::prelude::*;
+//!
+//! let smooth = FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]);
+//! let bump = FnIntegrand::new(3, |x: &[f64]| {
+//!     (-x.iter().map(|&v| (v - 0.5) * (v - 0.5)).sum::<f64>() * 10.0).exp()
+//! });
+//! let jobs = [BatchJob::new(&smooth), BatchJob::new(&bump)];
+//!
+//! let device = Device::test_small();
+//! let config = PaganiConfig::test_small(Tolerances::rel(1e-5));
+//! let outputs = pagani::integrate_batch(&device, &config, &jobs);
+//!
+//! assert!(outputs.iter().all(|o| o.result.converged()));
+//! ```
+//!
 //! The `examples/` directory contains runnable end-to-end scenarios (quick start, a
-//! cosmology-flavoured likelihood normalisation, a basket-option payoff, the threshold
-//! search trace of the paper's Figure 3 and a head-to-head method comparison), and the
-//! `pagani-bench` crate regenerates every figure of the paper's evaluation.
+//! cosmology-flavoured likelihood normalisation, a basket-option payoff, a
+//! batch-throughput demo, the threshold search trace of the paper's Figure 3 and a
+//! head-to-head method comparison), and the `pagani-bench` crate regenerates every
+//! figure of the paper's evaluation.
 
 #![warn(missing_docs)]
 
@@ -43,14 +67,16 @@ pub use pagani_device as device;
 pub use pagani_integrands as integrands;
 pub use pagani_quadrature as quadrature;
 
+pub use pagani_core::batch::integrate_batch;
+
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use pagani_baselines::{
         Cuhre, CuhreConfig, MonteCarlo, MonteCarloConfig, Qmc, QmcConfig, TwoPhase, TwoPhaseConfig,
     };
     pub use pagani_core::{
-        HeuristicFiltering, MultiDeviceOutput, MultiDevicePagani, Pagani, PaganiConfig,
-        PaganiOutput,
+        integrate_batch, BatchJob, BatchRunner, HeuristicFiltering, MultiDeviceOutput,
+        MultiDevicePagani, Pagani, PaganiConfig, PaganiOutput, ScratchArena,
     };
     pub use pagani_device::{Device, DeviceConfig};
     pub use pagani_integrands::paper::PaperIntegrand;

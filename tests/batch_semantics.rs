@@ -1,0 +1,146 @@
+//! Batch-execution semantics: `integrate_batch` must be a pure throughput
+//! optimisation.  For every tested worker count, the outputs of a batch run
+//! are **bit-identical** to running the same jobs sequentially through the
+//! single-shot API on the same device — and identical across worker counts,
+//! extending the determinism guarantee of the execution substrate (PR 2) to
+//! whole concurrent jobs.
+
+use pagani::prelude::*;
+
+/// The value-carrying fields of an output; everything except wall time.
+#[derive(Debug, PartialEq, Eq, Clone)]
+struct Fingerprint {
+    estimate_bits: u64,
+    error_bits: u64,
+    termination: Termination,
+    iterations: usize,
+    function_evaluations: u64,
+    regions_generated: u64,
+    active_regions_final: usize,
+    trace_len: usize,
+}
+
+fn fingerprint(output: &PaganiOutput) -> Fingerprint {
+    Fingerprint {
+        estimate_bits: output.result.estimate.to_bits(),
+        error_bits: output.result.error_estimate.to_bits(),
+        termination: output.result.termination,
+        iterations: output.result.iterations,
+        function_evaluations: output.result.function_evaluations,
+        regions_generated: output.result.regions_generated,
+        active_regions_final: output.result.active_regions_final,
+        trace_len: output.trace.iterations.len(),
+    }
+}
+
+fn device_with_workers(workers: usize) -> Device {
+    Device::new(
+        DeviceConfig::test_small()
+            .with_memory_capacity(32 << 20)
+            .with_worker_threads(workers),
+    )
+}
+
+/// A mixed single-sign workload: different families, dimensions and scales.
+fn workload() -> Vec<PaperIntegrand> {
+    vec![
+        PaperIntegrand::f3(3),
+        PaperIntegrand::f4(4),
+        PaperIntegrand::f5(3),
+        PaperIntegrand::f7(4),
+        PaperIntegrand::f4(3),
+        PaperIntegrand::f3(2),
+    ]
+}
+
+fn config() -> PaganiConfig {
+    PaganiConfig::test_small(Tolerances::rel(1e-4))
+}
+
+#[test]
+fn batch_is_bit_identical_to_sequential_across_worker_counts() {
+    let jobs_src = workload();
+    let mut per_worker_fingerprints: Vec<Vec<Fingerprint>> = Vec::new();
+
+    for workers in [1usize, 2, 8] {
+        let device = device_with_workers(workers);
+
+        // Sequential reference: one job at a time through the plain API.
+        let pagani = Pagani::new(device.clone(), config());
+        let sequential: Vec<Fingerprint> = jobs_src
+            .iter()
+            .map(|f| fingerprint(&pagani.integrate(f)))
+            .collect();
+
+        // The same jobs as one concurrent batch on the same device.
+        let jobs: Vec<BatchJob<'_>> = jobs_src.iter().map(|f| BatchJob::new(f)).collect();
+        let batched = pagani::integrate_batch(&device, &config(), &jobs);
+        let batched: Vec<Fingerprint> = batched.iter().map(fingerprint).collect();
+
+        assert_eq!(
+            sequential, batched,
+            "batch diverged from sequential at worker_threads = {workers}"
+        );
+        per_worker_fingerprints.push(batched);
+    }
+
+    // And the whole batch is identical across worker counts.
+    assert_eq!(per_worker_fingerprints[0], per_worker_fingerprints[1]);
+    assert_eq!(per_worker_fingerprints[1], per_worker_fingerprints[2]);
+}
+
+#[test]
+fn repeated_batches_on_one_runner_are_bit_identical() {
+    // Arena recycling across runs must not leak state into results: the
+    // second batch on the same runner (whose workers now hold warm arenas)
+    // must reproduce the first bit for bit.
+    let jobs_src = workload();
+    let jobs: Vec<BatchJob<'_>> = jobs_src.iter().map(|f| BatchJob::new(f)).collect();
+    let runner = BatchRunner::new(device_with_workers(2), config());
+    let first: Vec<Fingerprint> = runner.run(&jobs).iter().map(fingerprint).collect();
+    let second: Vec<Fingerprint> = runner.run(&jobs).iter().map(fingerprint).collect();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn oversubscribed_concurrency_is_gated_not_oversubscribed() {
+    // Concurrency far above the worker count: the FIFO gate admits at most a
+    // pool's worth of jobs at once, and results stay bit-identical.
+    let jobs_src = workload();
+    let jobs: Vec<BatchJob<'_>> = jobs_src.iter().map(|f| BatchJob::new(f)).collect();
+    let device = device_with_workers(2);
+    assert_eq!(device.submission_gate().capacity(), 2);
+    let gated = BatchRunner::new(device.clone(), config())
+        .with_concurrency(16)
+        .run(&jobs);
+    let pagani = Pagani::new(device.clone(), config());
+    for (f, out) in jobs_src.iter().zip(&gated) {
+        assert_eq!(
+            fingerprint(&pagani.integrate(f)),
+            fingerprint(out),
+            "gated oversubscription changed a result"
+        );
+    }
+    assert_eq!(device.submission_gate().in_flight(), 0);
+}
+
+#[test]
+fn multi_device_batch_matches_single_device_batch() {
+    let jobs_src = workload();
+    let jobs: Vec<BatchJob<'_>> = jobs_src.iter().map(|f| BatchJob::new(f)).collect();
+    let single: Vec<Fingerprint> =
+        pagani::integrate_batch(&device_with_workers(2), &config(), &jobs)
+            .iter()
+            .map(fingerprint)
+            .collect();
+    let multi = MultiDevicePagani::new((0..3).map(|_| device_with_workers(2)).collect(), config());
+    let sharded: Vec<Fingerprint> = multi
+        .integrate_batch(&jobs)
+        .iter()
+        .map(fingerprint)
+        .collect();
+    assert_eq!(
+        single, sharded,
+        "sharding jobs across devices changed results"
+    );
+}

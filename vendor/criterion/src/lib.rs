@@ -9,7 +9,25 @@
 //!
 //! No statistical analysis, plotting or HTML reports; output is one line per
 //! benchmark on stdout.
+//!
+//! # Machine-readable results
+//!
+//! Passing `--save-json <path>` after the `--` separator (or setting the
+//! `CRITERION_SAVE_JSON` environment variable) **appends** one JSON object per
+//! completed benchmark to `<path>`, one per line:
+//!
+//! ```text
+//! {"name":"launch_overhead/launch_map_64_trivial_2_workers","mean_ns":81543.2,"samples":50}
+//! ```
+//!
+//! Append semantics let the several `Criterion` instances created by
+//! [`criterion_main!`] groups — and several bench binaries run back to back —
+//! share one results file; callers that want a fresh trajectory delete the
+//! file first (the CI bench-smoke job does exactly that, then slurps the lines
+//! into a JSON array).
 
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -17,22 +35,35 @@ pub use std::hint::black_box;
 /// Top-level benchmark driver.
 pub struct Criterion {
     filter: Option<String>,
+    save_path: Option<PathBuf>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { filter: None }
+        Self {
+            filter: None,
+            save_path: std::env::var_os("CRITERION_SAVE_JSON").map(PathBuf::from),
+        }
     }
 }
 
 impl Criterion {
-    /// Apply command-line arguments (only a name substring filter is honoured;
-    /// harness flags such as `--bench` are ignored).
+    /// Apply command-line arguments: `--save-json <path>` selects the
+    /// machine-readable results file (overriding `CRITERION_SAVE_JSON`), the
+    /// first other non-flag argument is a name substring filter, and harness
+    /// flags such as `--bench` are ignored.
     #[must_use]
     pub fn configure_from_args(mut self) -> Self {
-        self.filter = std::env::args()
-            .skip(1)
-            .find(|arg| !arg.starts_with('-'));
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--save-json" {
+                if let Some(path) = args.next() {
+                    self.save_path = Some(PathBuf::from(path));
+                }
+            } else if !arg.starts_with('-') && self.filter.is_none() {
+                self.filter = Some(arg);
+            }
+        }
         self
     }
 
@@ -65,14 +96,49 @@ impl Criterion {
         }
         let mut bencher = Bencher {
             samples,
+            samples_taken: 0,
             measurement: None,
         };
         f(&mut bencher);
         match bencher.measurement {
-            Some(ns_per_iter) => println!("{id:<50} time: {}", format_ns(ns_per_iter)),
+            Some(ns_per_iter) => {
+                println!("{id:<50} time: {}", format_ns(ns_per_iter));
+                self.save_record(id, ns_per_iter, bencher.samples_taken);
+            }
             None => println!("{id:<50} (no measurement)"),
         }
     }
+
+    /// Append one `{name, mean_ns, samples}` record to the results file, if
+    /// one was configured.
+    fn save_record(&self, id: &str, mean_ns: f64, samples: usize) {
+        let Some(path) = &self.save_path else { return };
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|err| panic!("failed to open {}: {err}", path.display()));
+        writeln!(
+            file,
+            "{{\"name\":\"{}\",\"mean_ns\":{mean_ns},\"samples\":{samples}}}",
+            escape_json(id)
+        )
+        .unwrap_or_else(|err| panic!("failed to write {}: {err}", path.display()));
+    }
+}
+
+/// Escape the characters JSON strings cannot contain verbatim.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A named group of benchmarks sharing configuration.
@@ -152,6 +218,7 @@ const DEFAULT_SAMPLE_SIZE: usize = 100;
 /// Passed to every benchmark closure; [`Bencher::iter`] runs the measurement.
 pub struct Bencher {
     samples: usize,
+    samples_taken: usize,
     measurement: Option<f64>,
 }
 
@@ -191,6 +258,7 @@ impl Bencher {
                 .push(batch_start.elapsed().as_secs_f64() * 1e9 / batch_iters as f64);
         }
         batch_means.sort_by(f64::total_cmp);
+        self.samples_taken = batch_means.len();
         self.measurement = Some(batch_means[batch_means.len() / 2]);
     }
 }
@@ -248,5 +316,45 @@ mod tests {
     fn ids_render() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn save_json_appends_one_record_per_benchmark() {
+        let path = std::env::temp_dir().join(format!("criterion-save-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut criterion = Criterion {
+            filter: None,
+            save_path: Some(path.clone()),
+        };
+        criterion.bench_function("demo/first", |b| b.iter(|| black_box(1 + 1)));
+        criterion.bench_function("demo/second", |b| b.iter(|| black_box(2 * 2)));
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"name\":\"demo/first\",\"mean_ns\":"));
+        assert!(lines[0].contains("\"samples\":"));
+        assert!(lines[0].ends_with('}'));
+        assert!(lines[1].starts_with("{\"name\":\"demo/second\","));
+    }
+
+    #[test]
+    fn filtered_out_benchmarks_write_no_record() {
+        let path = std::env::temp_dir().join(format!("criterion-filter-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut criterion = Criterion {
+            filter: Some("nomatch".to_owned()),
+            save_path: Some(path.clone()),
+        };
+        criterion.bench_function("demo/skipped", |b| b.iter(|| black_box(0)));
+        assert!(!path.exists(), "no record for a filtered-out benchmark");
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(escape_json("plain/name_1"), "plain/name_1");
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb"), "a\\u000ab");
     }
 }
