@@ -11,6 +11,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
+use pagani_core::integrator::{ensure_matching_dims, Capabilities, Integrator};
 use pagani_quadrature::two_level::refine_error;
 use pagani_quadrature::{
     EvalScratch, GenzMalik, Integrand, IntegrationResult, Region, Termination, Tolerances,
@@ -121,7 +122,7 @@ impl Cuhre {
         f: &F,
         region: &Region,
     ) -> IntegrationResult {
-        assert_eq!(region.dim(), f.dim(), "region/integrand dimension mismatch");
+        ensure_matching_dims(f, region);
         let start = Instant::now();
         let dim = f.dim();
         let rule = GenzMalik::new(dim);
@@ -211,6 +212,27 @@ impl Cuhre {
             active_regions_final: heap.len(),
             wall_time: start.elapsed(),
         }
+    }
+}
+
+impl Integrator for Cuhre {
+    fn name(&self) -> &'static str {
+        "cuhre"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            deterministic: true,
+            uses_device: false,
+            adaptive: true,
+            statistical_errors: false,
+            min_dim: 2,
+            max_dim: Some(30),
+        }
+    }
+
+    fn integrate_region(&self, f: &dyn Integrand, region: &Region) -> IntegrationResult {
+        Cuhre::integrate_region(self, f, region)
     }
 }
 

@@ -14,17 +14,22 @@
 //!   randomly-shifted Halton points, which preserves the relevant contract (an
 //!   unbiased estimate with an error estimate that shrinks as samples grow).
 //!
-//! All three return the same [`pagani_quadrature::IntegrationResult`] as PAGANI so the
-//! benchmark harness can sweep them interchangeably.
+//! Every baseline implements the workspace-wide
+//! [`pagani_core::Integrator`] trait and returns the same
+//! [`pagani_quadrature::IntegrationResult`] as PAGANI, so the benchmark
+//! harness can sweep methods interchangeably; the [`method`] module turns a
+//! [`MethodConfig`] value into any of the five integrators at runtime.
 
 #![warn(missing_docs)]
 
 pub mod cuhre;
+pub mod method;
 pub mod monte_carlo;
 pub mod qmc;
 pub mod two_phase;
 
 pub use cuhre::{Cuhre, CuhreConfig};
+pub use method::{IntegratorBuilder, MethodConfig};
 pub use monte_carlo::{MonteCarlo, MonteCarloConfig};
 pub use qmc::{Qmc, QmcConfig};
 pub use two_phase::{TwoPhase, TwoPhaseConfig};

@@ -9,6 +9,7 @@
 
 use std::time::Instant;
 
+use pagani_core::integrator::{ensure_matching_dims, Capabilities, Integrator};
 use pagani_device::Device;
 use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination, Tolerances};
 use rand::rngs::StdRng;
@@ -91,7 +92,7 @@ impl MonteCarlo {
         f: &F,
         region: &Region,
     ) -> IntegrationResult {
-        assert_eq!(region.dim(), f.dim(), "region/integrand dimension mismatch");
+        ensure_matching_dims(f, region);
         let start = Instant::now();
         let dim = f.dim();
         let volume = region.volume();
@@ -161,6 +162,28 @@ impl MonteCarlo {
             active_regions_final: 0,
             wall_time: start.elapsed(),
         }
+    }
+}
+
+impl Integrator for MonteCarlo {
+    fn name(&self) -> &'static str {
+        "monte-carlo"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            // Stream seeds derive deterministically from the config seed.
+            deterministic: true,
+            uses_device: true,
+            adaptive: false,
+            statistical_errors: true,
+            min_dim: 1,
+            max_dim: None,
+        }
+    }
+
+    fn integrate_region(&self, f: &dyn Integrand, region: &Region) -> IntegrationResult {
+        MonteCarlo::integrate_region(self, f, region)
     }
 }
 

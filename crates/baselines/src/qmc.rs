@@ -11,6 +11,7 @@
 
 use std::time::Instant;
 
+use pagani_core::integrator::{ensure_matching_dims, Capabilities, Integrator};
 use pagani_device::Device;
 use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination, Tolerances};
 use rand::rngs::StdRng;
@@ -120,7 +121,7 @@ impl Qmc {
         f: &F,
         region: &Region,
     ) -> IntegrationResult {
-        assert_eq!(region.dim(), f.dim(), "region/integrand dimension mismatch");
+        ensure_matching_dims(f, region);
         let dim = f.dim();
         assert!(
             dim <= PRIMES.len(),
@@ -188,6 +189,29 @@ impl Qmc {
             active_regions_final: 0,
             wall_time: start.elapsed(),
         }
+    }
+}
+
+impl Integrator for Qmc {
+    fn name(&self) -> &'static str {
+        "qmc"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            // The shift seed is fixed in the config, so reruns are
+            // bit-identical even though the error estimate is statistical.
+            deterministic: true,
+            uses_device: true,
+            adaptive: false,
+            statistical_errors: true,
+            min_dim: 1,
+            max_dim: Some(PRIMES.len()),
+        }
+    }
+
+    fn integrate_region(&self, f: &dyn Integrand, region: &Region) -> IntegrationResult {
+        Qmc::integrate_region(self, f, region)
     }
 }
 

@@ -16,6 +16,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
+use pagani_core::integrator::{ensure_matching_dims, Capabilities, Integrator};
 use pagani_device::{reduce, Device};
 use pagani_quadrature::two_level::refine_generation;
 use pagani_quadrature::{
@@ -120,7 +121,7 @@ impl TwoPhase {
         f: &F,
         region: &Region,
     ) -> IntegrationResult {
-        assert_eq!(region.dim(), f.dim(), "region/integrand dimension mismatch");
+        ensure_matching_dims(f, region);
         let start = Instant::now();
         let dim = f.dim();
         let rule = GenzMalik::new(dim);
@@ -277,6 +278,27 @@ impl TwoPhase {
             active_regions_final: outcomes.len(),
             wall_time: start.elapsed(),
         }
+    }
+}
+
+impl Integrator for TwoPhase {
+    fn name(&self) -> &'static str {
+        "two-phase"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            deterministic: true,
+            uses_device: true,
+            adaptive: true,
+            statistical_errors: false,
+            min_dim: 2,
+            max_dim: Some(30),
+        }
+    }
+
+    fn integrate_region(&self, f: &dyn Integrand, region: &Region) -> IntegrationResult {
+        TwoPhase::integrate_region(self, f, region)
     }
 }
 

@@ -8,6 +8,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use pagani_core::classify::ACTIVE;
 use pagani_core::region_list::RegionList;
 use pagani_core::threshold::{threshold_classify, ThresholdPolicy};
+use pagani_core::ScratchArena;
 use pagani_device::{reduce, scan, Device, DeviceConfig, MemoryPool};
 use pagani_integrands::paper::PaperIntegrand;
 use pagani_quadrature::{EvalScratch, GenzMalik, Integrand, Region};
@@ -55,15 +56,20 @@ fn bench_threshold_search(c: &mut Criterion) {
     let errors: Vec<f64> = (0..n).map(|i| 1e-12 * (1.0 + (i % 977) as f64)).collect();
     let mask = vec![ACTIVE; n];
     let iteration_error: f64 = errors.iter().sum();
+    // One warm arena across iterations, as in the driver loop: candidate-mask
+    // probes recycle shelved storage instead of allocating.
+    let arena = ScratchArena::new();
     group.bench_function("100k_regions", |b| {
         b.iter(|| {
-            black_box(threshold_classify(
+            let outcome = threshold_classify(
                 &mask,
                 &errors,
                 1e-6,
                 iteration_error,
                 ThresholdPolicy::default(),
-            ))
+                &arena,
+            );
+            arena.put_mask(black_box(outcome).mask);
         })
     });
     group.finish();

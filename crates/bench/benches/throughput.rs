@@ -16,21 +16,23 @@
 //! with `--save-json <path>` (or `CRITERION_SAVE_JSON`) to record the numbers;
 //! the CI bench-smoke job tracks this group as the perf trajectory.
 
+use std::sync::Arc;
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pagani_core::{BatchJob, BatchRunner, Pagani, PaganiConfig};
 use pagani_device::{Device, DeviceConfig};
 use pagani_integrands::paper::PaperIntegrand;
-use pagani_quadrature::Tolerances;
+use pagani_quadrature::{Integrand, Tolerances};
 
 /// The 16-job mixed Genz workload: four single-sign families at four
 /// dimensionalities each, the shape of a request mix a batch service would see.
-fn mixed_workload() -> Vec<PaperIntegrand> {
+fn mixed_workload() -> Vec<Arc<PaperIntegrand>> {
     let mut jobs = Vec::with_capacity(16);
     for dim in [2usize, 3, 4, 5] {
-        jobs.push(PaperIntegrand::f3(dim));
-        jobs.push(PaperIntegrand::f4(dim));
-        jobs.push(PaperIntegrand::f5(dim));
-        jobs.push(PaperIntegrand::f7(dim));
+        jobs.push(Arc::new(PaperIntegrand::f3(dim)));
+        jobs.push(Arc::new(PaperIntegrand::f4(dim)));
+        jobs.push(Arc::new(PaperIntegrand::f5(dim)));
+        jobs.push(Arc::new(PaperIntegrand::f7(dim)));
     }
     jobs
 }
@@ -53,14 +55,17 @@ fn bench_throughput(c: &mut Criterion) {
         b.iter(|| {
             let total: f64 = workload
                 .iter()
-                .map(|f| sequential.integrate(f).result.estimate)
+                .map(|f| sequential.integrate(f.as_ref()).result.estimate)
                 .sum();
             black_box(total)
         })
     });
 
     let runner = BatchRunner::new(device.clone(), config.clone());
-    let jobs: Vec<BatchJob<'_>> = workload.iter().map(|f| BatchJob::new(f)).collect();
+    let jobs: Vec<BatchJob> = workload
+        .iter()
+        .map(|f| BatchJob::shared(f.clone() as Arc<dyn Integrand + Send + Sync>))
+        .collect();
     group.bench_function("batch_16_jobs", |b| {
         b.iter(|| {
             let total: f64 = runner.run(&jobs).iter().map(|o| o.result.estimate).sum();

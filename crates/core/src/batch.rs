@@ -5,7 +5,10 @@
 //! launches with serial host phases, so one job cannot keep a wide worker pool
 //! busy — and a service answering many integration requests cares about
 //! *throughput* (integrals per second), not single-job latency.  A
-//! [`BatchRunner`] runs N independent jobs concurrently over one [`Device`]:
+//! [`BatchRunner`] runs N independent jobs concurrently over one [`Device`].
+//! Since the asynchronous [`crate::IntegrationService`] landed, the runner is
+//! submit-all-then-wait sugar on top of that queue, so both entry points share
+//! one execution model:
 //!
 //! * **No oversubscription.**  Every kernel launch from every job lands on the
 //!   device's one worker pool, and whole jobs are admitted through the
@@ -14,10 +17,10 @@
 //!   and when jobs do queue they are admitted in the order they reached the
 //!   gate: a stream of short jobs can never starve a long one that arrived
 //!   first.
-//! * **Buffer reuse.**  Each runner worker owns a long-lived [`ScratchArena`];
-//!   region lists, estimate arrays and classification masks are recycled
-//!   across iterations and across the jobs that worker executes, instead of
-//!   being reallocated each generation.
+//! * **Buffer reuse.**  Each service worker owns a long-lived
+//!   [`crate::ScratchArena`]; region lists, estimate arrays and classification
+//!   masks are recycled across iterations and across the jobs that worker
+//!   executes, instead of being reallocated each generation.
 //! * **Per-job memory isolation.**  Each job runs against
 //!   [`Device::isolated_memory_view`]: a fresh, full-capacity pool sharing the
 //!   parent's workers.  Memory-pressure heuristics therefore see exactly what
@@ -31,34 +34,38 @@
 //! use pagani_device::Device;
 //! use pagani_quadrature::{FnIntegrand, Tolerances};
 //!
-//! let a = FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]);
-//! let b = FnIntegrand::new(3, |x: &[f64]| x[0] * x[1] * x[2]);
-//! let jobs = [BatchJob::new(&a), BatchJob::new(&b)];
+//! let jobs = [
+//!     BatchJob::new(FnIntegrand::new(2, |x: &[f64]| x[0] + x[1])),
+//!     BatchJob::new(FnIntegrand::new(3, |x: &[f64]| x[0] * x[1] * x[2])),
+//! ];
 //! let device = Device::test_small();
 //! let config = PaganiConfig::test_small(Tolerances::rel(1e-6));
 //! let outputs = integrate_batch(&device, &config, &jobs);
 //! assert!(outputs.iter().all(|o| o.result.converged()));
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 
 use pagani_device::Device;
 use pagani_quadrature::{Integrand, Region};
 
-use crate::arena::ScratchArena;
 use crate::config::PaganiConfig;
-use crate::driver::{Pagani, PaganiOutput};
+use crate::driver::PaganiOutput;
+use crate::service::IntegrationService;
 
-/// One independent integration job: an integrand and the region to integrate
-/// it over.
+/// One independent integration job: a shared integrand and the region to
+/// integrate it over.
+///
+/// Jobs own their integrand behind an [`Arc`] so they can be queued on a
+/// service, carried across worker threads and cloned cheaply; wrap a value
+/// with [`BatchJob::new`] or share an existing `Arc` with [`BatchJob::shared`].
 #[derive(Clone)]
-pub struct BatchJob<'a> {
-    integrand: &'a dyn Integrand,
+pub struct BatchJob {
+    integrand: Arc<dyn Integrand + Send + Sync>,
     region: Region,
 }
 
-impl std::fmt::Debug for BatchJob<'_> {
+impl std::fmt::Debug for BatchJob {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BatchJob")
             .field("integrand", &self.integrand.name())
@@ -67,27 +74,32 @@ impl std::fmt::Debug for BatchJob<'_> {
     }
 }
 
-impl<'a> BatchJob<'a> {
+impl BatchJob {
     /// A job integrating `integrand` over its default bounds.
     #[must_use]
-    pub fn new(integrand: &'a dyn Integrand) -> Self {
-        let (lo, hi) = integrand.default_bounds();
-        Self {
-            integrand,
-            region: Region::new(lo, hi),
-        }
+    pub fn new<F: Integrand + Send + Sync + 'static>(integrand: F) -> Self {
+        Self::shared(Arc::new(integrand))
     }
 
-    /// A job integrating `integrand` over an explicit `region`.
+    /// A job integrating an already-shared integrand over its default bounds.
     #[must_use]
-    pub fn over(integrand: &'a dyn Integrand, region: Region) -> Self {
+    pub fn shared(integrand: Arc<dyn Integrand + Send + Sync>) -> Self {
+        let (lo, hi) = integrand.default_bounds();
+        let region = Region::new(lo, hi);
         Self { integrand, region }
+    }
+
+    /// Replace the integration region (defaults to the integrand's bounds).
+    #[must_use]
+    pub fn over(mut self, region: Region) -> Self {
+        self.region = region;
+        self
     }
 
     /// The job's integrand.
     #[must_use]
-    pub fn integrand(&self) -> &'a dyn Integrand {
-        self.integrand
+    pub fn integrand(&self) -> &(dyn Integrand + Send + Sync) {
+        self.integrand.as_ref()
     }
 
     /// The job's integration region.
@@ -118,7 +130,7 @@ impl BatchRunner {
         }
     }
 
-    /// Override how many runner workers pull jobs at once.  Values above the
+    /// Override how many service workers pull jobs at once.  Values above the
     /// device's gate capacity are admitted FIFO by the gate, so raising this
     /// past the worker count cannot oversubscribe the device.
     #[must_use]
@@ -141,50 +153,28 @@ impl BatchRunner {
 
     /// Run every job and return their outputs in job order.
     ///
-    /// Jobs are claimed by a fixed set of runner workers from a shared cursor,
-    /// admitted through the device's FIFO gate, and each executes on a
-    /// memory-isolated view of the device with its worker's long-lived scratch
-    /// arena.  Outputs are bit-identical to running the same jobs sequentially
-    /// with [`Pagani::integrate_region`] on the same device.
+    /// Sugar over [`IntegrationService`]: every job is submitted to a
+    /// transient service in slice order, then all handles are awaited and the
+    /// service shut down.  Jobs run against memory-isolated views of the
+    /// device with per-worker long-lived scratch arenas, so outputs are
+    /// bit-identical to running the same jobs sequentially with
+    /// [`crate::Pagani::integrate_region`] on the same device.
     ///
     /// # Panics
     /// Panics if a job's integrand and region dimensions differ (propagated
     /// from the driver).
     #[must_use]
-    pub fn run(&self, jobs: &[BatchJob<'_>]) -> Vec<PaganiOutput> {
+    pub fn run(&self, jobs: &[BatchJob]) -> Vec<PaganiOutput> {
         if jobs.is_empty() {
             return Vec::new();
         }
         let workers = self.concurrency.min(jobs.len()).max(1);
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<PaganiOutput>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    // One arena per runner worker: storage recycles across
-                    // every job this worker executes.
-                    let arena = ScratchArena::new();
-                    loop {
-                        let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(job) = jobs.get(index) else { break };
-                        let _permit = self.device.submission_gate().acquire();
-                        let view = self.device.isolated_memory_view();
-                        let pagani = Pagani::new(view, self.config.clone());
-                        let output = pagani.integrate_region_in(job.integrand, &job.region, &arena);
-                        *slots[index].lock().expect("result slot poisoned") = Some(output);
-                    }
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every job produces an output")
-            })
-            .collect()
+        let service =
+            IntegrationService::with_workers(self.device.clone(), self.config.clone(), workers);
+        let handles: Vec<_> = jobs.iter().map(|job| service.submit(job.clone())).collect();
+        let outputs = handles.iter().map(|handle| handle.wait()).collect();
+        service.shutdown();
+        outputs
     }
 }
 
@@ -196,7 +186,7 @@ impl BatchRunner {
 pub fn integrate_batch(
     device: &Device,
     config: &PaganiConfig,
-    jobs: &[BatchJob<'_>],
+    jobs: &[BatchJob],
 ) -> Vec<PaganiOutput> {
     BatchRunner::new(device.clone(), config.clone()).run(jobs)
 }
@@ -218,13 +208,10 @@ mod tests {
 
     #[test]
     fn outputs_arrive_in_job_order() {
-        let squares = FnIntegrand::new(2, |x: &[f64]| x[0] * x[0] + x[1] * x[1]);
-        let cubes = FnIntegrand::new(2, |x: &[f64]| x[0] * x[0] * x[0]);
-        let constant = FnIntegrand::new(2, |_: &[f64]| 5.0);
         let jobs = [
-            BatchJob::new(&squares),
-            BatchJob::new(&cubes),
-            BatchJob::new(&constant),
+            BatchJob::new(FnIntegrand::new(2, |x: &[f64]| x[0] * x[0] + x[1] * x[1])),
+            BatchJob::new(FnIntegrand::new(2, |x: &[f64]| x[0] * x[0] * x[0])),
+            BatchJob::new(FnIntegrand::new(2, |_: &[f64]| 5.0)),
         ];
         let outputs = integrate_batch(
             &test_device(2),
@@ -248,8 +235,8 @@ mod tests {
 
     #[test]
     fn more_jobs_than_workers_all_complete() {
-        let f = PaperIntegrand::f4(3);
-        let jobs: Vec<BatchJob<'_>> = (0..9).map(|_| BatchJob::new(&f)).collect();
+        let f: Arc<dyn Integrand + Send + Sync> = Arc::new(PaperIntegrand::f4(3));
+        let jobs: Vec<BatchJob> = (0..9).map(|_| BatchJob::shared(Arc::clone(&f))).collect();
         let runner = BatchRunner::new(
             test_device(2),
             PaganiConfig::test_small(Tolerances::rel(1e-3)),
@@ -265,8 +252,8 @@ mod tests {
 
     #[test]
     fn explicit_region_jobs_are_honoured() {
-        let f = FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]);
-        let job = BatchJob::over(&f, Region::new(vec![0.0, 0.0], vec![2.0, 1.0]));
+        let job = BatchJob::new(FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]))
+            .over(Region::new(vec![0.0, 0.0], vec![2.0, 1.0]));
         let outputs = integrate_batch(
             &test_device(1),
             &PaganiConfig::test_small(Tolerances::rel(1e-8)),
@@ -279,8 +266,8 @@ mod tests {
     #[test]
     fn batch_leaves_the_parent_pool_untouched() {
         let device = test_device(2);
-        let f = PaperIntegrand::f4(3);
-        let jobs = [BatchJob::new(&f), BatchJob::new(&f)];
+        let f: Arc<dyn Integrand + Send + Sync> = Arc::new(PaperIntegrand::f4(3));
+        let jobs = [BatchJob::shared(Arc::clone(&f)), BatchJob::shared(f)];
         let _ = integrate_batch(
             &device,
             &PaganiConfig::test_small(Tolerances::rel(1e-3)),

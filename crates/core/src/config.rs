@@ -76,6 +76,13 @@ impl PaganiConfig {
         }
     }
 
+    /// Replace the error targets, keeping every other knob.
+    #[must_use]
+    pub fn with_tolerances(mut self, tolerances: Tolerances) -> Self {
+        self.tolerances = tolerances;
+        self
+    }
+
     /// Disable relative-error filtering (for sign-oscillating integrands, §3.5.1).
     #[must_use]
     pub fn without_rel_err_filtering(mut self) -> Self {

@@ -1,5 +1,7 @@
 //! The PAGANI driver: Algorithm 2 of the paper.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use pagani_device::{reduce, scan, Device, DeviceError};
@@ -10,9 +12,44 @@ use crate::arena::ScratchArena;
 use crate::classify::{active_count, rel_err_classify_into};
 use crate::config::{HeuristicFiltering, PaganiConfig};
 use crate::evaluate::evaluate_all_in;
+use crate::integrator::ensure_matching_dims;
 use crate::region_list::RegionList;
 use crate::threshold::{threshold_classify, ThresholdPolicy};
 use crate::trace::{ExecutionTrace, IterationRecord, ThresholdSearchRecord, ThresholdTrigger};
+
+/// A cooperative cancellation flag shared between a running integration and
+/// its canceller.
+///
+/// The driver polls the token at every iteration boundary; once cancelled, the
+/// run stops within one breadth-first iteration and reports
+/// [`Termination::Cancelled`] together with the best cumulative estimate seen
+/// so far.  Cloning shares the flag.  A token that is never cancelled has no
+/// observable effect on a run — results are bit-identical with and without
+/// one.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation.  Idempotent; takes effect at the next iteration
+    /// boundary of any run holding a clone of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// Result of a PAGANI run: the standard integration result plus the execution trace.
 #[derive(Debug, Clone)]
@@ -98,11 +135,29 @@ impl Pagani {
         region: &Region,
         arena: &ScratchArena,
     ) -> PaganiOutput {
-        assert_eq!(
-            region.dim(),
-            f.dim(),
-            "integration region and integrand dimensions differ"
-        );
+        self.integrate_region_with(f, region, arena, &CancelToken::new())
+    }
+
+    /// Integrate `f` over an explicit region with scratch storage from `arena`
+    /// and cooperative cancellation through `cancel`.
+    ///
+    /// This is the full-control entry point the [`crate::service`] workers
+    /// use.  The token is polled once per breadth-first iteration, so a
+    /// cancellation lands within one driver iteration; the run then reports
+    /// [`Termination::Cancelled`] with the latest cumulative estimates.  An
+    /// uncancelled token leaves results bit-identical to
+    /// [`Pagani::integrate_region_in`].
+    ///
+    /// # Panics
+    /// Panics if the region dimension does not match the integrand dimension.
+    pub fn integrate_region_with<F: Integrand + ?Sized>(
+        &self,
+        f: &F,
+        region: &Region,
+        arena: &ScratchArena,
+        cancel: &CancelToken,
+    ) -> PaganiOutput {
+        ensure_matching_dims(f, region);
         let start = Instant::now();
         let dim = f.dim();
         let rule = GenzMalik::new(dim);
@@ -156,6 +211,11 @@ impl Pagani {
         let mut latest_error = f64::INFINITY;
 
         for iteration in 0..self.config.max_iterations {
+            // --- Cooperative cancellation (iteration boundary). -----------------
+            if cancel.is_cancelled() {
+                termination = Termination::Cancelled;
+                break;
+            }
             iterations_run = iteration + 1;
 
             // --- Evaluate all regions (line 10). --------------------------------
@@ -268,6 +328,7 @@ impl Pagani {
                         error_budget,
                         iter_error,
                         ThresholdPolicy::default(),
+                        arena,
                     )
                 });
                 threshold_invoked = true;
@@ -657,6 +718,36 @@ mod tests {
             evaluate_fraction > 0.3,
             "evaluate fraction {evaluate_fraction}"
         );
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_iteration() {
+        let pagani = test_pagani(1e-6);
+        let f = FnIntegrand::new(3, |_: &[f64]| 4.0);
+        let token = CancelToken::new();
+        token.cancel();
+        let out =
+            pagani.integrate_region_with(&f, &Region::unit_cube(3), &ScratchArena::new(), &token);
+        assert_eq!(out.result.termination, Termination::Cancelled);
+        assert_eq!(out.result.iterations, 0);
+        assert!(!out.result.converged());
+    }
+
+    #[test]
+    fn uncancelled_token_is_bit_transparent() {
+        let f = PaperIntegrand::f4(3);
+        let plain = test_pagani(1e-4).integrate(&f);
+        let with_token = test_pagani(1e-4).integrate_region_with(
+            &f,
+            &Region::unit_cube(3),
+            &ScratchArena::new(),
+            &CancelToken::new(),
+        );
+        assert_eq!(
+            plain.result.estimate.to_bits(),
+            with_token.result.estimate.to_bits()
+        );
+        assert_eq!(plain.result.iterations, with_token.result.iterations);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! The unified front door: one [`Integrator`] trait for every method in the
+//! workspace.
+//!
+//! The paper's evaluation treats PAGANI, Cuhre, the two-phase method and
+//! (quasi-)Monte Carlo as interchangeable answers to one question — *integrate
+//! `f` over these bounds to tolerance τ* — and a serving front-end needs the
+//! same shape: pick a method at runtime, hand it an integrand and bounds, get
+//! back one [`IntegrationResult`].  `Integrator` is that dyn-dispatchable
+//! contract.  `Pagani` implements it here; the four baselines implement it in
+//! `pagani-baselines`, and the `MethodConfig`/`IntegratorBuilder` pair there
+//! turns a configuration value into a `Box<dyn Integrator>`.
+//!
+//! All methods accept bounds identically: a single [`Region`] through
+//! [`Integrator::integrate_region`], the integrand's default bounds through
+//! [`Integrator::integrate`], or any `&[Region]` cover of a disjoint union
+//! through [`Integrator::integrate_regions`] — the slice form is implemented
+//! once, here, so no method can re-declare its own shape.
+
+use std::time::Instant;
+
+use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination};
+
+use crate::driver::Pagani;
+
+/// What a method can and cannot do, for runtime method selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Repeated runs on equal inputs are bit-identical.
+    pub deterministic: bool,
+    /// The method launches kernels on the simulated device (and therefore
+    /// profits from its worker pool) rather than running on the host alone.
+    pub uses_device: bool,
+    /// The method subdivides the domain adaptively.
+    pub adaptive: bool,
+    /// The error estimate is statistical (a standard error across randomised
+    /// replicas) rather than a cubature-style error bound estimate.
+    pub statistical_errors: bool,
+    /// Smallest supported dimensionality.
+    pub min_dim: usize,
+    /// Largest supported dimensionality, if bounded.
+    pub max_dim: Option<usize>,
+}
+
+impl Capabilities {
+    /// Whether the method supports `dim`-dimensional integrands.
+    #[must_use]
+    pub fn supports_dim(&self, dim: usize) -> bool {
+        dim >= self.min_dim && self.max_dim.is_none_or(|max| dim <= max)
+    }
+}
+
+/// A numerical integration method, usable through dynamic dispatch.
+///
+/// Every method in the workspace — [`Pagani`] and the four baselines —
+/// answers the same question through this trait, so harnesses, examples and
+/// the serving layer can hold a `Vec<Box<dyn Integrator>>` and sweep methods
+/// without per-method code.
+///
+/// Implementations only provide [`Integrator::integrate_region`] (plus the
+/// descriptors); the default-bounds and region-slice entry points are derived
+/// from it identically for every method.
+pub trait Integrator: Send + Sync {
+    /// Short stable method name (`"pagani"`, `"cuhre"`, ...), used in tables
+    /// and benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// What this method can do.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Integrate `f` over a single axis-aligned region.
+    ///
+    /// # Panics
+    /// Panics if the region and integrand dimensions differ, or the dimension
+    /// is outside the method's supported range.
+    fn integrate_region(&self, f: &dyn Integrand, region: &Region) -> IntegrationResult;
+
+    /// Integrate `f` over its default bounds (the unit cube for the paper's
+    /// suite).
+    fn integrate(&self, f: &dyn Integrand) -> IntegrationResult {
+        let (lo, hi) = f.default_bounds();
+        self.integrate_region(f, &Region::new(lo, hi))
+    }
+
+    /// Integrate `f` over a disjoint union of regions and combine the
+    /// per-region results: estimates, errors, function evaluations, generated
+    /// regions and final active-region counts are summed; `iterations` is the
+    /// maximum over the parts (the parts are independent runs, not one longer
+    /// run); the most severe per-region termination is reported.
+    ///
+    /// An empty slice yields an exact zero result.
+    fn integrate_regions(&self, f: &dyn Integrand, regions: &[Region]) -> IntegrationResult {
+        let start = Instant::now();
+        let mut combined = IntegrationResult {
+            estimate: 0.0,
+            error_estimate: 0.0,
+            termination: Termination::Converged,
+            iterations: 0,
+            function_evaluations: 0,
+            regions_generated: 0,
+            active_regions_final: 0,
+            wall_time: start.elapsed(),
+        };
+        for region in regions {
+            let part = self.integrate_region(f, region);
+            combined.estimate += part.estimate;
+            combined.error_estimate += part.error_estimate;
+            combined.iterations = combined.iterations.max(part.iterations);
+            combined.function_evaluations += part.function_evaluations;
+            combined.regions_generated += part.regions_generated;
+            combined.active_regions_final += part.active_regions_final;
+            combined.termination = worst_termination(combined.termination, part.termination);
+        }
+        combined.wall_time = start.elapsed();
+        combined
+    }
+}
+
+/// The more severe of two terminations, for combining per-region results:
+/// `Cancelled > MemoryExhausted > MaxEvaluations > MaxIterations > Converged`.
+#[must_use]
+pub fn worst_termination(a: Termination, b: Termination) -> Termination {
+    fn severity(t: Termination) -> u8 {
+        match t {
+            Termination::Converged => 0,
+            Termination::MaxIterations => 1,
+            Termination::MaxEvaluations => 2,
+            Termination::MemoryExhausted => 3,
+            Termination::Cancelled => 4,
+        }
+    }
+    if severity(b) > severity(a) {
+        b
+    } else {
+        a
+    }
+}
+
+/// The one dimension check every method applies to explicit bounds.
+///
+/// # Panics
+/// Panics if the region and integrand dimensions differ.
+pub fn ensure_matching_dims<F: Integrand + ?Sized>(f: &F, region: &Region) {
+    assert_eq!(
+        region.dim(),
+        f.dim(),
+        "integration region and integrand dimensions differ"
+    );
+}
+
+impl Integrator for Pagani {
+    fn name(&self) -> &'static str {
+        "pagani"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            deterministic: true,
+            uses_device: true,
+            adaptive: true,
+            statistical_errors: false,
+            min_dim: 2,
+            max_dim: Some(30),
+        }
+    }
+
+    fn integrate_region(&self, f: &dyn Integrand, region: &Region) -> IntegrationResult {
+        Pagani::integrate_region(self, f, region).result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PaganiConfig;
+    use pagani_device::Device;
+    use pagani_quadrature::{FnIntegrand, Tolerances};
+
+    fn boxed_pagani(tol: f64) -> Box<dyn Integrator> {
+        Box::new(Pagani::new(
+            Device::test_small(),
+            PaganiConfig::test_small(Tolerances::rel(tol)),
+        ))
+    }
+
+    #[test]
+    fn dyn_dispatch_matches_the_inherent_api() {
+        let f = FnIntegrand::new(2, |x: &[f64]| x[0] * x[0] + x[1]);
+        let pagani = Pagani::new(
+            Device::test_small(),
+            PaganiConfig::test_small(Tolerances::rel(1e-6)),
+        );
+        let inherent = pagani.integrate(&f).result;
+        let trait_obj: &dyn Integrator = &pagani;
+        let dynamic = trait_obj.integrate(&f);
+        assert_eq!(inherent.estimate.to_bits(), dynamic.estimate.to_bits());
+        assert_eq!(trait_obj.name(), "pagani");
+        assert!(trait_obj.capabilities().deterministic);
+        assert!(trait_obj.capabilities().supports_dim(5));
+        assert!(!trait_obj.capabilities().supports_dim(31));
+    }
+
+    #[test]
+    fn region_slice_matches_the_whole_domain() {
+        let f = FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]);
+        let integrator = boxed_pagani(1e-8);
+        let whole = integrator.integrate(&f);
+        let (left, right) = Region::unit_cube(2).split(0);
+        let halves = integrator.integrate_regions(&f, &[left, right]);
+        assert!(whole.converged() && halves.converged());
+        assert!((whole.estimate - halves.estimate).abs() < 1e-7);
+    }
+
+    #[test]
+    fn empty_region_slice_is_exactly_zero() {
+        let f = FnIntegrand::new(2, |_: &[f64]| 1.0);
+        let result = boxed_pagani(1e-3).integrate_regions(&f, &[]);
+        assert_eq!(result.estimate, 0.0);
+        assert_eq!(result.function_evaluations, 0);
+        assert!(result.converged());
+    }
+
+    #[test]
+    fn termination_severity_ordering() {
+        use Termination::*;
+        assert_eq!(worst_termination(Converged, MaxIterations), MaxIterations);
+        assert_eq!(
+            worst_termination(MemoryExhausted, MaxEvaluations),
+            MemoryExhausted
+        );
+        assert_eq!(worst_termination(Cancelled, MemoryExhausted), Cancelled);
+        assert_eq!(worst_termination(Converged, Converged), Converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions differ")]
+    fn dimension_mismatch_is_rejected() {
+        let f = FnIntegrand::new(2, |_: &[f64]| 1.0);
+        ensure_matching_dims(&f, &Region::unit_cube(3));
+    }
+}

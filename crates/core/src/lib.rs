@@ -20,6 +20,16 @@
 //! [`pagani_quadrature::IntegrationResult`] and an [`trace::ExecutionTrace`] with
 //! per-iteration statistics and the threshold-search probes used to reproduce
 //! Figures 3, 8 and 9 and the §4.3.2 performance breakdown.
+//!
+//! Two additional front doors wrap the driver:
+//!
+//! * [`Integrator`] — the method-agnostic trait every integrator in the
+//!   workspace implements (the baselines implement it in `pagani-baselines`),
+//!   so harnesses can sweep `Box<dyn Integrator>` values;
+//! * [`IntegrationService`] — a resident worker pool serving
+//!   `submit(job) → handle` with polling, blocking waits, cooperative
+//!   cancellation and graceful shutdown; [`integrate_batch`] is
+//!   submit-all-then-wait sugar over it.
 
 #![warn(missing_docs)]
 
@@ -29,15 +39,19 @@ pub mod classify;
 pub mod config;
 pub mod driver;
 pub mod evaluate;
+pub mod integrator;
 pub mod multi_device;
 pub mod region_list;
+pub mod service;
 pub mod threshold;
 pub mod trace;
 
 pub use arena::ScratchArena;
 pub use batch::{integrate_batch, BatchJob, BatchRunner};
 pub use config::{HeuristicFiltering, PaganiConfig};
-pub use driver::{Pagani, PaganiOutput};
+pub use driver::{CancelToken, Pagani, PaganiOutput};
+pub use integrator::{Capabilities, Integrator};
 pub use multi_device::{MultiDeviceOutput, MultiDevicePagani};
 pub use region_list::RegionList;
+pub use service::{IntegrationService, JobHandle};
 pub use trace::{ExecutionTrace, IterationRecord, ThresholdProbe, ThresholdSearchRecord};

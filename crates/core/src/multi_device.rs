@@ -17,6 +17,7 @@ use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination};
 use crate::batch::{BatchJob, BatchRunner};
 use crate::config::PaganiConfig;
 use crate::driver::{Pagani, PaganiOutput};
+use crate::integrator::ensure_matching_dims;
 use pagani_device::Device;
 
 /// PAGANI running over a static partition of the domain across several devices.
@@ -98,12 +99,12 @@ impl MultiDevicePagani {
     /// pure function of the job index, so a given job always lands on the same
     /// device and its result is bit-identical to running it alone there.
     #[must_use]
-    pub fn integrate_batch(&self, jobs: &[BatchJob<'_>]) -> Vec<PaganiOutput> {
+    pub fn integrate_batch(&self, jobs: &[BatchJob]) -> Vec<PaganiOutput> {
         if jobs.is_empty() {
             return Vec::new();
         }
         let n = self.devices.len();
-        let mut shards: Vec<Vec<BatchJob<'_>>> = vec![Vec::new(); n];
+        let mut shards: Vec<Vec<BatchJob>> = vec![Vec::new(); n];
         for (i, job) in jobs.iter().enumerate() {
             shards[i % n].push(job.clone());
         }
@@ -137,7 +138,7 @@ impl MultiDevicePagani {
         f: &F,
         region: &Region,
     ) -> MultiDeviceOutput {
-        assert_eq!(region.dim(), f.dim(), "region/integrand dimension mismatch");
+        ensure_matching_dims(f, region);
         let start = Instant::now();
         let slabs = Self::partition(region, self.devices.len());
 
@@ -289,22 +290,22 @@ mod tests {
 
     #[test]
     fn batch_shards_across_devices_and_matches_single_device_results() {
-        let f4 = PaperIntegrand::f4(3);
-        let f3 = PaperIntegrand::f3(3);
+        let f4 = std::sync::Arc::new(PaperIntegrand::f4(3));
+        let f3 = std::sync::Arc::new(PaperIntegrand::f3(3));
         let jobs = [
-            BatchJob::new(&f4),
-            BatchJob::new(&f3),
-            BatchJob::new(&f4),
-            BatchJob::new(&f3),
-            BatchJob::new(&f4),
+            BatchJob::shared(f4.clone()),
+            BatchJob::shared(f3.clone()),
+            BatchJob::shared(f4.clone()),
+            BatchJob::shared(f3.clone()),
+            BatchJob::shared(f4.clone()),
         ];
         let config = PaganiConfig::test_small(Tolerances::rel(1e-4));
         let multi = MultiDevicePagani::new(devices(2), config.clone());
         let outputs = multi.integrate_batch(&jobs);
         assert_eq!(outputs.len(), jobs.len());
         // Every output matches the same job run alone on an equivalent device.
-        let lone_f4 = Pagani::new(devices(1).pop().unwrap(), config.clone()).integrate(&f4);
-        let lone_f3 = Pagani::new(devices(1).pop().unwrap(), config).integrate(&f3);
+        let lone_f4 = Pagani::new(devices(1).pop().unwrap(), config.clone()).integrate(f4.as_ref());
+        let lone_f3 = Pagani::new(devices(1).pop().unwrap(), config).integrate(f3.as_ref());
         for (i, output) in outputs.iter().enumerate() {
             let reference = if i % 2 == 0 { &lone_f4 } else { &lone_f3 };
             assert_eq!(

@@ -1,0 +1,508 @@
+//! The asynchronous integration service: `submit(job) → handle`.
+//!
+//! [`crate::integrate_batch`] answers a *fixed slice* of jobs and blocks until
+//! the last one finishes — the shape of an offline benchmark, not of a service
+//! answering traffic.  An [`IntegrationService`] keeps a pool of resident
+//! worker threads fed from a FIFO submission queue, so callers
+//!
+//! * **submit** jobs at any time and get a [`JobHandle`] back immediately,
+//! * **poll** ([`JobHandle::try_result`]) or **block** ([`JobHandle::wait`])
+//!   for completion,
+//! * **cancel** ([`JobHandle::cancel`]) a job cooperatively — a queued job is
+//!   retired before it starts, an in-flight job observes the flag at its next
+//!   iteration boundary and stops within one driver iteration, and a job
+//!   waiting in the device's admission line abandons its ticket; every case
+//!   reports [`Termination::Cancelled`],
+//! * **shut down** ([`IntegrationService::shutdown`]) gracefully: no new
+//!   submissions (the call consumes the service), every already-submitted job
+//!   drains, workers are joined.
+//!
+//! Execution reuses the batch engine's machinery unchanged: each worker owns a
+//! long-lived [`ScratchArena`], whole jobs are admitted through the device's
+//! FIFO [`pagani_device::FairGate`], and every job runs against
+//! [`Device::isolated_memory_view`].  Completed results are therefore
+//! **bit-identical** to running the same jobs sequentially through
+//! [`Pagani::integrate`] — the batch determinism guarantee carries over to the
+//! service, and `integrate_batch` itself is now submit-all-then-wait sugar on
+//! top of this queue.
+//!
+//! ```
+//! use pagani_core::{BatchJob, IntegrationService, PaganiConfig};
+//! use pagani_device::Device;
+//! use pagani_quadrature::{FnIntegrand, Tolerances};
+//!
+//! let service = IntegrationService::new(
+//!     Device::test_small(),
+//!     PaganiConfig::test_small(Tolerances::rel(1e-6)),
+//! );
+//! let job = BatchJob::new(FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]));
+//! let handle = service.submit(job);
+//! let output = handle.wait();
+//! assert!(output.result.converged());
+//! service.shutdown();
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pagani_device::Device;
+use pagani_quadrature::{IntegrationResult, Termination};
+
+use crate::arena::ScratchArena;
+use crate::batch::BatchJob;
+use crate::config::PaganiConfig;
+use crate::driver::{CancelToken, Pagani, PaganiOutput};
+use crate::trace::ExecutionTrace;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How a job ended: normally, or by panicking on its worker.
+#[derive(Debug, Clone)]
+enum JobOutcome {
+    Finished(PaganiOutput),
+    /// The job panicked; the captured message is re-raised on the thread that
+    /// polls or waits for the handle, mirroring what `std::thread::scope`
+    /// (the pre-service batch substrate) did.  The worker itself survives.
+    Panicked(String),
+}
+
+/// Completion state shared between a [`JobHandle`] and the worker running (or
+/// retiring) its job.
+#[derive(Debug)]
+struct JobState {
+    cancel: CancelToken,
+    slot: Mutex<Option<JobOutcome>>,
+    done: Condvar,
+}
+
+impl JobState {
+    fn new() -> Self {
+        Self {
+            cancel: CancelToken::new(),
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, outcome: JobOutcome) {
+        let mut slot = lock(&self.slot);
+        debug_assert!(slot.is_none(), "a job completes exactly once");
+        *slot = Some(outcome);
+        drop(slot);
+        self.done.notify_all();
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_owned()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "integration job panicked".to_owned()
+    }
+}
+
+fn unwrap_outcome(outcome: JobOutcome) -> PaganiOutput {
+    match outcome {
+        JobOutcome::Finished(output) => output,
+        JobOutcome::Panicked(message) => panic!("{message}"),
+    }
+}
+
+/// The caller's side of one submitted job.
+///
+/// Waiting, polling and cancelling all go through shared state, so a handle
+/// stays valid after the service that issued it has been shut down (the job
+/// will have drained by then).
+#[derive(Debug)]
+pub struct JobHandle {
+    state: Arc<JobState>,
+    device: Device,
+}
+
+impl JobHandle {
+    /// The job's result if it has completed, without blocking.
+    ///
+    /// # Panics
+    /// Re-raises the job's panic if the job panicked on its worker.
+    #[must_use]
+    pub fn try_result(&self) -> Option<PaganiOutput> {
+        lock(&self.state.slot).clone().map(unwrap_outcome)
+    }
+
+    /// Whether the job has completed (including cancelled completions).
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        lock(&self.state.slot).is_some()
+    }
+
+    /// Block until the job completes and return its output.
+    ///
+    /// # Panics
+    /// Re-raises the job's panic if the job panicked on its worker.
+    #[must_use]
+    pub fn wait(&self) -> PaganiOutput {
+        let mut slot = lock(&self.state.slot);
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return unwrap_outcome(outcome.clone());
+            }
+            slot = self
+                .state
+                .done
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Request cooperative cancellation.
+    ///
+    /// Idempotent and racy by design: a job that completes before the request
+    /// lands keeps its result, everything else — queued, waiting at the
+    /// device's admission gate, or mid-run — terminates with
+    /// [`Termination::Cancelled`] within one driver iteration, leaving other
+    /// jobs untouched.
+    pub fn cancel(&self) {
+        self.state.cancel.cancel();
+        // Wake any worker parked in the device's admission line so it
+        // re-checks the cancellation predicate.
+        self.device.submission_gate().notify_waiters();
+    }
+
+    /// Whether cancellation has been requested (not whether it won the race).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.state.cancel.is_cancelled()
+    }
+}
+
+#[derive(Debug)]
+struct QueuedJob {
+    job: BatchJob,
+    state: Arc<JobState>,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    jobs: VecDeque<QueuedJob>,
+    shutting_down: bool,
+}
+
+#[derive(Debug)]
+struct ServiceShared {
+    device: Device,
+    config: PaganiConfig,
+    queue: Mutex<QueueState>,
+    work: Condvar,
+}
+
+/// A resident pool of integration workers fed from a FIFO submission queue.
+///
+/// See the [module docs](crate::service) for the execution model and the
+/// determinism guarantee.
+#[derive(Debug)]
+pub struct IntegrationService {
+    shared: Arc<ServiceShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl IntegrationService {
+    /// Start a service on `device`; the worker count defaults to the device's
+    /// effective worker-pool width (more service workers than that buy no
+    /// extra parallelism — the admission gate bounds in-flight jobs anyway).
+    #[must_use]
+    pub fn new(device: Device, config: PaganiConfig) -> Self {
+        let workers = device.effective_workers();
+        Self::with_workers(device, config, workers)
+    }
+
+    /// Start a service with an explicit worker-thread count (minimum 1).
+    #[must_use]
+    pub fn with_workers(device: Device, config: PaganiConfig, workers: usize) -> Self {
+        let shared = Arc::new(ServiceShared {
+            device,
+            config,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            work: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pagani-service-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a service worker thread failed")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The device jobs run on.
+    #[must_use]
+    pub fn device(&self) -> &Device {
+        &self.shared.device
+    }
+
+    /// The configuration applied to every job.
+    #[must_use]
+    pub fn config(&self) -> &PaganiConfig {
+        &self.shared.config
+    }
+
+    /// Number of resident worker threads.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of submitted jobs not yet claimed by a worker.
+    #[must_use]
+    pub fn queued_jobs(&self) -> usize {
+        lock(&self.shared.queue).jobs.len()
+    }
+
+    /// Enqueue `job` and return its handle immediately.
+    ///
+    /// Jobs are claimed in submission order; completed results are
+    /// bit-identical to running the same job alone through
+    /// [`Pagani::integrate_region`] on this device.
+    #[must_use]
+    pub fn submit(&self, job: BatchJob) -> JobHandle {
+        let state = Arc::new(JobState::new());
+        {
+            let mut queue = lock(&self.shared.queue);
+            queue.jobs.push_back(QueuedJob {
+                job,
+                state: Arc::clone(&state),
+            });
+        }
+        self.shared.work.notify_one();
+        JobHandle {
+            state,
+            device: self.shared.device.clone(),
+        }
+    }
+
+    /// Graceful shutdown: consume the service, let every already-submitted
+    /// job drain, and join the workers.  Handles issued before the call
+    /// remain valid — their jobs complete (or report cancellation) before
+    /// this returns.
+    pub fn shutdown(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        {
+            let mut queue = lock(&self.shared.queue);
+            queue.shutting_down = true;
+        }
+        self.shared.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for IntegrationService {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+fn worker_loop(shared: &ServiceShared) {
+    // One arena per worker: scratch storage recycles across every job this
+    // worker executes, exactly as in the batch engine.
+    let arena = ScratchArena::new();
+    loop {
+        let claimed = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break Some(job);
+                }
+                if queue.shutting_down {
+                    break None;
+                }
+                queue = shared
+                    .work
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(QueuedJob { job, state }) = claimed else {
+            return;
+        };
+        // A panicking job must neither kill this worker nor strand its
+        // waiters: capture the payload and re-raise it handle-side.  The
+        // shared state touched during the unwind is panic-safe — the arena
+        // shelves only value-transparent scratch storage and the job's
+        // isolated device view is discarded wholesale.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(shared, &arena, &job, &state.cancel)
+        }));
+        state.complete(match outcome {
+            Ok(output) => JobOutcome::Finished(output),
+            Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
+        });
+    }
+}
+
+fn run_job(
+    shared: &ServiceShared,
+    arena: &ScratchArena,
+    job: &BatchJob,
+    cancel: &CancelToken,
+) -> PaganiOutput {
+    if cancel.is_cancelled() {
+        return cancelled_before_start();
+    }
+    let Some(_permit) = shared
+        .device
+        .submission_gate()
+        .acquire_unless(|| cancel.is_cancelled())
+    else {
+        return cancelled_before_start();
+    };
+    let view = shared.device.isolated_memory_view();
+    let pagani = Pagani::new(view, shared.config.clone());
+    pagani.integrate_region_with(job.integrand(), job.region(), arena, cancel)
+}
+
+/// The output of a job cancelled before its first driver iteration.
+fn cancelled_before_start() -> PaganiOutput {
+    PaganiOutput {
+        result: IntegrationResult {
+            estimate: 0.0,
+            error_estimate: f64::INFINITY,
+            termination: Termination::Cancelled,
+            iterations: 0,
+            function_evaluations: 0,
+            regions_generated: 0,
+            active_regions_final: 0,
+            wall_time: Duration::ZERO,
+        },
+        trace: ExecutionTrace::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagani_device::DeviceConfig;
+    use pagani_integrands::paper::PaperIntegrand;
+    use pagani_quadrature::{FnIntegrand, Tolerances};
+
+    fn service(workers: usize) -> IntegrationService {
+        let device = Device::new(
+            DeviceConfig::test_small()
+                .with_memory_capacity(32 << 20)
+                .with_worker_threads(workers),
+        );
+        IntegrationService::new(device, PaganiConfig::test_small(Tolerances::rel(1e-4)))
+    }
+
+    #[test]
+    fn submit_wait_roundtrip() {
+        let service = service(2);
+        let handle = service.submit(BatchJob::new(PaperIntegrand::f4(3)));
+        let output = handle.wait();
+        assert!(output.result.converged());
+        assert!(handle.is_finished());
+        assert_eq!(
+            handle.try_result().unwrap().result.estimate.to_bits(),
+            output.result.estimate.to_bits()
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_result_is_none_until_completion() {
+        let service = service(1);
+        // No workers are free yet for the second job while the first runs, so
+        // its try_result is None at submission time.
+        let first = service.submit(BatchJob::new(PaperIntegrand::f4(4)));
+        let second = service.submit(BatchJob::new(PaperIntegrand::f3(3)));
+        assert!(second.try_result().is_none() || second.is_finished());
+        assert!(first.wait().result.converged());
+        assert!(second.wait().result.converged());
+        service.shutdown();
+    }
+
+    #[test]
+    fn handles_outlive_the_service() {
+        let service = service(2);
+        let handles: Vec<JobHandle> = (0..4)
+            .map(|_| service.submit(BatchJob::new(PaperIntegrand::f4(3))))
+            .collect();
+        service.shutdown();
+        for handle in &handles {
+            assert!(handle.wait().result.converged());
+        }
+    }
+
+    #[test]
+    fn drop_drains_like_shutdown() {
+        let handle = {
+            let service = service(1);
+            service.submit(BatchJob::new(PaperIntegrand::f3(3)))
+            // Service dropped here without an explicit shutdown.
+        };
+        assert!(handle.wait().result.converged());
+    }
+
+    #[test]
+    fn panicking_job_propagates_at_the_handle_and_spares_the_worker() {
+        let service = service(1);
+        // Dimension mismatch panics inside the driver, on the worker thread.
+        let bad = BatchJob::new(FnIntegrand::new(2, |_: &[f64]| 1.0))
+            .over(pagani_quadrature::Region::unit_cube(3));
+        let poisoned = service.submit(bad);
+        let healthy = service.submit(BatchJob::new(PaperIntegrand::f4(3)));
+        // The worker survived the panic and served the next job...
+        assert!(healthy.wait().result.converged());
+        // ...and the panic surfaces on whoever waits on the poisoned handle.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| poisoned.wait()));
+        let payload = caught.expect_err("the job's panic must re-raise at wait()");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.contains("dimensions differ"),
+            "unexpected panic message: {message}"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancelled_queued_job_never_runs() {
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let release = Arc::clone(&gate);
+        // A blocker that parks the single worker until we release it.
+        let blocker = FnIntegrand::new(2, move |_: &[f64]| {
+            while !release.load(std::sync::atomic::Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            1.0
+        });
+        let service = service(1);
+        let running = service.submit(BatchJob::new(blocker));
+        let queued = service.submit(BatchJob::new(PaperIntegrand::f4(4)));
+        queued.cancel();
+        gate.store(true, std::sync::atomic::Ordering::Release);
+        let cancelled = queued.wait();
+        assert_eq!(cancelled.result.termination, Termination::Cancelled);
+        assert_eq!(cancelled.result.function_evaluations, 0);
+        assert!(running.wait().result.converged());
+        service.shutdown();
+    }
+}

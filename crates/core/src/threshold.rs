@@ -32,6 +32,7 @@
 //!   property §3.5.2 states the search must preserve — even when the classification is
 //!   invoked on many consecutive iterations.
 
+use crate::arena::ScratchArena;
 use crate::classify::{ACTIVE, FINISHED};
 use crate::trace::ThresholdProbe;
 
@@ -86,7 +87,11 @@ impl Default for ThresholdPolicy {
 /// * `error_budget` — how much additional error estimate may be frozen without
 ///   jeopardising convergence (non-positive budgets return immediately),
 /// * `iteration_error` — summed error estimate of the regions processed this iteration
-///   (used for the initial average-error threshold).
+///   (used for the initial average-error threshold),
+/// * `arena` — scratch shelves the candidate masks are drawn from and returned
+///   to, so the probe loop performs no per-probe allocations once the arena is
+///   warm (the returned mask leaves the arena; the driver shelves it when the
+///   generation retires).
 ///
 /// The newly frozen error reported in the outcome counts only regions that flip from
 /// active to finished; regions already finished by the relative-error classification
@@ -101,14 +106,19 @@ pub fn threshold_classify(
     error_budget: f64,
     iteration_error: f64,
     policy: ThresholdPolicy,
+    arena: &ScratchArena,
 ) -> ThresholdOutcome {
     assert_eq!(mask.len(), errors.len(), "mask/error length mismatch");
     let regions = mask.len();
-    let unchanged = |probes: Vec<ThresholdProbe>| ThresholdOutcome {
-        mask: mask.to_vec(),
-        newly_committed_error: 0.0,
-        successful: false,
-        probes,
+    let unchanged = |probes: Vec<ThresholdProbe>| {
+        let mut copy = arena.take_mask(regions);
+        copy.extend_from_slice(mask);
+        ThresholdOutcome {
+            mask: copy,
+            newly_committed_error: 0.0,
+            successful: false,
+            probes,
+        }
     };
     if regions == 0 || error_budget <= 0.0 {
         return unchanged(Vec::new());
@@ -128,18 +138,16 @@ pub fn threshold_classify(
 
     for _ in 0..policy.max_probes {
         // Apply the candidate threshold: a region is finished if it was already
-        // finished or its error falls below the threshold.
-        let candidate: Vec<u8> = mask
-            .iter()
-            .zip(errors)
-            .map(|(&m, &e)| {
-                if m == FINISHED || e < threshold {
-                    FINISHED
-                } else {
-                    ACTIVE
-                }
-            })
-            .collect();
+        // finished or its error falls below the threshold.  The candidate mask
+        // comes off the arena shelf, so repeated probes recycle one buffer.
+        let mut candidate = arena.take_mask(regions);
+        candidate.extend(mask.iter().zip(errors).map(|(&m, &e)| {
+            if m == FINISHED || e < threshold {
+                FINISHED
+            } else {
+                ACTIVE
+            }
+        }));
         let finished_count = candidate.iter().filter(|&&m| m == FINISHED).count();
         // Error newly frozen by the threshold (previously-active regions only).
         let committed_error: f64 = candidate
@@ -171,6 +179,7 @@ pub fn threshold_classify(
                 probes,
             };
         }
+        arena.put_mask(candidate);
 
         // Decide the search direction: accuracy violations dominate (they make
         // convergence impossible), otherwise free more memory.
@@ -213,7 +222,14 @@ mod tests {
 
     #[test]
     fn empty_input_is_a_noop() {
-        let out = threshold_classify(&[], &[], 1.0, 0.5, ThresholdPolicy::default());
+        let out = threshold_classify(
+            &[],
+            &[],
+            1.0,
+            0.5,
+            ThresholdPolicy::default(),
+            &ScratchArena::new(),
+        );
         assert!(!out.successful);
         assert!(out.mask.is_empty());
         assert_eq!(out.newly_committed_error, 0.0);
@@ -222,7 +238,14 @@ mod tests {
     #[test]
     fn exhausted_budget_returns_unchanged() {
         let mask = all_active(4);
-        let out = threshold_classify(&mask, &[1e-9; 4], 0.0, 4e-9, ThresholdPolicy::default());
+        let out = threshold_classify(
+            &mask,
+            &[1e-9; 4],
+            0.0,
+            4e-9,
+            ThresholdPolicy::default(),
+            &ScratchArena::new(),
+        );
         assert!(!out.successful);
         assert_eq!(out.mask, mask);
     }
@@ -241,6 +264,7 @@ mod tests {
             1e-6,
             iteration_error,
             ThresholdPolicy::default(),
+            &ScratchArena::new(),
         );
         assert!(out.successful);
         let finished = out.mask.iter().filter(|&&m| m == FINISHED).count();
@@ -257,7 +281,14 @@ mod tests {
         // the search must fail and leave the mask untouched.
         let errors = vec![1e-2; 64];
         let mask = all_active(64);
-        let out = threshold_classify(&mask, &errors, 1e-6, 0.64, ThresholdPolicy::default());
+        let out = threshold_classify(
+            &mask,
+            &errors,
+            1e-6,
+            0.64,
+            ThresholdPolicy::default(),
+            &ScratchArena::new(),
+        );
         assert!(!out.successful);
         assert_eq!(out.mask, mask);
         assert_eq!(out.newly_committed_error, 0.0);
@@ -276,6 +307,7 @@ mod tests {
             1e-6,
             iteration_error,
             ThresholdPolicy::default(),
+            &ScratchArena::new(),
         );
         assert!(out.successful);
         assert_eq!(out.mask, vec![FINISHED; 4]);
@@ -294,6 +326,7 @@ mod tests {
             1e-5,
             iteration_error,
             ThresholdPolicy::default(),
+            &ScratchArena::new(),
         );
         assert!(out.successful);
         let last = out.probes.last().unwrap();
@@ -302,6 +335,52 @@ mod tests {
         assert!(out.probes[..out.probes.len() - 1]
             .iter()
             .all(|p| !p.accepted));
+    }
+
+    #[test]
+    fn probes_recycle_arena_storage_instead_of_allocating() {
+        // A search that needs several probes before accepting (the first
+        // probes blow the initial budget fraction, then freeing only the tiny
+        // tier misses the memory requirement, and only after the relaxation
+        // does the mid tier fit): every candidate mask after the first must
+        // come off the arena shelf, so the miss counter stays at one however
+        // many probes run.
+        let mut errors = vec![1e-10; 400];
+        errors.extend(vec![1e-5; 300]);
+        errors.extend(vec![1e-3; 300]);
+        let mask = all_active(1000);
+        let iteration_error: f64 = errors.iter().sum();
+        let arena = ScratchArena::new();
+        let out = threshold_classify(
+            &mask,
+            &errors,
+            1e-2,
+            iteration_error,
+            ThresholdPolicy::default(),
+            &arena,
+        );
+        assert!(out.successful);
+        assert!(out.probes.len() > 1, "want a multi-probe search");
+        assert_eq!(
+            arena.reuse_misses(),
+            1,
+            "only the very first probe may allocate"
+        );
+        assert_eq!(arena.reuse_hits(), out.probes.len() - 1);
+        // With the accepted mask shelved again, a second search allocates
+        // nothing at all.
+        arena.put_mask(out.mask);
+        let misses_before = arena.reuse_misses();
+        let again = threshold_classify(
+            &mask,
+            &errors,
+            1e-2,
+            iteration_error,
+            ThresholdPolicy::default(),
+            &arena,
+        );
+        assert!(again.successful);
+        assert_eq!(arena.reuse_misses(), misses_before, "warm arena: no allocs");
     }
 
     #[test]
@@ -325,6 +404,7 @@ mod tests {
                 headroom - frozen,
                 iteration_error,
                 ThresholdPolicy::default(),
+                &ScratchArena::new(),
             );
             if out.successful {
                 frozen += out.newly_committed_error;
@@ -351,7 +431,7 @@ mod tests {
             let mask = all_active(errors.len());
             let iteration_error: f64 = errors.iter().sum();
             let policy = ThresholdPolicy::default();
-            let out = threshold_classify(&mask, &errors, budget, iteration_error, policy);
+            let out = threshold_classify(&mask, &errors, budget, iteration_error, policy, &ScratchArena::new());
             if out.successful {
                 let finished: Vec<usize> = out.mask.iter().enumerate().filter(|(_, &m)| m == FINISHED).map(|(i, _)| i).collect();
                 prop_assert!(finished.len() as f64 > policy.min_finished_fraction * errors.len() as f64);
@@ -370,7 +450,7 @@ mod tests {
         ) {
             let mask: Vec<u8> = (0..errors.len()).map(|i| ((seed >> (i % 61)) & 1) as u8).collect();
             let iteration_error: f64 = errors.iter().sum();
-            let out = threshold_classify(&mask, &errors, budget, iteration_error, ThresholdPolicy::default());
+            let out = threshold_classify(&mask, &errors, budget, iteration_error, ThresholdPolicy::default(), &ScratchArena::new());
             for (before, after) in mask.iter().zip(&out.mask) {
                 // A region can be newly finished but never resurrected.
                 prop_assert!(*after <= *before);

@@ -9,6 +9,7 @@
 //! order, so a steady stream of short jobs can never starve a long one that
 //! arrived first.
 
+use std::collections::BTreeSet;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -19,9 +20,30 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 struct GateState {
     /// Next ticket to hand out; tickets are admitted in issue order.
     next_ticket: u64,
-    /// Number of permits released so far.  Ticket `t` may proceed once
+    /// Number of vacated slots so far (permits released plus abandoned
+    /// tickets whose turn has come).  Ticket `t` may proceed once
     /// `t < released + capacity`.
     released: u64,
+    /// Tickets abandoned by cancelled waiters whose turn has *not* come yet.
+    /// An abandoned ticket vacates its slot only once it enters the admission
+    /// window — vacating earlier would admit a later ticket while every
+    /// capacity permit is still held.
+    abandoned: BTreeSet<u64>,
+}
+
+impl GateState {
+    /// Fold abandoned tickets whose turn has come into `released`: each is
+    /// admitted and instantly releases, in strict ticket order.
+    fn vacate_due_abandoned(&mut self, capacity: u64) {
+        while let Some(&front) = self.abandoned.first() {
+            if front < self.released + capacity {
+                self.abandoned.remove(&front);
+                self.released += 1;
+            } else {
+                break;
+            }
+        }
+    }
 }
 
 /// A first-in-first-out counting semaphore bounding concurrent submitters.
@@ -41,6 +63,7 @@ impl FairGate {
             state: Mutex::new(GateState {
                 next_ticket: 0,
                 released: 0,
+                abandoned: BTreeSet::new(),
             }),
             turn: Condvar::new(),
         }
@@ -56,23 +79,63 @@ impl FairGate {
     #[must_use]
     pub fn in_flight(&self) -> usize {
         let state = lock(&self.state);
-        (state.next_ticket - state.released) as usize
+        (state.next_ticket - state.released) as usize - state.abandoned.len()
     }
 
     /// Block until admitted, in strict arrival order, and return the permit.
     /// Dropping the permit releases the slot and wakes the next ticket.
     pub fn acquire(&self) -> GatePermit<'_> {
+        self.acquire_unless(|| false)
+            .expect("an uncancellable acquire always produces a permit")
+    }
+
+    /// Like [`FairGate::acquire`], but give up and return `None` as soon as
+    /// `cancelled` observes `true` while the caller is still waiting in line.
+    ///
+    /// The predicate is re-checked on every wake-up; an external canceller
+    /// flips its flag and then calls [`FairGate::notify_waiters`] so the
+    /// waiting submitter re-evaluates it promptly.  A waiter that gives up
+    /// leaves the line without disturbing it: its abandoned ticket is admitted
+    /// and instantly released *when its turn comes*, so abandonment can
+    /// neither stall the tickets behind it nor oversubscribe the gate.
+    pub fn acquire_unless(&self, mut cancelled: impl FnMut() -> bool) -> Option<GatePermit<'_>> {
         let mut state = lock(&self.state);
         let ticket = state.next_ticket;
         state.next_ticket += 1;
-        while ticket >= state.released + self.capacity {
+        loop {
+            if cancelled() {
+                // Mark the ticket abandoned.  Its slot is vacated only once
+                // the admission window reaches it — vacating immediately
+                // would admit an earlier waiter while every permit is still
+                // held (a capacity violation).
+                state.abandoned.insert(ticket);
+                state.vacate_due_abandoned(self.capacity);
+                drop(state);
+                self.turn.notify_all();
+                return None;
+            }
+            if ticket < state.released + self.capacity {
+                drop(state);
+                return Some(GatePermit { gate: self });
+            }
             state = self
                 .turn
                 .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
         }
-        drop(state);
-        GatePermit { gate: self }
+    }
+
+    /// Wake every waiting submitter so it re-checks its admission ticket and —
+    /// for [`FairGate::acquire_unless`] callers — its cancellation predicate.
+    ///
+    /// Completion (permit drop) already notifies; this hook exists for
+    /// out-of-band events such as job cancellation or service shutdown.
+    pub fn notify_waiters(&self) {
+        // Serialise with the waiters' check-then-wait: once this lock is
+        // acquired, every waiter has either seen the out-of-band event or is
+        // already parked in `wait` where the notification reaches it.
+        drop(lock(&self.state));
+        self.turn.notify_all();
     }
 }
 
@@ -86,6 +149,8 @@ impl Drop for GatePermit<'_> {
     fn drop(&mut self) {
         let mut state = lock(&self.gate.state);
         state.released += 1;
+        // Abandoned tickets the freed slot now reaches pass through instantly.
+        state.vacate_due_abandoned(self.gate.capacity);
         drop(state);
         // Every waiter re-checks its own ticket; admission order is enforced
         // by the ticket comparison, not by wake order.
@@ -153,6 +218,101 @@ mod tests {
             "peak {}",
             peak.load(Ordering::SeqCst)
         );
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn cancelled_acquire_returns_no_permit() {
+        let gate = FairGate::new(1);
+        assert!(gate.acquire_unless(|| true).is_none());
+        assert_eq!(gate.in_flight(), 0, "abandoned ticket left the line");
+        // The gate still works normally afterwards.
+        let permit = gate.acquire();
+        drop(permit);
+    }
+
+    #[test]
+    fn abandoned_waiter_does_not_stall_or_oversubscribe_successors() {
+        // Hold the single permit, park a cancellable waiter, cancel it, then
+        // check that a later ticket is admitted exactly once the permit frees.
+        let gate = Arc::new(FairGate::new(1));
+        let first = gate.acquire();
+        let cancel = Arc::new(AtomicUsize::new(0));
+        let waiter = {
+            let (gate, cancel) = (Arc::clone(&gate), Arc::clone(&cancel));
+            std::thread::spawn(move || {
+                gate.acquire_unless(|| cancel.load(Ordering::SeqCst) == 1)
+                    .is_none()
+            })
+        };
+        while gate.in_flight() < 2 {
+            std::thread::yield_now();
+        }
+        cancel.store(1, Ordering::SeqCst);
+        gate.notify_waiters();
+        assert!(waiter.join().unwrap(), "cancelled waiter got a permit");
+        // The abandoned slot must not count as a free permit while `first` is
+        // still held...
+        let blocked = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let _permit = gate.acquire();
+            })
+        };
+        while gate.in_flight() < 2 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(gate.in_flight(), 2, "successor admitted while permit held");
+        // ...and releasing the real permit admits the successor.
+        drop(first);
+        blocked.join().unwrap();
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn abandoning_a_rear_ticket_does_not_admit_an_earlier_waiter_early() {
+        // Regression: capacity 1, ticket 0 holds the permit, ticket 1 waits,
+        // ticket 2 waits cancellable.  Cancelling ticket 2 must NOT admit
+        // ticket 1 while ticket 0 still holds — the abandoned slot is only
+        // vacated when its turn comes.
+        let gate = Arc::new(FairGate::new(1));
+        let first = gate.acquire();
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let middle = {
+            let (gate, admitted) = (Arc::clone(&gate), Arc::clone(&admitted));
+            std::thread::spawn(move || {
+                let _permit = gate.acquire();
+                admitted.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        while gate.in_flight() < 2 {
+            std::thread::yield_now();
+        }
+        let cancel = Arc::new(AtomicUsize::new(0));
+        let rear = {
+            let (gate, cancel) = (Arc::clone(&gate), Arc::clone(&cancel));
+            std::thread::spawn(move || {
+                gate.acquire_unless(|| cancel.load(Ordering::SeqCst) == 1)
+                    .is_none()
+            })
+        };
+        while gate.in_flight() < 3 {
+            std::thread::yield_now();
+        }
+        cancel.store(1, Ordering::SeqCst);
+        gate.notify_waiters();
+        assert!(rear.join().unwrap(), "cancelled rear waiter got a permit");
+        // Ticket 1 must still be blocked: ticket 0 never released.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(
+            admitted.load(Ordering::SeqCst),
+            0,
+            "middle waiter admitted while the permit was still held"
+        );
+        drop(first);
+        middle.join().unwrap();
+        assert_eq!(admitted.load(Ordering::SeqCst), 1);
         assert_eq!(gate.in_flight(), 0);
     }
 

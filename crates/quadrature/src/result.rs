@@ -79,6 +79,11 @@ pub enum Termination {
     MaxEvaluations,
     /// Device memory was exhausted and no further subdivision was possible.
     MemoryExhausted,
+    /// The run was cancelled cooperatively before convergence (service jobs
+    /// observe their cancellation flag at iteration boundaries).  The estimate
+    /// carried alongside is the best cumulative estimate at the point of
+    /// cancellation.
+    Cancelled,
 }
 
 impl Termination {
@@ -187,6 +192,7 @@ mod tests {
         assert!(Termination::Converged.converged());
         assert!(!Termination::MaxIterations.converged());
         assert!(!Termination::MemoryExhausted.converged());
+        assert!(!Termination::Cancelled.converged());
     }
 
     fn dummy(estimate: f64, error: f64) -> IntegrationResult {

@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo run --release --example batch_throughput`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use pagani::prelude::*;
@@ -11,12 +12,12 @@ use pagani::prelude::*;
 fn main() {
     // A mixed Genz workload: the request mix a batch integration service
     // would see — different families, different dimensionalities.
-    let mut workload: Vec<PaperIntegrand> = Vec::new();
+    let mut workload: Vec<Arc<PaperIntegrand>> = Vec::new();
     for dim in [2usize, 3, 4, 5] {
-        workload.push(PaperIntegrand::f3(dim));
-        workload.push(PaperIntegrand::f4(dim));
-        workload.push(PaperIntegrand::f5(dim));
-        workload.push(PaperIntegrand::f7(dim));
+        workload.push(Arc::new(PaperIntegrand::f3(dim)));
+        workload.push(Arc::new(PaperIntegrand::f4(dim)));
+        workload.push(Arc::new(PaperIntegrand::f5(dim)));
+        workload.push(Arc::new(PaperIntegrand::f7(dim)));
     }
 
     let device = Device::new(
@@ -29,12 +30,18 @@ fn main() {
     // Sequential: one job at a time through the single-shot API.
     let pagani = Pagani::new(device.clone(), config.clone());
     let start = Instant::now();
-    let sequential: Vec<PaganiOutput> = workload.iter().map(|f| pagani.integrate(f)).collect();
+    let sequential: Vec<PaganiOutput> = workload
+        .iter()
+        .map(|f| pagani.integrate(f.as_ref()))
+        .collect();
     let sequential_time = start.elapsed();
 
     // Batched: all jobs concurrently over the same worker pool, with
     // per-worker scratch arenas recycling buffers across jobs.
-    let jobs: Vec<BatchJob<'_>> = workload.iter().map(|f| BatchJob::new(f)).collect();
+    let jobs: Vec<BatchJob> = workload
+        .iter()
+        .map(|f| BatchJob::shared(f.clone() as Arc<dyn Integrand + Send + Sync>))
+        .collect();
     let start = Instant::now();
     let batched = pagani::integrate_batch(&device, &config, &jobs);
     let batch_time = start.elapsed();

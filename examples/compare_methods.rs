@@ -1,8 +1,11 @@
-//! Head-to-head comparison of all four integrators on one paper integrand.
+//! Head-to-head comparison of every integrator on one paper integrand.
 //!
-//! This is the single-integrand version of the paper's Figures 4–6: for a sweep of
-//! requested digits it prints, per method, the wall time, the estimated and the true
-//! relative error, and whether the method claimed convergence.
+//! This is the single-integrand version of the paper's Figures 4–6, and the
+//! smoke demo of the unified `Integrator` trait: every method is built from a
+//! `MethodConfig` value and driven through `Box<dyn Integrator>` — one loop,
+//! no per-method code.  For a sweep of requested digits it prints, per method,
+//! the wall time, the estimated and the true relative error, and whether the
+//! method claimed convergence.
 //!
 //! Run with `cargo run --release --example compare_methods [-- <integrand>]` where
 //! `<integrand>` is one of `f3`, `f4`, `f5`, `f7` (default `f4`).
@@ -16,6 +19,19 @@ fn pick_integrand(name: &str) -> PaperIntegrand {
         "f7" => PaperIntegrand::f7(8),
         _ => PaperIntegrand::f4(5),
     }
+}
+
+/// Every method at `tol`, with the evaluation budgets the old per-method
+/// blocks used — the probabilistic methods get a cap so a hopeless tolerance
+/// terminates instead of sampling forever.
+fn methods(tol: Tolerances) -> Vec<MethodConfig> {
+    vec![
+        MethodConfig::Pagani(PaganiConfig::new(tol)),
+        MethodConfig::TwoPhase(TwoPhaseConfig::new(tol)),
+        MethodConfig::Cuhre(CuhreConfig::new(tol).with_max_evaluations(200_000_000)),
+        MethodConfig::Qmc(QmcConfig::new(tol).with_max_evaluations(50_000_000)),
+        MethodConfig::MonteCarlo(MonteCarloConfig::new(tol).with_max_evaluations(50_000_000)),
+    ]
 }
 
 fn main() {
@@ -35,24 +51,14 @@ fn main() {
     let device = Device::new(DeviceConfig::test_small().with_memory_capacity(512 << 20));
     for digits in [3.0, 4.0, 5.0] {
         let tol = Tolerances::digits(digits);
-
-        let pagani = Pagani::new(device.clone(), PaganiConfig::new(tol)).integrate(&integrand);
-        print_row(digits, "PAGANI", &pagani.result, reference);
-
-        let two_phase =
-            TwoPhase::new(device.clone(), TwoPhaseConfig::new(tol)).integrate(&integrand);
-        print_row(digits, "two-phase", &two_phase, reference);
-
-        let cuhre = Cuhre::new(CuhreConfig::new(tol).with_max_evaluations(200_000_000))
-            .integrate(&integrand);
-        print_row(digits, "cuhre", &cuhre, reference);
-
-        let qmc = Qmc::new(
-            device.clone(),
-            QmcConfig::new(tol).with_max_evaluations(50_000_000),
-        )
-        .integrate(&integrand);
-        print_row(digits, "qmc", &qmc, reference);
+        let integrators: Vec<Box<dyn Integrator>> = methods(tol)
+            .iter()
+            .map(|config| config.build(&device))
+            .collect();
+        for integrator in &integrators {
+            let result = integrator.integrate(&integrand);
+            print_row(digits, integrator.name(), &result, reference);
+        }
         println!();
     }
 }

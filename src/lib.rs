@@ -9,8 +9,8 @@
 //!   ([`quadrature`]),
 //! * the paper's test-integrand suite with analytic reference values ([`integrands`]),
 //! * the PAGANI algorithm itself ([`core`]), and
-//! * the baselines it is compared against: sequential Cuhre, the two-phase GPU method
-//!   and randomized quasi-Monte Carlo ([`baselines`]).
+//! * the baselines it is compared against: sequential Cuhre, the two-phase GPU method,
+//!   randomized quasi-Monte Carlo and plain Monte Carlo ([`baselines`]).
 //!
 //! ## Quick start
 //!
@@ -30,21 +30,57 @@
 //! assert!(output.result.relative_error_estimate() <= 1e-5);
 //! ```
 //!
-//! ## Batch execution
+//! ## One trait, five methods
 //!
-//! For throughput-oriented workloads — many independent integrals answered
-//! from one device — [`integrate_batch`] runs jobs concurrently over the
-//! device's one worker pool, recycling buffers across iterations and jobs.
-//! Results are bit-identical to running the same jobs sequentially:
+//! Every integrator implements [`Integrator`], so methods are values: build
+//! any of them from a [`MethodConfig`] (or the fluent [`IntegratorBuilder`])
+//! and sweep them through one loop:
 //!
 //! ```
 //! use pagani::prelude::*;
 //!
-//! let smooth = FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]);
-//! let bump = FnIntegrand::new(3, |x: &[f64]| {
-//!     (-x.iter().map(|&v| (v - 0.5) * (v - 0.5)).sum::<f64>() * 10.0).exp()
-//! });
-//! let jobs = [BatchJob::new(&smooth), BatchJob::new(&bump)];
+//! let f = FnIntegrand::new(2, |x: &[f64]| 1.0 + x[0] * x[1]);
+//! let device = Device::test_small();
+//! for config in MethodConfig::all(Tolerances::rel(1e-3)) {
+//!     let integrator: Box<dyn Integrator> = config.build(&device);
+//!     let result = integrator.integrate(&f);
+//!     assert!(result.converged(), "{} failed", integrator.name());
+//! }
+//! ```
+//!
+//! ## Serving traffic: the integration service
+//!
+//! [`IntegrationService`] keeps resident workers fed from a FIFO queue:
+//! `submit` returns a [`JobHandle`] immediately, handles support polling,
+//! blocking waits and cooperative cancellation, and completed results are
+//! bit-identical to sequential `Pagani::integrate` runs:
+//!
+//! ```
+//! use pagani::prelude::*;
+//!
+//! let device = Device::test_small();
+//! let config = PaganiConfig::test_small(Tolerances::rel(1e-5));
+//! let service = IntegrationService::new(device, config);
+//! let handle = service.submit(BatchJob::new(FnIntegrand::new(2, |x: &[f64]| x[0] + x[1])));
+//! assert!(handle.wait().result.converged());
+//! service.shutdown();
+//! ```
+//!
+//! ## Batch execution
+//!
+//! For a fixed set of independent integrals, [`integrate_batch`] is
+//! submit-all-then-wait sugar over the service.  Results are bit-identical to
+//! running the same jobs sequentially:
+//!
+//! ```
+//! use pagani::prelude::*;
+//!
+//! let jobs = [
+//!     BatchJob::new(FnIntegrand::new(2, |x: &[f64]| x[0] + x[1])),
+//!     BatchJob::new(FnIntegrand::new(3, |x: &[f64]| {
+//!         (-x.iter().map(|&v| (v - 0.5) * (v - 0.5)).sum::<f64>() * 10.0).exp()
+//!     })),
+//! ];
 //!
 //! let device = Device::test_small();
 //! let config = PaganiConfig::test_small(Tolerances::rel(1e-5));
@@ -67,16 +103,20 @@ pub use pagani_device as device;
 pub use pagani_integrands as integrands;
 pub use pagani_quadrature as quadrature;
 
+pub use pagani_baselines::{IntegratorBuilder, MethodConfig};
 pub use pagani_core::batch::integrate_batch;
+pub use pagani_core::{Capabilities, IntegrationService, Integrator, JobHandle};
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use pagani_baselines::{
-        Cuhre, CuhreConfig, MonteCarlo, MonteCarloConfig, Qmc, QmcConfig, TwoPhase, TwoPhaseConfig,
+        Cuhre, CuhreConfig, IntegratorBuilder, MethodConfig, MonteCarlo, MonteCarloConfig, Qmc,
+        QmcConfig, TwoPhase, TwoPhaseConfig,
     };
     pub use pagani_core::{
-        integrate_batch, BatchJob, BatchRunner, HeuristicFiltering, MultiDeviceOutput,
-        MultiDevicePagani, Pagani, PaganiConfig, PaganiOutput, ScratchArena,
+        integrate_batch, BatchJob, BatchRunner, CancelToken, Capabilities, HeuristicFiltering,
+        IntegrationService, Integrator, JobHandle, MultiDeviceOutput, MultiDevicePagani, Pagani,
+        PaganiConfig, PaganiOutput, ScratchArena,
     };
     pub use pagani_device::{Device, DeviceConfig};
     pub use pagani_integrands::paper::PaperIntegrand;
@@ -100,5 +140,19 @@ mod tests {
         let out = pagani.integrate(&f);
         assert!(out.result.converged());
         assert!((out.result.estimate - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prelude_exposes_the_unified_front_door() {
+        let f = FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]);
+        let device = Device::test_small();
+        let integrator = IntegratorBuilder::pagani(PaganiConfig::test_small(Tolerances::rel(1e-6)))
+            .build(&device);
+        assert!(integrator.integrate(&f).converged());
+        let service =
+            IntegrationService::new(device, PaganiConfig::test_small(Tolerances::rel(1e-6)));
+        let handle = service.submit(BatchJob::new(f));
+        assert!(handle.wait().result.converged());
+        service.shutdown();
     }
 }

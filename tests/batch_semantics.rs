@@ -1,9 +1,12 @@
-//! Batch-execution semantics: `integrate_batch` must be a pure throughput
-//! optimisation.  For every tested worker count, the outputs of a batch run
-//! are **bit-identical** to running the same jobs sequentially through the
-//! single-shot API on the same device — and identical across worker counts,
+//! Batch- and service-execution semantics: concurrent execution must be a
+//! pure throughput optimisation.  For every tested worker count, the outputs
+//! of a batch run — and the completed results of service-submitted jobs — are
+//! **bit-identical** to running the same jobs sequentially through the
+//! single-shot API on the same device, and identical across worker counts,
 //! extending the determinism guarantee of the execution substrate (PR 2) to
 //! whole concurrent jobs.
+
+use std::sync::Arc;
 
 use pagani::prelude::*;
 
@@ -42,15 +45,22 @@ fn device_with_workers(workers: usize) -> Device {
 }
 
 /// A mixed single-sign workload: different families, dimensions and scales.
-fn workload() -> Vec<PaperIntegrand> {
+fn workload() -> Vec<Arc<PaperIntegrand>> {
     vec![
-        PaperIntegrand::f3(3),
-        PaperIntegrand::f4(4),
-        PaperIntegrand::f5(3),
-        PaperIntegrand::f7(4),
-        PaperIntegrand::f4(3),
-        PaperIntegrand::f3(2),
+        Arc::new(PaperIntegrand::f3(3)),
+        Arc::new(PaperIntegrand::f4(4)),
+        Arc::new(PaperIntegrand::f5(3)),
+        Arc::new(PaperIntegrand::f7(4)),
+        Arc::new(PaperIntegrand::f4(3)),
+        Arc::new(PaperIntegrand::f3(2)),
     ]
+}
+
+fn jobs_for(workload: &[Arc<PaperIntegrand>]) -> Vec<BatchJob> {
+    workload
+        .iter()
+        .map(|f| BatchJob::shared(f.clone() as Arc<dyn Integrand + Send + Sync>))
+        .collect()
 }
 
 fn config() -> PaganiConfig {
@@ -69,12 +79,11 @@ fn batch_is_bit_identical_to_sequential_across_worker_counts() {
         let pagani = Pagani::new(device.clone(), config());
         let sequential: Vec<Fingerprint> = jobs_src
             .iter()
-            .map(|f| fingerprint(&pagani.integrate(f)))
+            .map(|f| fingerprint(&pagani.integrate(f.as_ref())))
             .collect();
 
         // The same jobs as one concurrent batch on the same device.
-        let jobs: Vec<BatchJob<'_>> = jobs_src.iter().map(|f| BatchJob::new(f)).collect();
-        let batched = pagani::integrate_batch(&device, &config(), &jobs);
+        let batched = pagani::integrate_batch(&device, &config(), &jobs_for(&jobs_src));
         let batched: Vec<Fingerprint> = batched.iter().map(fingerprint).collect();
 
         assert_eq!(
@@ -90,12 +99,43 @@ fn batch_is_bit_identical_to_sequential_across_worker_counts() {
 }
 
 #[test]
+fn service_handles_are_bit_identical_to_sequential() {
+    // The acceptance pin of the async front door: results delivered through
+    // `IntegrationService::submit` handles match the sequential single-shot
+    // API bit for bit, for every worker count.
+    let jobs_src = workload();
+    for workers in [1usize, 2, 8] {
+        let device = device_with_workers(workers);
+        let pagani = Pagani::new(device.clone(), config());
+        let sequential: Vec<Fingerprint> = jobs_src
+            .iter()
+            .map(|f| fingerprint(&pagani.integrate(f.as_ref())))
+            .collect();
+
+        let service = IntegrationService::new(device, config());
+        let handles: Vec<JobHandle> = jobs_for(&jobs_src)
+            .into_iter()
+            .map(|job| service.submit(job))
+            .collect();
+        let served: Vec<Fingerprint> = handles
+            .iter()
+            .map(|handle| fingerprint(&handle.wait()))
+            .collect();
+        service.shutdown();
+
+        assert_eq!(
+            sequential, served,
+            "service results diverged from sequential at worker_threads = {workers}"
+        );
+    }
+}
+
+#[test]
 fn repeated_batches_on_one_runner_are_bit_identical() {
     // Arena recycling across runs must not leak state into results: the
-    // second batch on the same runner (whose workers now hold warm arenas)
-    // must reproduce the first bit for bit.
+    // second batch on the same runner must reproduce the first bit for bit.
     let jobs_src = workload();
-    let jobs: Vec<BatchJob<'_>> = jobs_src.iter().map(|f| BatchJob::new(f)).collect();
+    let jobs = jobs_for(&jobs_src);
     let runner = BatchRunner::new(device_with_workers(2), config());
     let first: Vec<Fingerprint> = runner.run(&jobs).iter().map(fingerprint).collect();
     let second: Vec<Fingerprint> = runner.run(&jobs).iter().map(fingerprint).collect();
@@ -107,7 +147,7 @@ fn oversubscribed_concurrency_is_gated_not_oversubscribed() {
     // Concurrency far above the worker count: the FIFO gate admits at most a
     // pool's worth of jobs at once, and results stay bit-identical.
     let jobs_src = workload();
-    let jobs: Vec<BatchJob<'_>> = jobs_src.iter().map(|f| BatchJob::new(f)).collect();
+    let jobs = jobs_for(&jobs_src);
     let device = device_with_workers(2);
     assert_eq!(device.submission_gate().capacity(), 2);
     let gated = BatchRunner::new(device.clone(), config())
@@ -116,7 +156,7 @@ fn oversubscribed_concurrency_is_gated_not_oversubscribed() {
     let pagani = Pagani::new(device.clone(), config());
     for (f, out) in jobs_src.iter().zip(&gated) {
         assert_eq!(
-            fingerprint(&pagani.integrate(f)),
+            fingerprint(&pagani.integrate(f.as_ref())),
             fingerprint(out),
             "gated oversubscription changed a result"
         );
@@ -127,7 +167,7 @@ fn oversubscribed_concurrency_is_gated_not_oversubscribed() {
 #[test]
 fn multi_device_batch_matches_single_device_batch() {
     let jobs_src = workload();
-    let jobs: Vec<BatchJob<'_>> = jobs_src.iter().map(|f| BatchJob::new(f)).collect();
+    let jobs = jobs_for(&jobs_src);
     let single: Vec<Fingerprint> =
         pagani::integrate_batch(&device_with_workers(2), &config(), &jobs)
             .iter()

@@ -37,6 +37,7 @@ fn constrained_memory_triggers_threshold_classification_or_clean_exhaustion() {
         Termination::Converged => assert!(rescued || out.result.iterations < 20),
         Termination::MemoryExhausted | Termination::MaxIterations => {}
         Termination::MaxEvaluations => panic!("PAGANI has no evaluation budget"),
+        Termination::Cancelled => panic!("nothing cancelled this run"),
     }
     assert!(out.result.estimate.is_finite());
 }

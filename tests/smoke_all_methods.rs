@@ -1,12 +1,15 @@
-//! Smoke test: every integrator in the workspace — PAGANI, Cuhre, the two-phase
-//! method and QMC — runs end to end on one fixed Genz integrand and lands within
-//! tolerance of the analytic reference value.
+//! Smoke test: every integrator in the workspace — PAGANI, Cuhre, the
+//! two-phase method, QMC and plain Monte Carlo — runs end to end **through the
+//! unified `Integrator` trait** on one fixed Genz integrand and lands within
+//! tolerance of the analytic reference value.  One loop over
+//! `Box<dyn Integrator>` values covers all five methods; there is no
+//! per-method block to fall out of sync.
 
 use pagani::integrands::genz::{GenzFamily, GenzIntegrand};
 use pagani::prelude::*;
 
 /// A mild 3-D Gaussian-family Genz integrand with fixed parameters, smooth enough
-/// that all four methods (including QMC) can reach three digits quickly.
+/// that all methods (including plain MC) can reach their digits quickly.
 fn gaussian_genz() -> GenzIntegrand {
     GenzIntegrand::new(
         GenzFamily::Gaussian,
@@ -19,49 +22,93 @@ fn device() -> Device {
     Device::new(DeviceConfig::test_small().with_memory_capacity(64 << 20))
 }
 
+/// Each method with a test-sized configuration, its requested relative
+/// tolerance, and the accuracy bar the estimate must clear against the
+/// analytic reference (looser for the statistical-error methods).
+fn cases() -> Vec<(MethodConfig, f64)> {
+    let tol = 1e-3;
+    vec![
+        (
+            MethodConfig::Pagani(PaganiConfig::test_small(Tolerances::rel(tol))),
+            tol,
+        ),
+        (
+            MethodConfig::Cuhre(
+                CuhreConfig::new(Tolerances::rel(tol)).with_max_evaluations(10_000_000),
+            ),
+            tol,
+        ),
+        (
+            MethodConfig::TwoPhase(TwoPhaseConfig::test_small(Tolerances::rel(tol))),
+            tol,
+        ),
+        (
+            MethodConfig::Qmc(QmcConfig::new(Tolerances::rel(tol)).with_max_evaluations(4_000_000)),
+            tol,
+        ),
+        // Plain MC earns fewer digits per sample; ask for two digits with a
+        // generous budget so the seeded run converges deterministically.
+        (
+            MethodConfig::MonteCarlo(
+                MonteCarloConfig::new(Tolerances::rel(1e-2)).with_max_evaluations(50_000_000),
+            ),
+            5e-2,
+        ),
+    ]
+}
+
 #[test]
-fn all_four_methods_agree_with_the_analytic_reference() {
+fn all_methods_agree_with_the_analytic_reference() {
     let integrand = gaussian_genz();
     let reference = integrand.reference_value();
     assert!(reference.is_finite() && reference > 0.0);
-    let tol = 1e-3;
+    let device = device();
 
-    let pagani =
-        Pagani::new(device(), PaganiConfig::test_small(Tolerances::rel(tol))).integrate(&integrand);
-    assert!(pagani.result.converged(), "PAGANI did not converge");
-    assert!(
-        pagani.result.true_relative_error(reference) < tol,
-        "PAGANI estimate {} vs reference {reference}",
-        pagani.result.estimate
-    );
+    for (config, accuracy_bar) in cases() {
+        let integrator: Box<dyn Integrator> = config.build(&device);
+        assert_eq!(integrator.name(), config.name());
+        assert!(
+            integrator.capabilities().supports_dim(integrand.dim()),
+            "{} cannot handle {} dims",
+            integrator.name(),
+            integrand.dim()
+        );
+        let result = integrator.integrate(&integrand);
+        assert!(result.converged(), "{} did not converge", integrator.name());
+        assert!(
+            result.true_relative_error(reference) < accuracy_bar,
+            "{}: estimate {} vs reference {reference} (true rel err {})",
+            integrator.name(),
+            result.estimate,
+            result.true_relative_error(reference)
+        );
+    }
+}
 
-    let cuhre = Cuhre::new(CuhreConfig::new(Tolerances::rel(tol)).with_max_evaluations(10_000_000))
-        .integrate(&integrand);
-    assert!(cuhre.converged(), "Cuhre did not converge");
-    assert!(
-        cuhre.true_relative_error(reference) < tol,
-        "Cuhre estimate {} vs reference {reference}",
-        cuhre.estimate
-    );
+#[test]
+fn region_slice_bounds_are_accepted_identically_by_every_method() {
+    // The unified `&[Region]` entry point: splitting the domain in half and
+    // integrating the slice must agree with integrating the whole cube, for
+    // every deterministic method, through one shared code path.
+    let integrand = gaussian_genz();
+    let reference = integrand.reference_value();
+    let device = device();
+    let (left, right) = Region::unit_cube(integrand.dim()).split(0);
+    let cover = [left, right];
 
-    let two_phase = TwoPhase::new(device(), TwoPhaseConfig::test_small(Tolerances::rel(tol)))
-        .integrate(&integrand);
-    assert!(two_phase.converged(), "two-phase did not converge");
-    assert!(
-        two_phase.true_relative_error(reference) < tol,
-        "two-phase estimate {} vs reference {reference}",
-        two_phase.estimate
-    );
-
-    let qmc = Qmc::new(
-        device(),
-        QmcConfig::new(Tolerances::rel(tol)).with_max_evaluations(4_000_000),
-    )
-    .integrate(&integrand);
-    assert!(qmc.converged(), "QMC did not converge");
-    assert!(
-        qmc.true_relative_error(reference) < tol,
-        "QMC estimate {} vs reference {reference}",
-        qmc.estimate
-    );
+    for (config, accuracy_bar) in cases() {
+        let integrator: Box<dyn Integrator> = config.build(&device);
+        let result = integrator.integrate_regions(&integrand, &cover);
+        assert!(
+            result.converged(),
+            "{} did not converge on the region cover",
+            integrator.name()
+        );
+        assert!(
+            result.true_relative_error(reference) < 2.0 * accuracy_bar,
+            "{}: cover estimate {} vs reference {reference}",
+            integrator.name(),
+            result.estimate
+        );
+    }
 }
