@@ -11,7 +11,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
-use pagani_core::integrator::{ensure_matching_dims, Capabilities, Integrator};
+use pagani_core::integrator::{check_cancelled, ensure_matching_dims, Capabilities, Integrator};
+use pagani_core::CancelToken;
 use pagani_quadrature::two_level::refine_error;
 use pagani_quadrature::{
     EvalScratch, GenzMalik, Integrand, IntegrationResult, Region, Termination, Tolerances,
@@ -122,6 +123,24 @@ impl Cuhre {
         f: &F,
         region: &Region,
     ) -> IntegrationResult {
+        self.integrate_region_cancellable(f, region, &CancelToken::new())
+    }
+
+    /// Integrate `f` over an explicit region, polling `cancel` at every heap
+    /// pop (the sequential loop's iteration boundary).  A cancelled run
+    /// reports [`Termination::Cancelled`] with the cumulative estimate and
+    /// counters accumulated so far; an uncancelled token never changes a
+    /// result.
+    ///
+    /// # Panics
+    /// Panics if the region and integrand dimensions differ or the dimension is
+    /// outside the Genz–Malik range (2..=30).
+    pub fn integrate_region_cancellable<F: Integrand + ?Sized>(
+        &self,
+        f: &F,
+        region: &Region,
+        cancel: &CancelToken,
+    ) -> IntegrationResult {
         ensure_matching_dims(f, region);
         let start = Instant::now();
         let dim = f.dim();
@@ -147,6 +166,13 @@ impl Cuhre {
         loop {
             if tolerances.satisfied_by(total_integral, total_error) {
                 termination = Termination::Converged;
+                break;
+            }
+            // Cancellation checkpoint: one per heap pop, after the convergence
+            // check so a run that already satisfied its tolerances keeps its
+            // converged status even when a cancel races the finish.
+            if let Some(cancelled) = check_cancelled(cancel) {
+                termination = cancelled;
                 break;
             }
             if evaluations >= self.config.max_evaluations {
@@ -231,8 +257,13 @@ impl Integrator for Cuhre {
         }
     }
 
-    fn integrate_region(&self, f: &dyn Integrand, region: &Region) -> IntegrationResult {
-        Cuhre::integrate_region(self, f, region)
+    fn integrate_region_cancellable(
+        &self,
+        f: &dyn Integrand,
+        region: &Region,
+        cancel: &CancelToken,
+    ) -> IntegrationResult {
+        Cuhre::integrate_region_cancellable(self, f, region, cancel)
     }
 }
 
@@ -323,6 +354,32 @@ mod tests {
         let tight = cuhre(1e-6).integrate(&f);
         assert!(tight.regions_generated > loose.regions_generated);
         assert!(tight.function_evaluations > loose.function_evaluations);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_after_the_initial_estimate() {
+        let f = PaperIntegrand::f4(4);
+        let token = pagani_core::CancelToken::new();
+        token.cancel();
+        let result = cuhre(1e-8).integrate_region_cancellable(&f, &Region::unit_cube(4), &token);
+        assert_eq!(result.termination, Termination::Cancelled);
+        assert_eq!(result.iterations, 0, "no heap pop may follow a cancel");
+        // Partial stats stay intact: the initial whole-domain estimate ran.
+        assert!(result.function_evaluations > 0);
+        assert!(result.estimate.is_finite());
+    }
+
+    #[test]
+    fn uncancelled_token_is_bit_transparent() {
+        let f = PaperIntegrand::f4(3);
+        let plain = cuhre(1e-5).integrate(&f);
+        let with_token = cuhre(1e-5).integrate_region_cancellable(
+            &f,
+            &Region::unit_cube(3),
+            &pagani_core::CancelToken::new(),
+        );
+        assert_eq!(plain.estimate.to_bits(), with_token.estimate.to_bits());
+        assert_eq!(plain.function_evaluations, with_token.function_evaluations);
     }
 
     #[test]

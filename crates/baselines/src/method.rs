@@ -24,7 +24,7 @@
 //! assert_eq!(integrator.name(), "pagani");
 //! ```
 
-use pagani_core::{Integrator, Pagani, PaganiConfig};
+use pagani_core::{Integrator, IntegratorFactory, Pagani, PaganiConfig};
 use pagani_device::Device;
 use pagani_quadrature::Tolerances;
 
@@ -117,6 +117,24 @@ impl MethodConfig {
             MethodConfig::Qmc(QmcConfig::new(tolerances)),
             MethodConfig::MonteCarlo(MonteCarloConfig::new(tolerances)),
         ]
+    }
+}
+
+/// A [`MethodConfig`] *is* an integrator factory: jobs submitted to the
+/// scheduling service carry one as their per-job method override
+/// (`BatchJob::with_method`), and the service builds the configured method on
+/// the job's device view when the job is claimed.
+impl IntegratorFactory for MethodConfig {
+    fn method_name(&self) -> &'static str {
+        self.name()
+    }
+
+    fn tolerances(&self) -> Option<Tolerances> {
+        Some(MethodConfig::tolerances(self))
+    }
+
+    fn build(&self, device: &Device) -> Box<dyn Integrator> {
+        MethodConfig::build(self, device)
     }
 }
 

@@ -9,7 +9,8 @@
 
 use std::time::Instant;
 
-use pagani_core::integrator::{ensure_matching_dims, Capabilities, Integrator};
+use pagani_core::integrator::{check_cancelled, ensure_matching_dims, Capabilities, Integrator};
+use pagani_core::CancelToken;
 use pagani_device::Device;
 use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination, Tolerances};
 use rand::rngs::StdRng;
@@ -92,6 +93,22 @@ impl MonteCarlo {
         f: &F,
         region: &Region,
     ) -> IntegrationResult {
+        self.integrate_region_cancellable(f, region, &CancelToken::new())
+    }
+
+    /// Integrate `f` over an explicit region, polling `cancel` at every
+    /// sample-doubling round.  A cancelled run reports
+    /// [`Termination::Cancelled`] with the estimate of the last completed
+    /// round; an uncancelled token never changes a result.
+    ///
+    /// # Panics
+    /// Panics if the region and integrand dimensions differ.
+    pub fn integrate_region_cancellable<F: Integrand + ?Sized>(
+        &self,
+        f: &F,
+        region: &Region,
+        cancel: &CancelToken,
+    ) -> IntegrationResult {
         ensure_matching_dims(f, region);
         let start = Instant::now();
         let dim = f.dim();
@@ -146,6 +163,11 @@ impl MonteCarlo {
             if tolerances.satisfied_by(estimate, error) {
                 break (estimate, error, Termination::Converged);
             }
+            // Cancellation checkpoint: once per doubling round, after the
+            // convergence check so a finished run keeps its converged status.
+            if let Some(cancelled) = check_cancelled(cancel) {
+                break (estimate, error, cancelled);
+            }
             if total_samples.saturating_mul(2) > self.config.max_evaluations {
                 break (estimate, error, Termination::MaxEvaluations);
             }
@@ -182,8 +204,13 @@ impl Integrator for MonteCarlo {
         }
     }
 
-    fn integrate_region(&self, f: &dyn Integrand, region: &Region) -> IntegrationResult {
-        MonteCarlo::integrate_region(self, f, region)
+    fn integrate_region_cancellable(
+        &self,
+        f: &dyn Integrand,
+        region: &Region,
+        cancel: &CancelToken,
+    ) -> IntegrationResult {
+        MonteCarlo::integrate_region_cancellable(self, f, region, cancel)
     }
 }
 
@@ -232,6 +259,19 @@ mod tests {
         assert!(!result.converged());
         assert_eq!(result.termination, Termination::MaxEvaluations);
         assert!(result.function_evaluations <= 100_000);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_after_one_round() {
+        let f = PaperIntegrand::f4(5);
+        let token = CancelToken::new();
+        token.cancel();
+        let result =
+            mc(1e-9, 100_000_000).integrate_region_cancellable(&f, &Region::unit_cube(5), &token);
+        assert_eq!(result.termination, Termination::Cancelled);
+        assert_eq!(result.iterations, 1, "cancel lands at the round boundary");
+        assert!(result.function_evaluations > 0);
+        assert!(result.estimate.is_finite());
     }
 
     #[test]

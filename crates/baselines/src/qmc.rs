@@ -11,7 +11,8 @@
 
 use std::time::Instant;
 
-use pagani_core::integrator::{ensure_matching_dims, Capabilities, Integrator};
+use pagani_core::integrator::{check_cancelled, ensure_matching_dims, Capabilities, Integrator};
+use pagani_core::CancelToken;
 use pagani_device::Device;
 use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination, Tolerances};
 use rand::rngs::StdRng;
@@ -121,6 +122,23 @@ impl Qmc {
         f: &F,
         region: &Region,
     ) -> IntegrationResult {
+        self.integrate_region_cancellable(f, region, &CancelToken::new())
+    }
+
+    /// Integrate `f` over an explicit region, polling `cancel` at every
+    /// point-doubling round.  A cancelled run reports
+    /// [`Termination::Cancelled`] with the estimate of the last completed
+    /// round; an uncancelled token never changes a result.
+    ///
+    /// # Panics
+    /// Panics if the region and integrand dimensions differ or the dimension exceeds
+    /// the number of Halton bases (30).
+    pub fn integrate_region_cancellable<F: Integrand + ?Sized>(
+        &self,
+        f: &F,
+        region: &Region,
+        cancel: &CancelToken,
+    ) -> IntegrationResult {
         ensure_matching_dims(f, region);
         let dim = f.dim();
         assert!(
@@ -173,6 +191,11 @@ impl Qmc {
             if tolerances.satisfied_by(mean, error) {
                 break (mean, error, Termination::Converged);
             }
+            // Cancellation checkpoint: once per doubling round, after the
+            // convergence check so a finished run keeps its converged status.
+            if let Some(cancelled) = check_cancelled(cancel) {
+                break (mean, error, cancelled);
+            }
             if evaluations.saturating_mul(2) > self.config.max_evaluations {
                 break (mean, error, Termination::MaxEvaluations);
             }
@@ -210,8 +233,13 @@ impl Integrator for Qmc {
         }
     }
 
-    fn integrate_region(&self, f: &dyn Integrand, region: &Region) -> IntegrationResult {
-        Qmc::integrate_region(self, f, region)
+    fn integrate_region_cancellable(
+        &self,
+        f: &dyn Integrand,
+        region: &Region,
+        cancel: &CancelToken,
+    ) -> IntegrationResult {
+        Qmc::integrate_region_cancellable(self, f, region, cancel)
     }
 }
 
@@ -278,6 +306,22 @@ mod tests {
             "true error {}",
             result.true_relative_error(f.reference_value())
         );
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_after_one_round() {
+        let f = PaperIntegrand::f4(5);
+        let token = pagani_core::CancelToken::new();
+        token.cancel();
+        let result = qmc(1e-9).integrate_region_cancellable(
+            &f,
+            &pagani_quadrature::Region::unit_cube(5),
+            &token,
+        );
+        assert_eq!(result.termination, Termination::Cancelled);
+        assert_eq!(result.iterations, 1, "cancel lands at the round boundary");
+        assert!(result.function_evaluations > 0);
+        assert!(result.estimate.is_finite());
     }
 
     #[test]

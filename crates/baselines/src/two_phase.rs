@@ -16,7 +16,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
-use pagani_core::integrator::{ensure_matching_dims, Capabilities, Integrator};
+use pagani_core::integrator::{check_cancelled, ensure_matching_dims, Capabilities, Integrator};
+use pagani_core::CancelToken;
 use pagani_device::{reduce, Device};
 use pagani_quadrature::two_level::refine_generation;
 use pagani_quadrature::{
@@ -121,6 +122,22 @@ impl TwoPhase {
         f: &F,
         region: &Region,
     ) -> IntegrationResult {
+        self.integrate_region_cancellable(f, region, &CancelToken::new())
+    }
+
+    /// Integrate `f` over an explicit region, polling `cancel` at every
+    /// phase I iteration boundary and inside each phase II processor's local
+    /// loop.  A cancelled run reports [`Termination::Cancelled`] with the
+    /// cumulative estimates accumulated so far.
+    ///
+    /// # Panics
+    /// Panics if the region and integrand dimensions differ.
+    pub fn integrate_region_cancellable<F: Integrand + ?Sized>(
+        &self,
+        f: &F,
+        region: &Region,
+        cancel: &CancelToken,
+    ) -> IntegrationResult {
         ensure_matching_dims(f, region);
         let start = Instant::now();
         let dim = f.dim();
@@ -137,6 +154,7 @@ impl TwoPhase {
         let mut phase1_iterations = 0usize;
         let mut parent_integrals: Option<Vec<f64>> = None;
         let mut converged_in_phase1 = false;
+        let mut cancelled_in_phase1 = false;
 
         loop {
             phase1_iterations += 1;
@@ -165,6 +183,14 @@ impl TwoPhase {
                 finished_estimate = total_estimate;
                 finished_error = total_error;
                 converged_in_phase1 = true;
+                break;
+            }
+            // Cancellation checkpoint: once per phase I iteration, after the
+            // convergence check so a finished run keeps its converged status.
+            if check_cancelled(cancel).is_some() {
+                finished_estimate = total_estimate;
+                finished_error = total_error;
+                cancelled_in_phase1 = true;
                 break;
             }
             if phase1_iterations >= self.config.max_phase1_iterations {
@@ -213,8 +239,13 @@ impl TwoPhase {
             active = next;
         }
 
-        if converged_in_phase1 || finished_estimate != 0.0 && active.is_empty() {
-            let termination = if tolerances.satisfied_by(finished_estimate, finished_error) {
+        if cancelled_in_phase1
+            || converged_in_phase1
+            || finished_estimate != 0.0 && active.is_empty()
+        {
+            let termination = if cancelled_in_phase1 {
+                Termination::Cancelled
+            } else if tolerances.satisfied_by(finished_estimate, finished_error) {
                 Termination::Converged
             } else {
                 Termination::MaxIterations
@@ -244,6 +275,7 @@ impl TwoPhase {
                     tolerances,
                     heap_capacity,
                     local_budget,
+                    cancel,
                 )
             })
             .expect("phase II launch cannot be empty");
@@ -263,6 +295,10 @@ impl TwoPhase {
 
         let termination = if tolerances.satisfied_by(estimate, error) {
             Termination::Converged
+        } else if let Some(cancelled) = check_cancelled(cancel) {
+            // Every processor saw the same token and stopped at its next local
+            // checkpoint; the combined partial sums are still meaningful.
+            cancelled
         } else if any_memory_exhausted {
             Termination::MemoryExhausted
         } else {
@@ -297,8 +333,13 @@ impl Integrator for TwoPhase {
         }
     }
 
-    fn integrate_region(&self, f: &dyn Integrand, region: &Region) -> IntegrationResult {
-        TwoPhase::integrate_region(self, f, region)
+    fn integrate_region_cancellable(
+        &self,
+        f: &dyn Integrand,
+        region: &Region,
+        cancel: &CancelToken,
+    ) -> IntegrationResult {
+        TwoPhase::integrate_region_cancellable(self, f, region, cancel)
     }
 }
 
@@ -346,6 +387,7 @@ impl Ord for LocalRegion {
 }
 
 /// One phase II processor: a locally-bounded sequential Cuhre on a single region.
+#[allow(clippy::too_many_arguments)]
 fn phase2_processor<F: Integrand + ?Sized>(
     f: &F,
     rule: &GenzMalik,
@@ -353,6 +395,7 @@ fn phase2_processor<F: Integrand + ?Sized>(
     tolerances: Tolerances,
     heap_capacity: usize,
     max_evaluations: u64,
+    cancel: &CancelToken,
 ) -> ProcessorOutcome {
     let mut scratch = EvalScratch::new(rule.dim());
     let first = rule.evaluate(f, region, &mut scratch);
@@ -372,6 +415,11 @@ fn phase2_processor<F: Integrand + ?Sized>(
     loop {
         // Local termination: the processor only sees its own estimates.
         if tolerances.satisfied_by(total_integral, total_error) {
+            break;
+        }
+        // The shared cancellation checkpoint: every processor polls the same
+        // token, so a cancel stops the whole phase within one local pop each.
+        if check_cancelled(cancel).is_some() {
             break;
         }
         if evaluations >= max_evaluations {
@@ -492,6 +540,31 @@ mod tests {
         let result = two_phase(1e-4).integrate(&f);
         assert!(result.regions_generated > 0);
         assert!(result.function_evaluations > 0);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_in_phase1_with_partial_stats() {
+        let f = PaperIntegrand::f4(4);
+        let token = pagani_core::CancelToken::new();
+        token.cancel();
+        let result =
+            two_phase(1e-8).integrate_region_cancellable(&f, &Region::unit_cube(4), &token);
+        assert_eq!(result.termination, Termination::Cancelled);
+        assert_eq!(result.iterations, 1, "cancel lands at the first boundary");
+        assert!(result.function_evaluations > 0);
+        assert!(result.estimate.is_finite());
+    }
+
+    #[test]
+    fn uncancelled_token_is_bit_transparent() {
+        let f = PaperIntegrand::f4(3);
+        let plain = two_phase(1e-3).integrate(&f);
+        let with_token = two_phase(1e-3).integrate_region_cancellable(
+            &f,
+            &Region::unit_cube(3),
+            &pagani_core::CancelToken::new(),
+        );
+        assert_eq!(plain.estimate.to_bits(), with_token.estimate.to_bits());
     }
 
     #[test]

@@ -15,11 +15,19 @@
 //! per-integral cost and `16e9 / mean_ns` the integrals-per-second rate.  Run
 //! with `--save-json <path>` (or `CRITERION_SAVE_JSON`) to record the numbers;
 //! the CI bench-smoke job tracks this group as the perf trajectory.
+//!
+//! The `dispatch` group adds the multi-device angle: a *skewed* 16-job batch
+//! (heavy 5-D jobs alternating with trivial 2-D ones) over two devices, under
+//! round-robin vs cost-balanced dispatch.  Round-robin piles every heavy job
+//! onto one device; cost-balanced splits them, so on a multi-core host the
+//! balanced makespan is roughly half the round-robin one.  (On a single-core
+//! runner the two converge — total work is identical — so CI gates the
+//! *scheduling plan* in unit tests and tracks the wall-clock here.)
 
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pagani_core::{BatchJob, BatchRunner, Pagani, PaganiConfig};
+use pagani_core::{BatchJob, BatchRunner, DispatchMode, MultiDevicePagani, Pagani, PaganiConfig};
 use pagani_device::{Device, DeviceConfig};
 use pagani_integrands::paper::PaperIntegrand;
 use pagani_quadrature::{Integrand, Tolerances};
@@ -75,5 +83,72 @@ fn bench_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(throughput, bench_throughput);
+/// The 16-job skewed workload: heavy jobs (5-D Gaussian) on even indices,
+/// trivial jobs (2-D corner peak) on odd ones — the adversarial mix for
+/// round-robin sharding over two devices, which piles every heavy job onto
+/// device 0 while device 1 idles.  Cost-balanced dispatch weighs jobs with
+/// the (dimension, tolerance) cost model and splits the heavy half across
+/// both devices.
+fn skewed_workload() -> Vec<BatchJob> {
+    (0..16)
+        .map(|i| {
+            if i % 2 == 0 {
+                BatchJob::new(PaperIntegrand::f4(5))
+            } else {
+                BatchJob::new(PaperIntegrand::f3(2))
+            }
+        })
+        .collect()
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(10);
+    // Two workers per device: narrower than the skew, so on a multi-core host
+    // round-robin's single busy device can only use half the cores while the
+    // other device idles — exactly the imbalance cost-balanced dispatch
+    // removes.  (On a single-core host the modes converge; see module docs.)
+    let make_devices = || -> Vec<Device> {
+        (0..2)
+            .map(|_| {
+                Device::new(
+                    DeviceConfig::v100_like()
+                        .with_worker_threads(2)
+                        .with_memory_capacity(128 << 20),
+                )
+            })
+            .collect()
+    };
+    let config = PaganiConfig::test_small(Tolerances::rel(1e-4));
+    let jobs = skewed_workload();
+
+    let round_robin = MultiDevicePagani::new(make_devices(), config.clone())
+        .with_dispatch(DispatchMode::RoundRobin);
+    group.bench_function("round_robin_skewed_16_jobs", |b| {
+        b.iter(|| {
+            let total: f64 = round_robin
+                .integrate_batch(&jobs)
+                .iter()
+                .map(|o| o.result.estimate)
+                .sum();
+            black_box(total)
+        })
+    });
+
+    let balanced =
+        MultiDevicePagani::new(make_devices(), config).with_dispatch(DispatchMode::CostBalanced);
+    group.bench_function("cost_balanced_skewed_16_jobs", |b| {
+        b.iter(|| {
+            let total: f64 = balanced
+                .integrate_batch(&jobs)
+                .iter()
+                .map(|o| o.result.estimate)
+                .sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(throughput, bench_throughput, bench_dispatch);
 criterion_main!(throughput);

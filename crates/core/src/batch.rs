@@ -45,16 +45,19 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use pagani_device::Device;
 use pagani_quadrature::{Integrand, Region};
 
 use crate::config::PaganiConfig;
 use crate::driver::PaganiOutput;
-use crate::service::IntegrationService;
+use crate::integrator::IntegratorFactory;
+use crate::service::{IntegrationService, Priority};
 
-/// One independent integration job: a shared integrand and the region to
-/// integrate it over.
+/// One independent integration job: a shared integrand, the region to
+/// integrate it over, and the scheduling attributes the service honours —
+/// priority, an optional deadline, and an optional per-job method override.
 ///
 /// Jobs own their integrand behind an [`Arc`] so they can be queued on a
 /// service, carried across worker threads and cloned cheaply; wrap a value
@@ -63,6 +66,9 @@ use crate::service::IntegrationService;
 pub struct BatchJob {
     integrand: Arc<dyn Integrand + Send + Sync>,
     region: Region,
+    priority: Priority,
+    deadline: Option<Duration>,
+    method: Option<Arc<dyn IntegratorFactory>>,
 }
 
 impl std::fmt::Debug for BatchJob {
@@ -70,6 +76,12 @@ impl std::fmt::Debug for BatchJob {
         f.debug_struct("BatchJob")
             .field("integrand", &self.integrand.name())
             .field("dim", &self.region.dim())
+            .field("priority", &self.priority)
+            .field("deadline", &self.deadline)
+            .field(
+                "method",
+                &self.method.as_deref().map(IntegratorFactory::method_name),
+            )
             .finish()
     }
 }
@@ -86,13 +98,63 @@ impl BatchJob {
     pub fn shared(integrand: Arc<dyn Integrand + Send + Sync>) -> Self {
         let (lo, hi) = integrand.default_bounds();
         let region = Region::new(lo, hi);
-        Self { integrand, region }
+        Self {
+            integrand,
+            region,
+            priority: Priority::Normal,
+            deadline: None,
+            method: None,
+        }
     }
 
     /// Replace the integration region (defaults to the integrand's bounds).
     #[must_use]
     pub fn over(mut self, region: Region) -> Self {
         self.region = region;
+        self
+    }
+
+    /// Set the scheduling priority (defaults to [`Priority::Normal`]).
+    /// Higher-priority jobs are claimed first; equal priorities stay FIFO.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Give the job a deadline, measured from submission.  A job that has not
+    /// completed when the deadline fires is cancelled cooperatively — it
+    /// reports [`pagani_quadrature::Termination::Cancelled`] with whatever
+    /// partial statistics it had accumulated, exactly as if
+    /// [`crate::service::JobHandle::cancel`] had been called at that instant.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Override the integration method for this job.  The service builds the
+    /// factory's integrator on the job's isolated device view when the job is
+    /// claimed; jobs without an override run the service's default PAGANI
+    /// configuration.  `MethodConfig` (in `pagani-baselines`) implements
+    /// [`IntegratorFactory`], so any of the five methods can ride along.
+    ///
+    /// Override jobs go through the method-agnostic `Box<dyn Integrator>`
+    /// path, which has two costs relative to the default path: the returned
+    /// `PaganiOutput.trace` is always empty (the trait surface carries only
+    /// an `IntegrationResult` — true even for a PAGANI override), and the
+    /// run allocates fresh scratch instead of reusing the service worker's
+    /// long-lived arena.  Jobs that need traces or arena reuse should use
+    /// the service's default configuration rather than an override.
+    #[must_use]
+    pub fn with_method<M: IntegratorFactory + 'static>(self, method: M) -> Self {
+        self.with_shared_method(Arc::new(method))
+    }
+
+    /// Override the integration method with an already-shared factory.
+    #[must_use]
+    pub fn with_shared_method(mut self, method: Arc<dyn IntegratorFactory>) -> Self {
+        self.method = Some(method);
         self
     }
 
@@ -106,6 +168,24 @@ impl BatchJob {
     #[must_use]
     pub fn region(&self) -> &Region {
         &self.region
+    }
+
+    /// The job's scheduling priority.
+    #[must_use]
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The job's deadline, measured from submission, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The job's method override, if any.
+    #[must_use]
+    pub fn method(&self) -> Option<&Arc<dyn IntegratorFactory>> {
+        self.method.as_ref()
     }
 }
 

@@ -12,7 +12,7 @@ use crate::arena::ScratchArena;
 use crate::classify::{active_count, rel_err_classify_into};
 use crate::config::{HeuristicFiltering, PaganiConfig};
 use crate::evaluate::evaluate_all_in;
-use crate::integrator::ensure_matching_dims;
+use crate::integrator::{check_cancelled, ensure_matching_dims};
 use crate::region_list::RegionList;
 use crate::threshold::{threshold_classify, ThresholdPolicy};
 use crate::trace::{ExecutionTrace, IterationRecord, ThresholdSearchRecord, ThresholdTrigger};
@@ -212,8 +212,8 @@ impl Pagani {
 
         for iteration in 0..self.config.max_iterations {
             // --- Cooperative cancellation (iteration boundary). -----------------
-            if cancel.is_cancelled() {
-                termination = Termination::Cancelled;
+            if let Some(cancelled) = check_cancelled(cancel) {
+                termination = cancelled;
                 break;
             }
             iterations_run = iteration + 1;

@@ -15,12 +15,22 @@
 //! [`Integrator::integrate`], or any `&[Region]` cover of a disjoint union
 //! through [`Integrator::integrate_regions`] — the slice form is implemented
 //! once, here, so no method can re-declare its own shape.
+//!
+//! Cancellation is part of the contract: the one *required* entry point,
+//! [`Integrator::integrate_region_cancellable`], threads a [`CancelToken`]
+//! through every method, and each driver polls it at its iteration (or
+//! heap-pop, or sampling-round) boundary through the one shared
+//! [`check_cancelled`] hook — so `Termination::Cancelled` means the same thing
+//! whatever the method: the run stopped within one checkpoint of the request,
+//! carrying its partial statistics.
 
 use std::time::Instant;
 
-use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination};
+use pagani_device::Device;
+use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination, Tolerances};
 
-use crate::driver::Pagani;
+use crate::arena::ScratchArena;
+use crate::driver::{CancelToken, Pagani};
 
 /// What a method can and cannot do, for runtime method selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,9 +66,9 @@ impl Capabilities {
 /// the serving layer can hold a `Vec<Box<dyn Integrator>>` and sweep methods
 /// without per-method code.
 ///
-/// Implementations only provide [`Integrator::integrate_region`] (plus the
-/// descriptors); the default-bounds and region-slice entry points are derived
-/// from it identically for every method.
+/// Implementations only provide [`Integrator::integrate_region_cancellable`]
+/// (plus the descriptors); the uncancellable, default-bounds and region-slice
+/// entry points are derived from it identically for every method.
 pub trait Integrator: Send + Sync {
     /// Short stable method name (`"pagani"`, `"cuhre"`, ...), used in tables
     /// and benchmark output.
@@ -67,12 +77,32 @@ pub trait Integrator: Send + Sync {
     /// What this method can do.
     fn capabilities(&self) -> Capabilities;
 
+    /// Integrate `f` over a single axis-aligned region, polling `cancel` at
+    /// every checkpoint (driver iteration, heap pop or sampling round).
+    ///
+    /// A cancelled run stops within one checkpoint and reports
+    /// [`Termination::Cancelled`] together with whatever cumulative estimate
+    /// and counters it had accumulated.  An uncancelled token never changes a
+    /// result.
+    ///
+    /// # Panics
+    /// Panics if the region and integrand dimensions differ, or the dimension
+    /// is outside the method's supported range.
+    fn integrate_region_cancellable(
+        &self,
+        f: &dyn Integrand,
+        region: &Region,
+        cancel: &CancelToken,
+    ) -> IntegrationResult;
+
     /// Integrate `f` over a single axis-aligned region.
     ///
     /// # Panics
     /// Panics if the region and integrand dimensions differ, or the dimension
     /// is outside the method's supported range.
-    fn integrate_region(&self, f: &dyn Integrand, region: &Region) -> IntegrationResult;
+    fn integrate_region(&self, f: &dyn Integrand, region: &Region) -> IntegrationResult {
+        self.integrate_region_cancellable(f, region, &CancelToken::new())
+    }
 
     /// Integrate `f` over its default bounds (the unit cube for the paper's
     /// suite).
@@ -147,6 +177,48 @@ pub fn ensure_matching_dims<F: Integrand + ?Sized>(f: &F, region: &Region) {
     );
 }
 
+/// The one cancellation checkpoint every driver polls.
+///
+/// Returns `Some(Termination::Cancelled)` when cancellation has been
+/// requested, so a driver loop reads as
+///
+/// ```ignore
+/// if let Some(t) = check_cancelled(cancel) {
+///     termination = t;
+///     break;
+/// }
+/// ```
+///
+/// at each of its iteration / heap-pop / sampling-round boundaries.  Sharing
+/// this helper (instead of five hand-rolled flag checks) is what keeps
+/// `Termination::Cancelled` uniform across methods.
+#[must_use]
+pub fn check_cancelled(cancel: &CancelToken) -> Option<Termination> {
+    cancel.is_cancelled().then_some(Termination::Cancelled)
+}
+
+/// Builds a live [`Integrator`] on a device — the hook through which a
+/// scheduling service turns a per-job method configuration into the
+/// `Box<dyn Integrator>` that actually runs the job.
+///
+/// `pagani-baselines` implements this for its `MethodConfig` enum, so any of
+/// the five methods can ride along with a job; custom factories (a tuned
+/// in-house method, a mock for tests) plug into the same slot.
+pub trait IntegratorFactory: Send + Sync + std::fmt::Debug {
+    /// Stable method name, matching [`Integrator::name`] of the built method.
+    fn method_name(&self) -> &'static str;
+
+    /// The error targets the built integrator will pursue, when the
+    /// configuration knows them.  Cost-based dispatch uses this to weigh the
+    /// job; `None` falls back to the service's default tolerances.
+    fn tolerances(&self) -> Option<Tolerances> {
+        None
+    }
+
+    /// Instantiate the method on `device`.
+    fn build(&self, device: &Device) -> Box<dyn Integrator>;
+}
+
 impl Integrator for Pagani {
     fn name(&self) -> &'static str {
         "pagani"
@@ -163,8 +235,13 @@ impl Integrator for Pagani {
         }
     }
 
-    fn integrate_region(&self, f: &dyn Integrand, region: &Region) -> IntegrationResult {
-        Pagani::integrate_region(self, f, region).result
+    fn integrate_region_cancellable(
+        &self,
+        f: &dyn Integrand,
+        region: &Region,
+        cancel: &CancelToken,
+    ) -> IntegrationResult {
+        Pagani::integrate_region_with(self, f, region, &ScratchArena::default(), cancel).result
     }
 }
 
@@ -236,5 +313,36 @@ mod tests {
     fn dimension_mismatch_is_rejected() {
         let f = FnIntegrand::new(2, |_: &[f64]| 1.0);
         ensure_matching_dims(&f, &Region::unit_cube(3));
+    }
+
+    #[test]
+    fn check_cancelled_mirrors_the_token() {
+        let token = CancelToken::new();
+        assert_eq!(check_cancelled(&token), None);
+        token.cancel();
+        assert_eq!(check_cancelled(&token), Some(Termination::Cancelled));
+        // Idempotent: asking again reports the same thing.
+        assert_eq!(check_cancelled(&token), Some(Termination::Cancelled));
+    }
+
+    #[test]
+    fn cancellable_trait_entry_point_honours_a_pre_cancelled_token() {
+        let f = FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]);
+        let integrator = boxed_pagani(1e-6);
+        let token = CancelToken::new();
+        token.cancel();
+        let result = integrator.integrate_region_cancellable(&f, &Region::unit_cube(2), &token);
+        assert_eq!(result.termination, Termination::Cancelled);
+        assert_eq!(result.iterations, 0);
+    }
+
+    #[test]
+    fn cancellable_trait_entry_point_is_bit_transparent_when_uncancelled() {
+        let f = FnIntegrand::new(2, |x: &[f64]| x[0] * x[0] + x[1]);
+        let integrator = boxed_pagani(1e-6);
+        let plain = integrator.integrate_region(&f, &Region::unit_cube(2));
+        let with_token =
+            integrator.integrate_region_cancellable(&f, &Region::unit_cube(2), &CancelToken::new());
+        assert_eq!(plain.estimate.to_bits(), with_token.estimate.to_bits());
     }
 }

@@ -50,8 +50,11 @@ pub use arena::ScratchArena;
 pub use batch::{integrate_batch, BatchJob, BatchRunner};
 pub use config::{HeuristicFiltering, PaganiConfig};
 pub use driver::{CancelToken, Pagani, PaganiOutput};
-pub use integrator::{Capabilities, Integrator};
-pub use multi_device::{MultiDeviceOutput, MultiDevicePagani};
+pub use integrator::{check_cancelled, Capabilities, Integrator, IntegratorFactory};
+pub use multi_device::{
+    estimated_cost, estimated_job_cost, plan_dispatch, DispatchMode, MultiDeviceOutput,
+    MultiDevicePagani, MultiDeviceService,
+};
 pub use region_list::RegionList;
-pub use service::{IntegrationService, JobHandle};
+pub use service::{IntegrationService, JobHandle, Priority, QueueFull, ServicePolicy};
 pub use trace::{ExecutionTrace, IterationRecord, ThresholdProbe, ThresholdSearchRecord};

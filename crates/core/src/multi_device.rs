@@ -1,4 +1,5 @@
-//! Multi-device execution (§4.4, the paper's future-work extension).
+//! Multi-device execution (§4.4, the paper's future-work extension) and the
+//! multi-device scheduling service.
 //!
 //! The single-device PAGANI is ultimately limited by device memory.  The paper
 //! proposes extending the memory pool by partitioning the integration space across
@@ -9,22 +10,346 @@
 //! integrates its slab to the full tolerance concurrently, and the per-device results
 //! are summed.  For single-sign integrands the per-slab relative tolerances compose
 //! into the global tolerance by the same argument as Lemma 3.1.
+//!
+//! Independent-job traffic is the other axis: [`MultiDeviceService`] feeds N
+//! devices from **one** submission queue.  Each incoming job is weighed by
+//! [`estimated_cost`] — a monotone model of how much work a (dimension,
+//! tolerance) pair generates — and dispatched to the device with the least
+//! estimated outstanding cost ([`DispatchMode::CostBalanced`]), so a skewed
+//! job mix cannot pile its heavy jobs onto one device the way round-robin
+//! sharding does.  [`DispatchMode::RoundRobin`] remains available as the
+//! deterministic fallback: under it the device a job lands on is a pure
+//! function of its submission index, which is the mode the reproducibility
+//! tests pin.  Per-job *results* are bit-identical either way whenever the
+//! devices are configured identically — every job runs against an isolated
+//! full-capacity memory view, so only wall-clock (and, for heterogeneous
+//! pools, memory-pressure behaviour) depends on placement.
 
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
-use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination};
+use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination, Tolerances};
 
-use crate::batch::{BatchJob, BatchRunner};
+use crate::batch::BatchJob;
 use crate::config::PaganiConfig;
 use crate::driver::{Pagani, PaganiOutput};
 use crate::integrator::ensure_matching_dims;
+use crate::service::{IntegrationService, JobHandle, ServicePolicy};
 use pagani_device::Device;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How a multi-device dispatcher assigns jobs to devices.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Weigh each job with [`estimated_cost`] and send it to the device with
+    /// the least estimated outstanding cost (ties break to the lowest device
+    /// index).  Balances skewed job mixes; placement depends on completion
+    /// timing, so which device serves a job is not reproducible run-to-run.
+    #[default]
+    CostBalanced,
+    /// Job `i` goes to device `i mod n` — placement is a pure function of the
+    /// submission index, reproducible run-to-run.  The deterministic fallback
+    /// the pinning tests rely on.
+    RoundRobin,
+}
+
+/// Estimated relative cost of integrating a `dim`-dimensional job to
+/// `tolerances`.
+///
+/// The model multiplies the Genz–Malik evaluation cost per region
+/// (`2^d + 2d² + 2d + 1` points) by a region-count factor that grows
+/// exponentially with the requested digits of precision, scaled by dimension
+/// — the paper's Figure 9 shape: every extra digit multiplies the number of
+/// regions an adaptive run generates, and higher dimensions split more times
+/// to reach the same digit.  Only the *ordering and ratios* of costs matter
+/// for dispatch, not the absolute scale.
+///
+/// The result is always an **integer-valued finite f64 in `[1, 2⁴⁰]`**.  The
+/// bounds are load-bearing for the outstanding-cost ledger, which charges a
+/// job's cost on dispatch and retires it on completion:
+///
+/// * *finite* — an `inf` charge would retire as `inf - inf = NaN` and poison
+///   least-loaded dispatch for the service's lifetime, so very
+///   high-dimensional jobs (Monte Carlo accepts any `dim`) saturate instead;
+/// * *integer-valued and range-bounded* — sums of integers below 2⁵³ are
+///   exact in f64, so `+= cost` followed by `-= cost` cancels exactly and
+///   the ledger cannot drift (an unbounded cost range would let a huge
+///   charge absorb a small one — `1e84 + 1e2 == 1e84` — whose retirement
+///   would then drive the lane permanently negative).  ~8000 saturated jobs
+///   would have to be in flight on one lane before a sum could round.
+///
+/// Beyond the saturation bound every job weighs the same maximal amount,
+/// degrading to round-robin-like spreading — the safe failure mode.
+#[must_use]
+pub fn estimated_cost(dim: usize, tolerances: Tolerances) -> f64 {
+    let d = dim as f64;
+    let points_per_region = d.min(256.0).exp2() + 2.0 * d * d + 2.0 * d + 1.0;
+    let digits = tolerances.digits_requested().clamp(1.0, 12.0);
+    let raw = points_per_region * (digits * d / 2.0).min(512.0).exp2();
+    raw.round().clamp(1.0, (40.0f64).exp2())
+}
+
+/// Estimated cost of one queued job: the job's own method tolerances when it
+/// carries an override that knows them, otherwise `default_tolerances`.
+#[must_use]
+pub fn estimated_job_cost(job: &BatchJob, default_tolerances: Tolerances) -> f64 {
+    let tolerances = job
+        .method()
+        .and_then(|method| method.tolerances())
+        .unwrap_or(default_tolerances);
+    estimated_cost(job.region().dim(), tolerances)
+}
+
+/// Plan a device assignment for a fixed batch of job costs.
+///
+/// `CostBalanced` runs greedy list scheduling: each job (in order) goes to
+/// the device with the least total assigned cost so far, ties to the lowest
+/// index.  `RoundRobin` assigns job `i` to device `i mod lanes`.  Both are
+/// pure functions of their inputs, so batch dispatch is deterministic — the
+/// timing-dependence of streaming dispatch comes only from completions, which
+/// a fixed batch plan ignores.
+///
+/// # Panics
+/// Panics if `lanes` is zero.
+#[must_use]
+pub fn plan_dispatch(costs: &[f64], lanes: usize, mode: DispatchMode) -> Vec<usize> {
+    assert!(lanes > 0, "at least one dispatch lane is required");
+    match mode {
+        DispatchMode::RoundRobin => (0..costs.len()).map(|i| i % lanes).collect(),
+        DispatchMode::CostBalanced => {
+            let mut assigned = vec![0.0f64; lanes];
+            costs
+                .iter()
+                .map(|&cost| {
+                    let lane = assigned
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| {
+                            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .map(|(i, _)| i)
+                        .expect("lanes is non-zero");
+                    assigned[lane] += cost;
+                    lane
+                })
+                .collect()
+        }
+    }
+}
+
+/// One device's lane in a [`MultiDeviceService`]: its service and the
+/// estimated cost of jobs dispatched to it that have not completed yet.
+#[derive(Debug)]
+struct Lane {
+    service: IntegrationService,
+    outstanding: Arc<Mutex<f64>>,
+}
+
+/// One submission queue feeding N devices.
+///
+/// Mirrors [`IntegrationService`] at the device-pool level: `submit` weighs
+/// the job with [`estimated_job_cost`] and dispatches it to a device
+/// according to the [`DispatchMode`]; every per-device lane is a full
+/// [`IntegrationService`], so per-job method overrides, priorities, deadlines
+/// and cancellation all work unchanged.  [`MultiDeviceService::integrate_batch`]
+/// plans a whole batch deterministically through [`plan_dispatch`].
+///
+/// ```
+/// use pagani_core::{BatchJob, MultiDeviceService, PaganiConfig};
+/// use pagani_device::Device;
+/// use pagani_quadrature::{FnIntegrand, Tolerances};
+///
+/// let service = MultiDeviceService::new(
+///     vec![Device::test_small(), Device::test_small()],
+///     PaganiConfig::test_small(Tolerances::rel(1e-5)),
+/// );
+/// let jobs = [
+///     BatchJob::new(FnIntegrand::new(2, |x: &[f64]| x[0] + x[1])),
+///     BatchJob::new(FnIntegrand::new(3, |x: &[f64]| x[0] * x[1] * x[2])),
+/// ];
+/// let outputs = service.integrate_batch(&jobs);
+/// assert!(outputs.iter().all(|o| o.result.converged()));
+/// service.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct MultiDeviceService {
+    lanes: Vec<Lane>,
+    mode: DispatchMode,
+    round_robin_next: AtomicUsize,
+    default_tolerances: Tolerances,
+}
+
+impl MultiDeviceService {
+    /// Start a cost-balanced service over `devices`, one lane (a full
+    /// [`IntegrationService`]) per device.
+    ///
+    /// # Panics
+    /// Panics if `devices` is empty.
+    #[must_use]
+    pub fn new(devices: Vec<Device>, config: PaganiConfig) -> Self {
+        Self::with_mode(devices, config, DispatchMode::default())
+    }
+
+    /// Start a service with an explicit [`DispatchMode`].
+    ///
+    /// # Panics
+    /// Panics if `devices` is empty.
+    #[must_use]
+    pub fn with_mode(devices: Vec<Device>, config: PaganiConfig, mode: DispatchMode) -> Self {
+        Self::with_policy(devices, config, mode, ServicePolicy::default())
+    }
+
+    /// Start a service with an explicit mode and a per-lane
+    /// [`ServicePolicy`] (each device's lane applies the policy
+    /// independently).
+    ///
+    /// # Panics
+    /// Panics if `devices` is empty.
+    #[must_use]
+    pub fn with_policy(
+        devices: Vec<Device>,
+        config: PaganiConfig,
+        mode: DispatchMode,
+        policy: ServicePolicy,
+    ) -> Self {
+        assert!(!devices.is_empty(), "at least one device is required");
+        let default_tolerances = config.tolerances;
+        let lanes = devices
+            .into_iter()
+            .map(|device| Lane {
+                service: IntegrationService::with_policy(device, config.clone(), policy),
+                outstanding: Arc::new(Mutex::new(0.0)),
+            })
+            .collect();
+        Self {
+            lanes,
+            mode,
+            round_robin_next: AtomicUsize::new(0),
+            default_tolerances,
+        }
+    }
+
+    /// Number of devices in the pool.
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The dispatch mode in force.
+    #[must_use]
+    pub fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    /// Estimated outstanding cost per device — dispatched minus completed —
+    /// in device order.  Introspection for tests and load dashboards.
+    #[must_use]
+    pub fn outstanding_costs(&self) -> Vec<f64> {
+        self.lanes
+            .iter()
+            .map(|lane| *lock(&lane.outstanding))
+            .collect()
+    }
+
+    /// Dispatch `job` to a device and return its handle.
+    ///
+    /// `CostBalanced` picks the device with the least estimated outstanding
+    /// cost at this instant; under a bounded per-lane [`ServicePolicy`],
+    /// lanes whose queue is at its bound are skipped (best-effort — the
+    /// occupancy snapshot can race a concurrent submitter) so a full cheap
+    /// lane cannot block the call while another lane has room; only when
+    /// *every* lane is full does the call block waiting for space on the
+    /// least-loaded one.  `RoundRobin` rotates unconditionally — placement
+    /// stays a pure function of the submission index, so a full lane blocks
+    /// rather than breaking determinism.  The job's estimated cost is charged
+    /// to the chosen lane and retired when the job completes.
+    #[must_use]
+    pub fn submit(&self, job: BatchJob) -> JobHandle {
+        let lane_index = match self.mode {
+            DispatchMode::RoundRobin => {
+                self.round_robin_next.fetch_add(1, AtomicOrdering::Relaxed) % self.lanes.len()
+            }
+            DispatchMode::CostBalanced => {
+                let costs = self.outstanding_costs();
+                let has_space = |i: usize| {
+                    let lane = &self.lanes[i];
+                    lane.service
+                        .policy()
+                        .queue_bound
+                        .is_none_or(|bound| lane.service.queued_jobs() < bound)
+                };
+                let least_loaded = |candidates: &mut dyn Iterator<Item = usize>| {
+                    candidates.min_by(|&a, &b| {
+                        costs[a]
+                            .partial_cmp(&costs[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                };
+                least_loaded(&mut (0..self.lanes.len()).filter(|&i| has_space(i)))
+                    .or_else(|| least_loaded(&mut (0..self.lanes.len())))
+                    .expect("the lane list is never empty")
+            }
+        };
+        self.submit_to(lane_index, job)
+    }
+
+    /// Dispatch `job` to the planned `lane`, charging and later retiring its
+    /// estimated cost.
+    fn submit_to(&self, lane_index: usize, job: BatchJob) -> JobHandle {
+        let lane = &self.lanes[lane_index];
+        let cost = estimated_job_cost(&job, self.default_tolerances);
+        *lock(&lane.outstanding) += cost;
+        let outstanding = Arc::clone(&lane.outstanding);
+        lane.service.submit_with_hook(
+            job,
+            Some(Box::new(move || {
+                *lock(&outstanding) -= cost;
+            })),
+        )
+    }
+
+    /// Run a fixed batch of jobs across the pool, returning outputs in job
+    /// order.
+    ///
+    /// The batch is planned up front with [`plan_dispatch`], so the
+    /// job-to-device assignment is a pure function of the job list and the
+    /// dispatch mode — deterministic in both modes, unlike streaming
+    /// [`MultiDeviceService::submit`] whose cost-balanced placement depends
+    /// on completion timing.
+    #[must_use]
+    pub fn integrate_batch(&self, jobs: &[BatchJob]) -> Vec<PaganiOutput> {
+        let costs: Vec<f64> = jobs
+            .iter()
+            .map(|job| estimated_job_cost(job, self.default_tolerances))
+            .collect();
+        let plan = plan_dispatch(&costs, self.lanes.len(), self.mode);
+        let handles: Vec<JobHandle> = jobs
+            .iter()
+            .zip(&plan)
+            .map(|(job, &lane)| self.submit_to(lane, job.clone()))
+            .collect();
+        handles.iter().map(JobHandle::wait).collect()
+    }
+
+    /// Graceful shutdown: every lane drains its submitted jobs and joins its
+    /// workers.  Handles issued before the call remain valid.
+    pub fn shutdown(self) {
+        for lane in self.lanes {
+            lane.service.shutdown();
+        }
+    }
+}
 
 /// PAGANI running over a static partition of the domain across several devices.
 #[derive(Debug, Clone)]
 pub struct MultiDevicePagani {
     devices: Vec<Device>,
     config: PaganiConfig,
+    dispatch: DispatchMode,
 }
 
 /// Result of a multi-device run: the combined result plus each device's output.
@@ -37,14 +362,34 @@ pub struct MultiDeviceOutput {
 }
 
 impl MultiDevicePagani {
-    /// Create a multi-device integrator.
+    /// Create a multi-device integrator (cost-balanced batch dispatch by
+    /// default; see [`MultiDevicePagani::with_dispatch`]).
     ///
     /// # Panics
     /// Panics if `devices` is empty.
     #[must_use]
     pub fn new(devices: Vec<Device>, config: PaganiConfig) -> Self {
         assert!(!devices.is_empty(), "at least one device is required");
-        Self { devices, config }
+        Self {
+            devices,
+            config,
+            dispatch: DispatchMode::default(),
+        }
+    }
+
+    /// Choose how [`MultiDevicePagani::integrate_batch`] assigns jobs to
+    /// devices: [`DispatchMode::CostBalanced`] (the default) or the pinned
+    /// deterministic [`DispatchMode::RoundRobin`] fallback.
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// The batch dispatch mode in force.
+    #[must_use]
+    pub fn dispatch(&self) -> DispatchMode {
+        self.dispatch
     }
 
     /// Number of devices in the pool.
@@ -92,41 +437,31 @@ impl MultiDevicePagani {
     /// Run a batch of independent jobs across the device pool, returning
     /// outputs in job order.
     ///
-    /// Jobs are sharded round-robin across the devices — job `i` runs wholly
-    /// on device `i mod n` — and each device executes its share through a
-    /// [`BatchRunner`], so jobs are spread across device slabs *and* recycled
-    /// buffers / shared worker pools within each device.  The assignment is a
-    /// pure function of the job index, so a given job always lands on the same
-    /// device and its result is bit-identical to running it alone there.
+    /// Sugar over a transient [`MultiDeviceService`]: the batch is planned
+    /// with [`plan_dispatch`] under this integrator's [`DispatchMode`] —
+    /// cost-balanced greedy assignment by default, or round-robin (job `i` on
+    /// device `i mod n`, the pinned deterministic fallback) — then every job
+    /// runs against an isolated memory view of its device, so each output is
+    /// bit-identical to running that job alone on an identically-configured
+    /// device regardless of placement.
+    ///
+    /// **Heterogeneous pools:** when the devices differ (memory capacity
+    /// above all), a job's outcome *does* depend on which device serves it —
+    /// a heavy job planned onto a small device can exhaust memory where the
+    /// large device would converge.  The cost model weighs jobs, not
+    /// devices, so on mixed pools pin placement explicitly with
+    /// [`MultiDevicePagani::with_dispatch`]`(DispatchMode::RoundRobin)` (the
+    /// pre-cost-model behaviour: job `i` always on device `i mod n`).
     #[must_use]
     pub fn integrate_batch(&self, jobs: &[BatchJob]) -> Vec<PaganiOutput> {
         if jobs.is_empty() {
             return Vec::new();
         }
-        let n = self.devices.len();
-        let mut shards: Vec<Vec<BatchJob>> = vec![Vec::new(); n];
-        for (i, job) in jobs.iter().enumerate() {
-            shards[i % n].push(job.clone());
-        }
-        let shard_outputs: Vec<Vec<PaganiOutput>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .devices
-                .iter()
-                .zip(&shards)
-                .map(|(device, shard)| {
-                    let runner = BatchRunner::new(device.clone(), self.config.clone());
-                    scope.spawn(move || runner.run(shard))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("device batch worker panicked"))
-                .collect()
-        });
-        let mut shard_iters: Vec<_> = shard_outputs.into_iter().map(Vec::into_iter).collect();
-        (0..jobs.len())
-            .map(|i| shard_iters[i % n].next().expect("shard output missing"))
-            .collect()
+        let service =
+            MultiDeviceService::with_mode(self.devices.clone(), self.config.clone(), self.dispatch);
+        let outputs = service.integrate_batch(jobs);
+        service.shutdown();
+        outputs
     }
 
     /// Integrate `f` over an explicit region, one slab per device, concurrently.
@@ -286,6 +621,140 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_device_pool_is_rejected() {
         let _ = MultiDevicePagani::new(Vec::new(), PaganiConfig::default());
+    }
+
+    #[test]
+    fn estimated_cost_is_monotone_in_dim_and_digits() {
+        // More dimensions cost more at a fixed tolerance…
+        for dim in 2..8 {
+            assert!(
+                estimated_cost(dim + 1, Tolerances::rel(1e-4))
+                    > estimated_cost(dim, Tolerances::rel(1e-4)),
+                "dim {dim}"
+            );
+        }
+        // …and tighter tolerances cost more at a fixed dimension.
+        assert!(
+            estimated_cost(4, Tolerances::rel(1e-6)) > estimated_cost(4, Tolerances::rel(1e-3))
+        );
+        assert!(estimated_cost(4, Tolerances::rel(1e-3)).is_finite());
+        // The extremes stay finite (MC accepts any dimension): an infinite
+        // charge would retire as `inf - inf = NaN` and poison least-loaded
+        // dispatch forever, so the model must saturate instead.
+        for dim in [30, 147, 1000, usize::MAX >> 32] {
+            let cost = estimated_cost(dim, Tolerances::rel(1e-12));
+            assert!(cost.is_finite(), "dim {dim} produced {cost}");
+            assert!(cost - cost == 0.0, "dim {dim}: charge/retire must cancel");
+        }
+        // Mixed-magnitude charge/retire cycles cancel exactly: costs are
+        // integer-valued and range-bounded, so the outstanding-cost ledger
+        // cannot drift negative through f64 absorption (the failure mode
+        // where `huge + tiny == huge` but the later `-= tiny` still lands).
+        let huge = estimated_cost(1000, Tolerances::rel(1e-12));
+        let tiny = estimated_cost(2, Tolerances::rel(1e-1));
+        let mut ledger = 0.0f64;
+        ledger += huge;
+        ledger += tiny;
+        ledger -= huge;
+        ledger -= tiny;
+        assert_eq!(ledger, 0.0, "ledger drifted: {ledger}");
+    }
+
+    #[test]
+    fn job_cost_uses_the_method_override_tolerances() {
+        let loose = BatchJob::new(PaperIntegrand::f4(4));
+        let job_default = estimated_job_cost(&loose, Tolerances::rel(1e-3));
+        let job_tight_default = estimated_job_cost(&loose, Tolerances::rel(1e-8));
+        assert!(job_tight_default > job_default);
+    }
+
+    #[test]
+    fn round_robin_plan_is_a_pure_function_of_the_index() {
+        let costs = vec![1.0; 7];
+        assert_eq!(
+            plan_dispatch(&costs, 3, DispatchMode::RoundRobin),
+            vec![0, 1, 2, 0, 1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn cost_balanced_plan_beats_round_robin_makespan_on_a_skewed_batch() {
+        // The adversarial mix for round-robin with 2 devices: heavy jobs on
+        // even indices, trivial jobs on odd ones — round-robin piles every
+        // heavy job onto device 0.
+        let heavy = estimated_cost(5, Tolerances::rel(1e-4));
+        let light = estimated_cost(2, Tolerances::rel(1e-3));
+        let costs: Vec<f64> = (0..16)
+            .map(|i| if i % 2 == 0 { heavy } else { light })
+            .collect();
+        let makespan = |plan: &[usize]| -> f64 {
+            let mut per_lane = [0.0f64; 2];
+            for (&lane, &cost) in plan.iter().zip(&costs) {
+                per_lane[lane] += cost;
+            }
+            per_lane.iter().fold(0.0f64, |a, &b| a.max(b))
+        };
+        let rr = makespan(&plan_dispatch(&costs, 2, DispatchMode::RoundRobin));
+        let balanced = makespan(&plan_dispatch(&costs, 2, DispatchMode::CostBalanced));
+        assert!(
+            balanced < 0.6 * rr,
+            "cost-balanced makespan {balanced} must clearly beat round-robin {rr}"
+        );
+        // Sanity: both plans place every job.
+        assert_eq!(
+            plan_dispatch(&costs, 2, DispatchMode::CostBalanced).len(),
+            16
+        );
+    }
+
+    #[test]
+    fn multi_device_service_batch_is_bit_identical_across_dispatch_modes() {
+        let f4 = std::sync::Arc::new(PaperIntegrand::f4(3));
+        let f3 = std::sync::Arc::new(PaperIntegrand::f3(4));
+        let jobs: Vec<BatchJob> = (0..8)
+            .map(|i| {
+                if i % 2 == 0 {
+                    BatchJob::shared(f4.clone())
+                } else {
+                    BatchJob::shared(f3.clone())
+                }
+            })
+            .collect();
+        let config = PaganiConfig::test_small(Tolerances::rel(1e-4));
+        let mut per_mode = Vec::new();
+        for mode in [DispatchMode::CostBalanced, DispatchMode::RoundRobin] {
+            let service = MultiDeviceService::with_mode(devices(2), config.clone(), mode);
+            assert_eq!(service.mode(), mode);
+            let bits: Vec<u64> = service
+                .integrate_batch(&jobs)
+                .iter()
+                .map(|o| o.result.estimate.to_bits())
+                .collect();
+            // All dispatched cost is retired once every handle has completed.
+            assert!(service.outstanding_costs().iter().all(|&c| c.abs() < 1e-9));
+            service.shutdown();
+            per_mode.push(bits);
+        }
+        assert_eq!(
+            per_mode[0], per_mode[1],
+            "placement must never change a job's result on identical devices"
+        );
+    }
+
+    #[test]
+    fn streaming_submit_balances_outstanding_cost() {
+        // Two lanes, four identical heavy submissions with nothing completing
+        // in between (jobs are real, but dispatch happens immediately):
+        // cost-balanced streaming must alternate lanes rather than pile up.
+        let config = PaganiConfig::test_small(Tolerances::rel(1e-4));
+        let service = MultiDeviceService::new(devices(2), config);
+        let handles: Vec<_> = (0..4)
+            .map(|_| service.submit(BatchJob::new(PaperIntegrand::f4(3))))
+            .collect();
+        for handle in &handles {
+            assert!(handle.wait().result.converged());
+        }
+        service.shutdown();
     }
 
     #[test]

@@ -1,21 +1,36 @@
-//! The asynchronous integration service: `submit(job) → handle`.
+//! The scheduling service: `submit(job) → handle`, with per-job method
+//! selection, priorities, deadlines and backpressure.
 //!
 //! [`crate::integrate_batch`] answers a *fixed slice* of jobs and blocks until
 //! the last one finishes — the shape of an offline benchmark, not of a service
 //! answering traffic.  An [`IntegrationService`] keeps a pool of resident
-//! worker threads fed from a FIFO submission queue, so callers
+//! worker threads fed from one submission queue, so callers
 //!
 //! * **submit** jobs at any time and get a [`JobHandle`] back immediately,
+//!   choosing a method per job ([`crate::BatchJob::with_method`] routes the
+//!   job through any `Box<dyn Integrator>` — all five methods share this one
+//!   queue), a [`Priority`] and a deadline,
+//! * **apply backpressure** — a [`ServicePolicy`] queue bound makes
+//!   [`IntegrationService::try_submit`] refuse with [`QueueFull`] instead of
+//!   queueing without limit (blocking [`IntegrationService::submit`] waits
+//!   for space instead),
 //! * **poll** ([`JobHandle::try_result`]) or **block** ([`JobHandle::wait`])
 //!   for completion,
 //! * **cancel** ([`JobHandle::cancel`]) a job cooperatively — a queued job is
 //!   retired before it starts, an in-flight job observes the flag at its next
-//!   iteration boundary and stops within one driver iteration, and a job
-//!   waiting in the device's admission line abandons its ticket; every case
-//!   reports [`Termination::Cancelled`],
+//!   checkpoint (driver iteration, heap pop or sampling round, whatever the
+//!   method), and a job waiting in the device's admission line abandons its
+//!   ticket; every case reports [`Termination::Cancelled`].  Deadlines are
+//!   exactly this cancellation driven by a timer,
 //! * **shut down** ([`IntegrationService::shutdown`]) gracefully: no new
 //!   submissions (the call consumes the service), every already-submitted job
 //!   drains, workers are joined.
+//!
+//! Scheduling order: the queue is a priority queue — higher [`Priority`]
+//! first, submission order within a priority level.  Because every job runs
+//! against its own [`Device::isolated_memory_view`], claim order is pure
+//! scheduling: it can never change any job's *result*, so the priority queue
+//! does not weaken the bit-identity guarantee below.
 //!
 //! Execution reuses the batch engine's machinery unchanged: each worker owns a
 //! long-lived [`ScratchArena`], whole jobs are admitted through the device's
@@ -42,10 +57,11 @@
 //! service.shutdown();
 //! ```
 
-use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pagani_device::Device;
 use pagani_quadrature::{IntegrationResult, Termination};
@@ -59,6 +75,83 @@ use crate::trace::ExecutionTrace;
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
+
+/// Scheduling priority of a job: higher priorities are claimed first, equal
+/// priorities stay in submission (FIFO) order.
+///
+/// Priorities only reorder *claims* — every job runs against an isolated
+/// memory view, so claim order never changes any job's result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Background work: claimed only when nothing more urgent is queued.
+    Low,
+    /// The default for every job.
+    #[default]
+    Normal,
+    /// Latency-sensitive work: claimed before everything else.
+    High,
+}
+
+/// Service-level scheduling policy: queue bound and worker count.
+///
+/// The default policy is an unbounded queue with one service worker per
+/// device worker — exactly the pre-policy service behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServicePolicy {
+    /// Maximum number of submitted-but-unclaimed jobs.  When the queue is at
+    /// the bound, [`IntegrationService::try_submit`] returns [`QueueFull`]
+    /// and [`IntegrationService::submit`] blocks until a worker frees a slot.
+    /// `None` (the default) never refuses a submission.
+    pub queue_bound: Option<usize>,
+    /// Number of resident worker threads; `None` (the default) uses the
+    /// device's effective worker-pool width.
+    pub workers: Option<usize>,
+}
+
+impl ServicePolicy {
+    /// The default policy: unbounded queue, device-sized worker pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound the submission queue at `bound` unclaimed jobs (minimum 1).
+    #[must_use]
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = Some(bound.max(1));
+        self
+    }
+
+    /// Use an explicit worker-thread count (minimum 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+}
+
+/// A submission was refused because the queue is at its
+/// [`ServicePolicy::queue_bound`].  Carries the rejected job back so the
+/// caller can retry, downgrade or shed it.
+#[derive(Debug)]
+pub struct QueueFull {
+    /// The bound the queue is at.
+    pub bound: usize,
+    /// The rejected job, returned unmodified.
+    pub job: BatchJob,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submission queue is at its bound of {} unclaimed job(s)",
+            self.bound
+        )
+    }
+}
+
+impl std::error::Error for QueueFull {}
 
 /// How a job ended: normally, or by panicking on its worker.
 #[derive(Debug, Clone)]
@@ -182,15 +275,90 @@ impl JobHandle {
     }
 }
 
-#[derive(Debug)]
+/// A completion hook, run on the worker after the job's outcome is published
+/// (the multi-device dispatcher uses it to retire the job's estimated cost).
+type CompletionHook = Box<dyn FnOnce() + Send>;
+
 struct QueuedJob {
     job: BatchJob,
     state: Arc<JobState>,
+    priority: Priority,
+    /// Submission sequence number; breaks priority ties FIFO.
+    seq: u64,
+    on_complete: Option<CompletionHook>,
+}
+
+impl std::fmt::Debug for QueuedJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueuedJob")
+            .field("job", &self.job)
+            .field("priority", &self.priority)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: higher priority first, then *lower* sequence number (FIFO
+        // within a priority level).
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
 }
 
 #[derive(Debug)]
 struct QueueState {
-    jobs: VecDeque<QueuedJob>,
+    jobs: BinaryHeap<QueuedJob>,
+    next_seq: u64,
+    shutting_down: bool,
+}
+
+/// One armed deadline: when `at` passes, the job behind `state` is cancelled
+/// (if it has not completed first — cancellation of a completed job is a
+/// no-op by the cancel-race rule).
+#[derive(Debug)]
+struct DeadlineEntry {
+    at: Instant,
+    seq: u64,
+    state: Weak<JobState>,
+}
+
+impl PartialEq for DeadlineEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for DeadlineEntry {}
+impl PartialOrd for DeadlineEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DeadlineEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at
+            .cmp(&other.at)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Debug, Default)]
+struct DeadlineState {
+    /// Min-heap of armed deadlines (via `Reverse`).
+    armed: BinaryHeap<Reverse<DeadlineEntry>>,
     shutting_down: bool,
 }
 
@@ -198,11 +366,20 @@ struct QueueState {
 struct ServiceShared {
     device: Device,
     config: PaganiConfig,
+    policy: ServicePolicy,
     queue: Mutex<QueueState>,
+    /// Wakes workers when a job is queued (or shutdown begins).
     work: Condvar,
+    /// Wakes bounded-queue submitters when a worker frees a slot.
+    space: Condvar,
+    deadlines: Mutex<DeadlineState>,
+    /// Wakes the deadline watcher when an earlier deadline is armed (or
+    /// shutdown begins).
+    deadline_changed: Condvar,
 }
 
-/// A resident pool of integration workers fed from a FIFO submission queue.
+/// A resident pool of integration workers fed from one priority submission
+/// queue, with per-job method selection, deadlines and backpressure.
 ///
 /// See the [module docs](crate::service) for the execution model and the
 /// determinism guarantee.
@@ -210,6 +387,10 @@ struct ServiceShared {
 pub struct IntegrationService {
     shared: Arc<ServiceShared>,
     workers: Vec<JoinHandle<()>>,
+    /// The deadline watcher, spawned lazily on the first deadline job so
+    /// deadline-free services (the batch engine's transient ones above all)
+    /// never pay for it.
+    deadline_watcher: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl IntegrationService {
@@ -218,23 +399,38 @@ impl IntegrationService {
     /// extra parallelism — the admission gate bounds in-flight jobs anyway).
     #[must_use]
     pub fn new(device: Device, config: PaganiConfig) -> Self {
-        let workers = device.effective_workers();
-        Self::with_workers(device, config, workers)
+        Self::with_policy(device, config, ServicePolicy::default())
     }
 
     /// Start a service with an explicit worker-thread count (minimum 1).
     #[must_use]
     pub fn with_workers(device: Device, config: PaganiConfig, workers: usize) -> Self {
+        Self::with_policy(
+            device,
+            config,
+            ServicePolicy::default().with_workers(workers),
+        )
+    }
+
+    /// Start a service with an explicit [`ServicePolicy`].
+    #[must_use]
+    pub fn with_policy(device: Device, config: PaganiConfig, policy: ServicePolicy) -> Self {
+        let worker_count = policy.workers.unwrap_or_else(|| device.effective_workers());
         let shared = Arc::new(ServiceShared {
             device,
             config,
+            policy,
             queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                jobs: BinaryHeap::new(),
+                next_seq: 0,
                 shutting_down: false,
             }),
             work: Condvar::new(),
+            space: Condvar::new(),
+            deadlines: Mutex::new(DeadlineState::default()),
+            deadline_changed: Condvar::new(),
         });
-        let workers = (0..workers.max(1))
+        let workers = (0..worker_count.max(1))
             .map(|index| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -243,7 +439,11 @@ impl IntegrationService {
                     .expect("spawning a service worker thread failed")
             })
             .collect();
-        Self { shared, workers }
+        Self {
+            shared,
+            workers,
+            deadline_watcher: Mutex::new(None),
+        }
     }
 
     /// The device jobs run on.
@@ -252,10 +452,16 @@ impl IntegrationService {
         &self.shared.device
     }
 
-    /// The configuration applied to every job.
+    /// The default configuration applied to jobs without a method override.
     #[must_use]
     pub fn config(&self) -> &PaganiConfig {
         &self.shared.config
+    }
+
+    /// The scheduling policy in force.
+    #[must_use]
+    pub fn policy(&self) -> ServicePolicy {
+        self.shared.policy
     }
 
     /// Number of resident worker threads.
@@ -270,32 +476,137 @@ impl IntegrationService {
         lock(&self.shared.queue).jobs.len()
     }
 
-    /// Enqueue `job` and return its handle immediately.
+    /// Enqueue `job` and return its handle.
     ///
-    /// Jobs are claimed in submission order; completed results are
-    /// bit-identical to running the same job alone through
-    /// [`Pagani::integrate_region`] on this device.
+    /// On an unbounded queue this returns immediately; on a bounded queue it
+    /// blocks until a worker frees a slot (use
+    /// [`IntegrationService::try_submit`] for refuse-instead-of-wait
+    /// backpressure).  Jobs are claimed highest-priority-first, FIFO within a
+    /// priority level; completed results are bit-identical to running the
+    /// same job alone through [`Pagani::integrate_region`] on this device.
     #[must_use]
     pub fn submit(&self, job: BatchJob) -> JobHandle {
-        let state = Arc::new(JobState::new());
-        {
-            let mut queue = lock(&self.shared.queue);
-            queue.jobs.push_back(QueuedJob {
-                job,
-                state: Arc::clone(&state),
-            });
+        self.submit_with_hook(job, None)
+    }
+
+    /// Enqueue `job` if the queue has room, refusing with [`QueueFull`] —
+    /// the job handed back inside — when it is at the policy's bound.
+    ///
+    /// This is the backpressure edge of the service: a front-end that would
+    /// rather shed or redirect load than build an unbounded backlog calls
+    /// this and handles the `Err`.
+    ///
+    /// ```
+    /// use pagani_core::{BatchJob, IntegrationService, PaganiConfig, ServicePolicy};
+    /// use pagani_device::Device;
+    /// use pagani_quadrature::{FnIntegrand, Tolerances};
+    ///
+    /// let service = IntegrationService::with_policy(
+    ///     Device::test_small(),
+    ///     PaganiConfig::test_small(Tolerances::rel(1e-6)),
+    ///     ServicePolicy::new().with_queue_bound(4),
+    /// );
+    /// let job = BatchJob::new(FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]));
+    /// match service.try_submit(job) {
+    ///     Ok(handle) => assert!(handle.wait().result.converged()),
+    ///     Err(refused) => println!("queue full at {}, retry later", refused.bound),
+    /// }
+    /// service.shutdown();
+    /// ```
+    ///
+    /// # Errors
+    /// Returns [`QueueFull`] when the queue holds `queue_bound` unclaimed
+    /// jobs.  An unbounded service never errs.
+    pub fn try_submit(&self, job: BatchJob) -> Result<JobHandle, QueueFull> {
+        if let Some(bound) = self.shared.policy.queue_bound {
+            let queue = lock(&self.shared.queue);
+            if queue.jobs.len() >= bound {
+                return Err(QueueFull { bound, job });
+            }
+            return Ok(self.enqueue(queue, job, None));
         }
+        Ok(self.submit(job))
+    }
+
+    /// Enqueue with an optional completion hook (the multi-device dispatcher
+    /// uses the hook to retire the job's estimated cost).  Blocks while a
+    /// bounded queue is full.
+    pub(crate) fn submit_with_hook(
+        &self,
+        job: BatchJob,
+        on_complete: Option<CompletionHook>,
+    ) -> JobHandle {
+        let mut queue = lock(&self.shared.queue);
+        if let Some(bound) = self.shared.policy.queue_bound {
+            while queue.jobs.len() >= bound && !queue.shutting_down {
+                queue = self
+                    .shared
+                    .space
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        self.enqueue(queue, job, on_complete)
+    }
+
+    /// Push `job` onto the (already locked) queue, arm its deadline and wake
+    /// a worker.
+    fn enqueue(
+        &self,
+        mut queue: MutexGuard<'_, QueueState>,
+        job: BatchJob,
+        on_complete: Option<CompletionHook>,
+    ) -> JobHandle {
+        let state = Arc::new(JobState::new());
+        let priority = job.priority();
+        let deadline = job.deadline();
+        let seq = queue.next_seq;
+        queue.next_seq += 1;
+        queue.jobs.push(QueuedJob {
+            job,
+            state: Arc::clone(&state),
+            priority,
+            seq,
+            on_complete,
+        });
+        drop(queue);
         self.shared.work.notify_one();
+        if let Some(deadline) = deadline {
+            self.arm_deadline(Instant::now() + deadline, seq, &state);
+        }
         JobHandle {
             state,
             device: self.shared.device.clone(),
         }
     }
 
+    /// Register a deadline with the watcher thread, spawning it on first use.
+    fn arm_deadline(&self, at: Instant, seq: u64, state: &Arc<JobState>) {
+        {
+            let mut deadlines = lock(&self.shared.deadlines);
+            deadlines.armed.push(Reverse(DeadlineEntry {
+                at,
+                seq,
+                state: Arc::downgrade(state),
+            }));
+        }
+        self.shared.deadline_changed.notify_all();
+        let mut watcher = lock(&self.deadline_watcher);
+        if watcher.is_none() {
+            let shared = Arc::clone(&self.shared);
+            *watcher = Some(
+                std::thread::Builder::new()
+                    .name("pagani-deadline-watcher".to_owned())
+                    .spawn(move || deadline_watcher_loop(&shared))
+                    .expect("spawning the deadline watcher thread failed"),
+            );
+        }
+    }
+
     /// Graceful shutdown: consume the service, let every already-submitted
     /// job drain, and join the workers.  Handles issued before the call
     /// remain valid — their jobs complete (or report cancellation) before
-    /// this returns.
+    /// this returns.  Deadlines keep firing while the queue drains.
     pub fn shutdown(mut self) {
         self.finish();
     }
@@ -306,8 +617,20 @@ impl IntegrationService {
             queue.shutting_down = true;
         }
         self.shared.work.notify_all();
+        self.shared.space.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Workers are gone, so every job has completed; pending deadlines are
+        // dead weight and the watcher can stop immediately.
+        {
+            let mut deadlines = lock(&self.shared.deadlines);
+            deadlines.shutting_down = true;
+            deadlines.armed.clear();
+        }
+        self.shared.deadline_changed.notify_all();
+        if let Some(watcher) = lock(&self.deadline_watcher).take() {
+            let _ = watcher.join();
         }
     }
 }
@@ -326,7 +649,7 @@ fn worker_loop(shared: &ServiceShared) {
         let claimed = {
             let mut queue = lock(&shared.queue);
             loop {
-                if let Some(job) = queue.jobs.pop_front() {
+                if let Some(job) = queue.jobs.pop() {
                     break Some(job);
                 }
                 if queue.shutting_down {
@@ -338,9 +661,17 @@ fn worker_loop(shared: &ServiceShared) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let Some(QueuedJob { job, state }) = claimed else {
+        let Some(QueuedJob {
+            job,
+            state,
+            on_complete,
+            ..
+        }) = claimed
+        else {
             return;
         };
+        // A slot just freed: wake one submitter parked on a bounded queue.
+        shared.space.notify_one();
         // A panicking job must neither kill this worker nor strand its
         // waiters: capture the payload and re-raise it handle-side.  The
         // shared state touched during the unwind is panic-safe — the arena
@@ -349,6 +680,13 @@ fn worker_loop(shared: &ServiceShared) {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_job(shared, &arena, &job, &state.cancel)
         }));
+        // The hook runs before the outcome is published so that anyone who
+        // observed the job as complete (via wait/try_result) also observes
+        // its side effects — the multi-device dispatcher relies on the job's
+        // estimated cost being retired by the time a wait() returns.
+        if let Some(hook) = on_complete {
+            hook();
+        }
         state.complete(match outcome {
             Ok(output) => JobOutcome::Finished(output),
             Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
@@ -373,8 +711,74 @@ fn run_job(
         return cancelled_before_start();
     };
     let view = shared.device.isolated_memory_view();
-    let pagani = Pagani::new(view, shared.config.clone());
-    pagani.integrate_region_with(job.integrand(), job.region(), arena, cancel)
+    match job.method() {
+        // Per-job method override: build the configured integrator on the
+        // job's isolated view and route through the trait's cancellable entry
+        // point.  Host-only methods simply ignore the view.
+        Some(factory) => {
+            let integrator = factory.build(&view);
+            let result =
+                integrator.integrate_region_cancellable(job.integrand(), job.region(), cancel);
+            PaganiOutput {
+                result,
+                trace: ExecutionTrace::default(),
+            }
+        }
+        // Default path: the service's PAGANI configuration with the worker's
+        // long-lived arena (bit-identical to the sequential single-shot API).
+        None => {
+            let pagani = Pagani::new(view, shared.config.clone());
+            pagani.integrate_region_with(job.integrand(), job.region(), arena, cancel)
+        }
+    }
+}
+
+/// The deadline watcher: sleeps until the earliest armed deadline, then
+/// cancels the job behind it (a no-op if the job already completed) and wakes
+/// any worker parked in the device's admission line so the cancellation
+/// predicate is re-checked.  Runs only on services that have seen at least
+/// one deadline job.
+fn deadline_watcher_loop(shared: &ServiceShared) {
+    let mut deadlines = lock(&shared.deadlines);
+    loop {
+        let now = Instant::now();
+        // Fire everything due.
+        let mut fired = false;
+        while let Some(Reverse(entry)) = deadlines.armed.peek() {
+            if entry.at > now {
+                break;
+            }
+            let Some(Reverse(entry)) = deadlines.armed.pop() else {
+                break;
+            };
+            if let Some(state) = entry.state.upgrade() {
+                state.cancel.cancel();
+                fired = true;
+            }
+        }
+        if fired {
+            // The gate mutex is only ever acquired after the deadline lock
+            // (never the other way around), so notifying here cannot invert.
+            shared.device.submission_gate().notify_waiters();
+        }
+        if deadlines.shutting_down {
+            return;
+        }
+        deadlines = match deadlines.armed.peek() {
+            Some(Reverse(entry)) => {
+                let wait = entry.at.saturating_duration_since(Instant::now());
+                shared
+                    .deadline_changed
+                    .wait_timeout(deadlines, wait)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0
+            }
+            None => shared
+                .deadline_changed
+                .wait(deadlines)
+                .unwrap_or_else(PoisonError::into_inner),
+        };
+    }
 }
 
 /// The output of a job cancelled before its first driver iteration.
@@ -480,6 +884,231 @@ mod tests {
             message.contains("dimensions differ"),
             "unexpected panic message: {message}"
         );
+        service.shutdown();
+    }
+
+    #[test]
+    fn priority_orders_claims_within_the_queue() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Mutex as StdMutex;
+        // One worker, parked on a blocker; then one job per priority level,
+        // low first.  Claim order must be High, Normal, Low despite the
+        // submission order.
+        let started = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let (s, r) = (Arc::clone(&started), Arc::clone(&release));
+        let blocker = FnIntegrand::new(2, move |_: &[f64]| {
+            s.store(true, Ordering::Release);
+            while !r.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            1.0
+        });
+        let order: Arc<StdMutex<Vec<Priority>>> = Arc::new(StdMutex::new(Vec::new()));
+        let probe = |p: Priority| {
+            let order = Arc::clone(&order);
+            FnIntegrand::new(2, move |_: &[f64]| {
+                let mut order = order.lock().unwrap();
+                if order.last() != Some(&p) {
+                    order.push(p);
+                }
+                1.0
+            })
+        };
+        let service = IntegrationService::with_workers(
+            Device::new(DeviceConfig::test_small().with_worker_threads(1)),
+            PaganiConfig::test_small(Tolerances::rel(1e-3)),
+            1,
+        );
+        let _running = service.submit(BatchJob::new(blocker));
+        while !started.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        let queued: Vec<JobHandle> = [Priority::Low, Priority::Normal, Priority::High]
+            .into_iter()
+            .map(|p| service.submit(BatchJob::new(probe(p)).with_priority(p)))
+            .collect();
+        release.store(true, Ordering::Release);
+        for handle in &queued {
+            assert!(handle.wait().result.converged());
+        }
+        service.shutdown();
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec![Priority::High, Priority::Normal, Priority::Low]
+        );
+    }
+
+    #[test]
+    fn try_submit_refuses_at_exactly_the_bound() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let started = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let (s, r) = (Arc::clone(&started), Arc::clone(&release));
+        let blocker = FnIntegrand::new(2, move |_: &[f64]| {
+            s.store(true, Ordering::Release);
+            while !r.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            1.0
+        });
+        let service = IntegrationService::with_policy(
+            Device::new(DeviceConfig::test_small().with_worker_threads(1)),
+            PaganiConfig::test_small(Tolerances::rel(1e-3)),
+            ServicePolicy::new().with_workers(1).with_queue_bound(2),
+        );
+        // The blocker is *claimed* (not queued) once the worker picks it up.
+        let running = service.submit(BatchJob::new(blocker));
+        while !started.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        let first = service.try_submit(BatchJob::new(PaperIntegrand::f4(3)));
+        let second = service.try_submit(BatchJob::new(PaperIntegrand::f4(3)));
+        assert!(first.is_ok() && second.is_ok());
+        assert_eq!(service.queued_jobs(), 2);
+        let refused = service
+            .try_submit(BatchJob::new(PaperIntegrand::f4(3)))
+            .expect_err("the queue is at its bound");
+        assert_eq!(refused.bound, 2);
+        // The rejected job comes back intact and can be resubmitted once the
+        // worker frees a slot.
+        release.store(true, Ordering::Release);
+        assert!(running.wait().result.converged());
+        let mut job = refused.job;
+        let retried = loop {
+            match service.try_submit(job) {
+                Ok(handle) => break handle,
+                Err(still_full) => {
+                    job = still_full.job;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        assert!(retried.wait().result.converged());
+        service.shutdown();
+    }
+
+    #[test]
+    fn blocking_submit_waits_for_space_on_a_bounded_queue() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let started = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let (s, r) = (Arc::clone(&started), Arc::clone(&release));
+        let blocker = FnIntegrand::new(2, move |_: &[f64]| {
+            s.store(true, Ordering::Release);
+            while !r.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            1.0
+        });
+        let service = IntegrationService::with_policy(
+            Device::new(DeviceConfig::test_small().with_worker_threads(1)),
+            PaganiConfig::test_small(Tolerances::rel(1e-3)),
+            ServicePolicy::new().with_workers(1).with_queue_bound(1),
+        );
+        let running = service.submit(BatchJob::new(blocker));
+        while !started.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        // Fill the single queue slot; the next blocking submit must park on
+        // the space condvar instead of refusing or queueing past the bound.
+        let queued = service.submit(BatchJob::new(PaperIntegrand::f4(3)));
+        assert_eq!(service.queued_jobs(), 1);
+        let unblocked = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let submitter = {
+                let service = &service;
+                let unblocked = Arc::clone(&unblocked);
+                scope.spawn(move || {
+                    let handle = service.submit(BatchJob::new(PaperIntegrand::f3(3)));
+                    unblocked.store(true, Ordering::Release);
+                    handle
+                })
+            };
+            // The submitter stays parked while the queue is full.
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(
+                !unblocked.load(Ordering::Acquire),
+                "submit returned although the queue was at its bound"
+            );
+            // Freeing the worker drains the queue and wakes the submitter.
+            release.store(true, Ordering::Release);
+            let late = submitter.join().expect("submitter thread panicked");
+            assert!(unblocked.load(Ordering::Acquire));
+            assert!(late.wait().result.converged());
+        });
+        assert!(running.wait().result.converged());
+        assert!(queued.wait().result.converged());
+        service.shutdown();
+    }
+
+    #[test]
+    fn deadline_cancels_a_running_job_with_partial_stats() {
+        // Every evaluation dawdles, so the run is still mid-flight when the
+        // deadline fires; the cancellation lands at the next iteration
+        // boundary with the partial counters intact.
+        let slow = FnIntegrand::new(3, |x: &[f64]| {
+            std::thread::sleep(Duration::from_micros(200));
+            (x[0] * x[1] * x[2]).sin().mul_add(0.1, 1.0)
+        });
+        let service = IntegrationService::with_workers(
+            Device::new(DeviceConfig::test_small().with_worker_threads(1)),
+            PaganiConfig::test_small(Tolerances::rel(1e-12)),
+            1,
+        );
+        let handle = service.submit(BatchJob::new(slow).with_deadline(Duration::from_millis(50)));
+        let output = handle.wait();
+        assert_eq!(output.result.termination, Termination::Cancelled);
+        assert!(output.result.iterations >= 1, "cancel landed before work");
+        assert!(output.result.function_evaluations > 0);
+        assert!(output.result.estimate.is_finite());
+        service.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_on_a_queued_job_reports_cancelled() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let started = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let (s, r) = (Arc::clone(&started), Arc::clone(&release));
+        let blocker = FnIntegrand::new(2, move |_: &[f64]| {
+            s.store(true, Ordering::Release);
+            while !r.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            1.0
+        });
+        let service = IntegrationService::with_workers(
+            Device::new(DeviceConfig::test_small().with_worker_threads(1)),
+            PaganiConfig::test_small(Tolerances::rel(1e-4)),
+            1,
+        );
+        let running = service.submit(BatchJob::new(blocker));
+        while !started.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        // Queued behind the blocker with a deadline that fires while waiting.
+        let doomed = service
+            .submit(BatchJob::new(PaperIntegrand::f4(3)).with_deadline(Duration::from_millis(20)));
+        std::thread::sleep(Duration::from_millis(80));
+        release.store(true, Ordering::Release);
+        let output = doomed.wait();
+        assert_eq!(output.result.termination, Termination::Cancelled);
+        assert_eq!(output.result.function_evaluations, 0, "doomed job ran");
+        assert!(running.wait().result.converged());
+        service.shutdown();
+    }
+
+    #[test]
+    fn generous_deadlines_change_nothing() {
+        let service = service(2);
+        let plain = service.submit(BatchJob::new(PaperIntegrand::f4(3)));
+        let with_deadline = service
+            .submit(BatchJob::new(PaperIntegrand::f4(3)).with_deadline(Duration::from_secs(3600)));
+        let a = plain.wait();
+        let b = with_deadline.wait();
+        assert!(a.result.converged() && b.result.converged());
+        assert_eq!(a.result.estimate.to_bits(), b.result.estimate.to_bits());
         service.shutdown();
     }
 

@@ -105,7 +105,10 @@ pub use pagani_quadrature as quadrature;
 
 pub use pagani_baselines::{IntegratorBuilder, MethodConfig};
 pub use pagani_core::batch::integrate_batch;
-pub use pagani_core::{Capabilities, IntegrationService, Integrator, JobHandle};
+pub use pagani_core::{
+    Capabilities, DispatchMode, IntegrationService, Integrator, IntegratorFactory, JobHandle,
+    MultiDeviceService, Priority, QueueFull, ServicePolicy,
+};
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
@@ -114,9 +117,10 @@ pub mod prelude {
         QmcConfig, TwoPhase, TwoPhaseConfig,
     };
     pub use pagani_core::{
-        integrate_batch, BatchJob, BatchRunner, CancelToken, Capabilities, HeuristicFiltering,
-        IntegrationService, Integrator, JobHandle, MultiDeviceOutput, MultiDevicePagani, Pagani,
-        PaganiConfig, PaganiOutput, ScratchArena,
+        integrate_batch, BatchJob, BatchRunner, CancelToken, Capabilities, DispatchMode,
+        HeuristicFiltering, IntegrationService, Integrator, IntegratorFactory, JobHandle,
+        MultiDeviceOutput, MultiDevicePagani, MultiDeviceService, Pagani, PaganiConfig,
+        PaganiOutput, Priority, QueueFull, ScratchArena, ServicePolicy,
     };
     pub use pagani_device::{Device, DeviceConfig};
     pub use pagani_integrands::paper::PaperIntegrand;

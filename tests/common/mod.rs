@@ -1,0 +1,25 @@
+//! Helpers shared by the service/scheduling/batch integration-test binaries.
+#![allow(dead_code)] // not every test binary uses every helper
+
+use pagani::prelude::{Device, DeviceConfig};
+
+/// Worker-thread counts under test.  The CI `service-stress` matrix pins a
+/// single count through `PAGANI_TEST_WORKER_THREADS`; local runs sweep the
+/// caller's default list.
+pub fn worker_matrix(default: &[usize]) -> Vec<usize> {
+    match std::env::var("PAGANI_TEST_WORKER_THREADS") {
+        Ok(value) => vec![value
+            .parse()
+            .expect("PAGANI_TEST_WORKER_THREADS must be a positive integer")],
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// The standard test device: small profile, 32 MiB pool, `workers` threads.
+pub fn device_with_workers(workers: usize) -> Device {
+    Device::new(
+        DeviceConfig::test_small()
+            .with_memory_capacity(32 << 20)
+            .with_worker_threads(workers),
+    )
+}

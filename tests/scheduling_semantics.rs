@@ -1,0 +1,341 @@
+//! Scheduling-layer semantics: one queue serving all five methods,
+//! backpressure, deadlines, priorities and multi-device dispatch.
+//!
+//! The contract under test, across the worker-thread matrix (overridable via
+//! `PAGANI_TEST_WORKER_THREADS`, which the CI `service-stress` job sets):
+//!
+//! * a per-job [`MethodConfig`] override routes the job through the matching
+//!   `Box<dyn Integrator>` — and the answer matches running that method
+//!   directly, bit for bit;
+//! * cancellation is uniform: whatever the method, a cancelled job reports
+//!   `Termination::Cancelled`;
+//! * `try_submit` refuses with `QueueFull` at exactly the policy bound;
+//! * a deadline landing mid-run cancels with partial statistics intact;
+//! * priorities reorder claims but never starve a queued job;
+//! * `MultiDeviceService` round-robin placement is pinned (job `i` on device
+//!   `i mod n`) and cost-balanced placement never changes a result.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pagani::prelude::*;
+
+mod common;
+use common::{device_with_workers, worker_matrix};
+
+fn config() -> PaganiConfig {
+    PaganiConfig::test_small(Tolerances::rel(1e-4))
+}
+
+/// All five method configurations at a tolerance every method can reach on an
+/// easy integrand.
+fn all_methods() -> Vec<MethodConfig> {
+    MethodConfig::all(Tolerances::rel(1e-3))
+}
+
+/// An integrand that parks its first evaluation until `release` flips and
+/// counts how many evaluations have started.
+fn blocking_integrand(
+    started: Arc<AtomicUsize>,
+    release: Arc<AtomicBool>,
+) -> FnIntegrand<impl Fn(&[f64]) -> f64 + Send + Sync> {
+    FnIntegrand::new(3, move |x: &[f64]| {
+        started.fetch_add(1, Ordering::AcqRel);
+        while !release.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        (-x.iter().map(|&v| (v - 0.5) * (v - 0.5)).sum::<f64>() * 25.0).exp()
+    })
+}
+
+#[test]
+fn one_queue_serves_all_five_methods() {
+    for workers in worker_matrix(&[1, 2, 8]) {
+        let device = device_with_workers(workers);
+        let service = IntegrationService::new(device.clone(), config());
+        let f: Arc<dyn Integrand + Send + Sync> =
+            Arc::new(FnIntegrand::new(2, |x: &[f64]| 1.0 + x[0] * x[1]));
+        let handles: Vec<(MethodConfig, JobHandle)> = all_methods()
+            .into_iter()
+            .map(|method| {
+                let job = BatchJob::shared(f.clone()).with_method(method.clone());
+                (method, service.submit(job))
+            })
+            .collect();
+        for (method, handle) in &handles {
+            let output = handle.wait();
+            assert!(
+                output.result.converged(),
+                "workers {workers}: {} did not converge through the queue",
+                method.name()
+            );
+            assert!(
+                (output.result.estimate - 1.25).abs() < 5e-3,
+                "workers {workers}: {} estimate {}",
+                method.name(),
+                output.result.estimate
+            );
+            // The served answer is bit-identical to building and running the
+            // method directly on an equivalent isolated view.
+            let direct = method
+                .build(&device.isolated_memory_view())
+                .integrate(f.as_ref());
+            assert_eq!(
+                output.result.estimate.to_bits(),
+                direct.estimate.to_bits(),
+                "workers {workers}: {} diverged from its direct run",
+                method.name()
+            );
+        }
+        service.shutdown();
+    }
+}
+
+#[test]
+fn cancellation_is_uniform_across_methods() {
+    // One worker parked on a blocker; one queued job per method, all
+    // cancelled while still queued: every method reports Cancelled without
+    // running.
+    let started = Arc::new(AtomicUsize::new(0));
+    let release = Arc::new(AtomicBool::new(false));
+    let service = IntegrationService::with_workers(device_with_workers(1), config(), 1);
+    let blocker = service.submit(BatchJob::new(blocking_integrand(
+        started.clone(),
+        release.clone(),
+    )));
+    while started.load(Ordering::Acquire) == 0 {
+        std::thread::yield_now();
+    }
+    let f: Arc<dyn Integrand + Send + Sync> =
+        Arc::new(FnIntegrand::new(2, |x: &[f64]| 1.0 + x[0] * x[1]));
+    let doomed: Vec<(MethodConfig, JobHandle)> = all_methods()
+        .into_iter()
+        .map(|method| {
+            let handle = service.submit(BatchJob::shared(f.clone()).with_method(method.clone()));
+            (method, handle)
+        })
+        .collect();
+    for (_, handle) in &doomed {
+        handle.cancel();
+    }
+    release.store(true, Ordering::Release);
+    for (method, handle) in &doomed {
+        let output = handle.wait();
+        assert_eq!(
+            output.result.termination,
+            Termination::Cancelled,
+            "{} did not report Cancelled",
+            method.name()
+        );
+        assert_eq!(
+            output.result.function_evaluations,
+            0,
+            "{} ran despite the queued cancel",
+            method.name()
+        );
+    }
+    assert!(blocker.wait().result.converged());
+    service.shutdown();
+}
+
+#[test]
+fn in_flight_cancel_lands_for_a_baseline_method() {
+    // A Monte Carlo job (method override) parked inside its first sampling
+    // round: the cancel is observed at the round boundary, not ignored.
+    let started = Arc::new(AtomicUsize::new(0));
+    let release = Arc::new(AtomicBool::new(false));
+    let service = IntegrationService::with_workers(device_with_workers(1), config(), 1);
+    let mc = MethodConfig::MonteCarlo(MonteCarloConfig::new(Tolerances::rel(1e-12)));
+    let handle = service.submit(
+        BatchJob::new(blocking_integrand(started.clone(), release.clone())).with_method(mc),
+    );
+    while started.load(Ordering::Acquire) == 0 {
+        std::thread::yield_now();
+    }
+    handle.cancel();
+    release.store(true, Ordering::Release);
+    let output = handle.wait();
+    assert_eq!(output.result.termination, Termination::Cancelled);
+    assert!(
+        output.result.function_evaluations > 0,
+        "the first round's partial stats must survive"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn try_submit_refuses_at_exactly_the_bound_across_worker_counts() {
+    for workers in worker_matrix(&[1, 2, 8]) {
+        let bound = 3;
+        let service = IntegrationService::with_policy(
+            device_with_workers(workers),
+            config(),
+            ServicePolicy::new()
+                .with_workers(workers)
+                .with_queue_bound(bound),
+        );
+        // Park every worker so submissions stay queued.
+        let started = Arc::new(AtomicUsize::new(0));
+        let release = Arc::new(AtomicBool::new(false));
+        let blockers: Vec<JobHandle> = (0..workers)
+            .map(|_| {
+                service.submit(BatchJob::new(blocking_integrand(
+                    started.clone(),
+                    release.clone(),
+                )))
+            })
+            .collect();
+        // Every blocker must be *claimed* (out of the queue, parked inside its
+        // job) before the bound accounting below can be exact.  `started`
+        // alone is not enough: one blocker's parallel evaluations can raise
+        // it past `workers` while siblings still sit in the queue.
+        while started.load(Ordering::Acquire) < workers || service.queued_jobs() > 0 {
+            std::thread::yield_now();
+        }
+        // Exactly `bound` submissions fit...
+        let queued: Vec<JobHandle> = (0..bound)
+            .map(|i| {
+                service
+                    .try_submit(BatchJob::new(PaperIntegrand::f4(3)))
+                    .unwrap_or_else(|_| panic!("workers {workers}: submission {i} refused early"))
+            })
+            .collect();
+        assert_eq!(service.queued_jobs(), bound);
+        // ...and the next is refused with the job handed back.
+        let refused = service
+            .try_submit(BatchJob::new(PaperIntegrand::f4(3)))
+            .expect_err("the queue is at its bound");
+        assert_eq!(refused.bound, bound);
+        release.store(true, Ordering::Release);
+        for handle in blockers.iter().chain(&queued) {
+            assert!(handle.wait().result.converged(), "workers {workers}");
+        }
+        service.shutdown();
+    }
+}
+
+#[test]
+fn deadline_mid_run_cancels_with_partial_stats_intact() {
+    for workers in worker_matrix(&[1, 2]) {
+        // Every evaluation dawdles, so the deadline fires mid-run; the
+        // cancellation lands at the next driver iteration boundary.
+        let slow = FnIntegrand::new(3, |x: &[f64]| {
+            std::thread::sleep(Duration::from_micros(100));
+            (x[0] * x[1] * x[2]).sin().mul_add(0.1, 1.0)
+        });
+        let tight = PaganiConfig::test_small(Tolerances::rel(1e-12));
+        let service = IntegrationService::with_workers(device_with_workers(workers), tight, 1);
+        let handle = service.submit(BatchJob::new(slow).with_deadline(Duration::from_millis(60)));
+        let output = handle.wait();
+        assert_eq!(
+            output.result.termination,
+            Termination::Cancelled,
+            "workers {workers}"
+        );
+        assert!(output.result.iterations >= 1, "workers {workers}");
+        assert!(output.result.function_evaluations > 0, "workers {workers}");
+        assert!(output.result.estimate.is_finite());
+        service.shutdown();
+    }
+}
+
+#[test]
+fn priorities_reorder_claims_but_never_starve() {
+    // One worker parked on a blocker, a low-priority job submitted *first*,
+    // then a stream of high-priority jobs: the highs are claimed first, but
+    // the low still completes.
+    let started = Arc::new(AtomicUsize::new(0));
+    let release = Arc::new(AtomicBool::new(false));
+    let service = IntegrationService::with_workers(device_with_workers(1), config(), 1);
+    let blocker = service.submit(BatchJob::new(blocking_integrand(
+        started.clone(),
+        release.clone(),
+    )));
+    while started.load(Ordering::Acquire) == 0 {
+        std::thread::yield_now();
+    }
+    let low = service.submit(BatchJob::new(PaperIntegrand::f4(3)).with_priority(Priority::Low));
+    let highs: Vec<JobHandle> = (0..6)
+        .map(|_| service.submit(BatchJob::new(PaperIntegrand::f3(3)).with_priority(Priority::High)))
+        .collect();
+    release.store(true, Ordering::Release);
+    // The low-priority job is never starved: it completes.
+    let low_output = low.wait();
+    assert!(low_output.result.converged());
+    // With a single worker, every high was claimed before the low.
+    for (i, high) in highs.iter().enumerate() {
+        assert!(
+            high.is_finished(),
+            "high-priority job {i} still pending after the low completed"
+        );
+        assert!(high.wait().result.converged());
+    }
+    assert!(blocker.wait().result.converged());
+    service.shutdown();
+}
+
+#[test]
+fn multi_device_round_robin_placement_is_pinned() {
+    // Round-robin is the deterministic fallback: job i lands on device
+    // i mod n, so with per-device distinguishable workloads the outputs must
+    // be bit-identical to the same jobs run alone on their pinned device.
+    let jobs: Vec<BatchJob> = (0..6)
+        .map(|i| {
+            if i % 2 == 0 {
+                BatchJob::new(PaperIntegrand::f4(3))
+            } else {
+                BatchJob::new(PaperIntegrand::f3(4))
+            }
+        })
+        .collect();
+    let devices: Vec<Device> = (0..3).map(|_| device_with_workers(2)).collect();
+    let service = MultiDeviceService::with_mode(devices, config(), DispatchMode::RoundRobin);
+    let outputs = service.integrate_batch(&jobs);
+    service.shutdown();
+    let reference = Pagani::new(device_with_workers(2), config());
+    for (i, (job, output)) in jobs.iter().zip(&outputs).enumerate() {
+        let lone = reference.integrate_region(job.integrand(), job.region());
+        assert_eq!(
+            output.result.estimate.to_bits(),
+            lone.result.estimate.to_bits(),
+            "job {i} diverged from its pinned-device run"
+        );
+    }
+}
+
+#[test]
+fn cost_balanced_dispatch_never_changes_results() {
+    for workers in worker_matrix(&[1, 2]) {
+        let jobs: Vec<BatchJob> = (0..8)
+            .map(|i| {
+                if i % 2 == 0 {
+                    BatchJob::new(PaperIntegrand::f4(4)) // heavy
+                } else {
+                    BatchJob::new(PaperIntegrand::f3(2)) // light
+                }
+            })
+            .collect();
+        let make_devices =
+            || -> Vec<Device> { (0..2).map(|_| device_with_workers(workers)).collect() };
+        let balanced = MultiDeviceService::new(make_devices(), config());
+        let balanced_bits: Vec<u64> = balanced
+            .integrate_batch(&jobs)
+            .iter()
+            .map(|o| o.result.estimate.to_bits())
+            .collect();
+        balanced.shutdown();
+        let pinned =
+            MultiDeviceService::with_mode(make_devices(), config(), DispatchMode::RoundRobin);
+        let pinned_bits: Vec<u64> = pinned
+            .integrate_batch(&jobs)
+            .iter()
+            .map(|o| o.result.estimate.to_bits())
+            .collect();
+        pinned.shutdown();
+        assert_eq!(
+            balanced_bits, pinned_bits,
+            "workers {workers}: placement changed a result"
+        );
+    }
+}

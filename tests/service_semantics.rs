@@ -1,6 +1,8 @@
 //! Service semantics: submit → handle, cancellation, and graceful shutdown.
 //!
-//! The contract under test, across `worker_threads ∈ {1, 8}`:
+//! The contract under test, across `worker_threads ∈ {1, 8}` (or the single
+//! count pinned by `PAGANI_TEST_WORKER_THREADS`, which the CI `service-stress`
+//! matrix sets):
 //!
 //! * cancelled handles report `Termination::Cancelled`, and a cancellation of
 //!   an in-flight job lands within one driver iteration;
@@ -13,13 +15,8 @@ use std::sync::Arc;
 
 use pagani::prelude::*;
 
-fn device_with_workers(workers: usize) -> Device {
-    Device::new(
-        DeviceConfig::test_small()
-            .with_memory_capacity(32 << 20)
-            .with_worker_threads(workers),
-    )
-}
+mod common;
+use common::{device_with_workers, worker_matrix};
 
 fn config() -> PaganiConfig {
     PaganiConfig::test_small(Tolerances::rel(1e-4))
@@ -43,7 +40,7 @@ fn blocking_integrand(
 
 #[test]
 fn interleaved_cancel_and_wait_across_worker_counts() {
-    for workers in [1usize, 8] {
+    for workers in worker_matrix(&[1, 8]) {
         let device = device_with_workers(workers);
         let sequential = Pagani::new(device.clone(), config());
         let integrands: Vec<Arc<PaperIntegrand>> = (0..12)
@@ -168,7 +165,7 @@ fn in_flight_cancellation_lands_within_one_iteration() {
 
 #[test]
 fn shutdown_drains_without_deadlock() {
-    for workers in [1usize, 8] {
+    for workers in worker_matrix(&[1, 8]) {
         let service = IntegrationService::new(device_with_workers(workers), config());
         let handles: Vec<JobHandle> = (0..10)
             .map(|i| {
