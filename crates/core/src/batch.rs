@@ -29,6 +29,11 @@
 //!   the batch determinism tests pin down.  A combined cross-job memory quota
 //!   is an explicit non-goal of this engine (tracked on the roadmap).
 //!
+//! Because the runner drains a transient [`crate::IntegrationService`], batch
+//! jobs also feed that service's measured [`crate::CostModel`] and show up in
+//! its [`crate::ServiceMetrics`] while the batch runs — the batch engine gets
+//! the observability of the serving stack for free.
+//!
 //! ```
 //! use pagani_core::{integrate_batch, BatchJob, PaganiConfig};
 //! use pagani_device::Device;

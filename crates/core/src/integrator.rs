@@ -23,6 +23,11 @@
 //! [`check_cancelled`] hook — so `Termination::Cancelled` means the same thing
 //! whatever the method: the run stopped within one checkpoint of the request,
 //! carrying its partial statistics.
+//!
+//! In the serving stack this trait is **layer 1**: [`crate::IntegrationService`]
+//! (one device, priority queue, deadline-aware admission) sits on top of it,
+//! and [`crate::MultiDeviceService`] (N lanes, one shared cost model) on top
+//! of that.  `ARCHITECTURE.md` at the repository root draws the full picture.
 
 use std::time::Instant;
 

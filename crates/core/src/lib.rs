@@ -37,6 +37,7 @@ pub mod arena;
 pub mod batch;
 pub mod classify;
 pub mod config;
+pub mod cost;
 pub mod driver;
 pub mod evaluate;
 pub mod integrator;
@@ -49,12 +50,17 @@ pub mod trace;
 pub use arena::ScratchArena;
 pub use batch::{integrate_batch, BatchJob, BatchRunner};
 pub use config::{HeuristicFiltering, PaganiConfig};
+pub use cost::{
+    cost_ceiling, estimated_cost, estimated_job_cost, job_tolerances, CostKey, CostModel, Ewma,
+};
 pub use driver::{CancelToken, Pagani, PaganiOutput};
 pub use integrator::{check_cancelled, Capabilities, Integrator, IntegratorFactory};
 pub use multi_device::{
-    estimated_cost, estimated_job_cost, plan_dispatch, DispatchMode, MultiDeviceOutput,
-    MultiDevicePagani, MultiDeviceService,
+    plan_dispatch, DispatchMode, MultiDeviceOutput, MultiDevicePagani, MultiDeviceService,
 };
 pub use region_list::RegionList;
-pub use service::{IntegrationService, JobHandle, Priority, QueueFull, ServicePolicy};
+pub use service::{
+    DeadlineInfeasible, IntegrationService, JobHandle, Priority, QueueFull, Rejected,
+    ServiceMetrics, ServicePolicy, WaitStats,
+};
 pub use trace::{ExecutionTrace, IterationRecord, ThresholdProbe, ThresholdSearchRecord};

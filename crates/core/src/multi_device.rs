@@ -13,11 +13,13 @@
 //!
 //! Independent-job traffic is the other axis: [`MultiDeviceService`] feeds N
 //! devices from **one** submission queue.  Each incoming job is weighed by
-//! [`estimated_cost`] — a monotone model of how much work a (dimension,
-//! tolerance) pair generates — and dispatched to the device with the least
-//! estimated outstanding cost ([`DispatchMode::CostBalanced`]), so a skewed
-//! job mix cannot pile its heavy jobs onto one device the way round-robin
-//! sharding does.  [`DispatchMode::RoundRobin`] remains available as the
+//! the pool's shared measured [`CostModel`] (falling back to the static
+//! [`estimated_cost`] while the model is cold) and dispatched to the device
+//! with the least estimated outstanding cost
+//! ([`DispatchMode::CostBalanced`]), so a skewed job mix cannot pile its
+//! heavy jobs onto one device the way round-robin sharding does.  All lanes
+//! share one model, so what one device learns about a job family prices that
+//! family everywhere.  [`DispatchMode::RoundRobin`] remains available as the
 //! deterministic fallback: under it the device a job lands on is a pure
 //! function of its submission index, which is the mode the reproducibility
 //! tests pin.  Per-job *results* are bit-identical either way whenever the
@@ -33,9 +35,11 @@ use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination, Toler
 
 use crate::batch::BatchJob;
 use crate::config::PaganiConfig;
+use crate::cost::CostModel;
+pub use crate::cost::{estimated_cost, estimated_job_cost};
 use crate::driver::{Pagani, PaganiOutput};
 use crate::integrator::ensure_matching_dims;
-use crate::service::{IntegrationService, JobHandle, ServicePolicy};
+use crate::service::{IntegrationService, JobHandle, Rejected, ServiceMetrics, ServicePolicy};
 use pagani_device::Device;
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -55,53 +59,6 @@ pub enum DispatchMode {
     /// submission index, reproducible run-to-run.  The deterministic fallback
     /// the pinning tests rely on.
     RoundRobin,
-}
-
-/// Estimated relative cost of integrating a `dim`-dimensional job to
-/// `tolerances`.
-///
-/// The model multiplies the Genz–Malik evaluation cost per region
-/// (`2^d + 2d² + 2d + 1` points) by a region-count factor that grows
-/// exponentially with the requested digits of precision, scaled by dimension
-/// — the paper's Figure 9 shape: every extra digit multiplies the number of
-/// regions an adaptive run generates, and higher dimensions split more times
-/// to reach the same digit.  Only the *ordering and ratios* of costs matter
-/// for dispatch, not the absolute scale.
-///
-/// The result is always an **integer-valued finite f64 in `[1, 2⁴⁰]`**.  The
-/// bounds are load-bearing for the outstanding-cost ledger, which charges a
-/// job's cost on dispatch and retires it on completion:
-///
-/// * *finite* — an `inf` charge would retire as `inf - inf = NaN` and poison
-///   least-loaded dispatch for the service's lifetime, so very
-///   high-dimensional jobs (Monte Carlo accepts any `dim`) saturate instead;
-/// * *integer-valued and range-bounded* — sums of integers below 2⁵³ are
-///   exact in f64, so `+= cost` followed by `-= cost` cancels exactly and
-///   the ledger cannot drift (an unbounded cost range would let a huge
-///   charge absorb a small one — `1e84 + 1e2 == 1e84` — whose retirement
-///   would then drive the lane permanently negative).  ~8000 saturated jobs
-///   would have to be in flight on one lane before a sum could round.
-///
-/// Beyond the saturation bound every job weighs the same maximal amount,
-/// degrading to round-robin-like spreading — the safe failure mode.
-#[must_use]
-pub fn estimated_cost(dim: usize, tolerances: Tolerances) -> f64 {
-    let d = dim as f64;
-    let points_per_region = d.min(256.0).exp2() + 2.0 * d * d + 2.0 * d + 1.0;
-    let digits = tolerances.digits_requested().clamp(1.0, 12.0);
-    let raw = points_per_region * (digits * d / 2.0).min(512.0).exp2();
-    raw.round().clamp(1.0, (40.0f64).exp2())
-}
-
-/// Estimated cost of one queued job: the job's own method tolerances when it
-/// carries an override that knows them, otherwise `default_tolerances`.
-#[must_use]
-pub fn estimated_job_cost(job: &BatchJob, default_tolerances: Tolerances) -> f64 {
-    let tolerances = job
-        .method()
-        .and_then(|method| method.tolerances())
-        .unwrap_or(default_tolerances);
-    estimated_cost(job.region().dim(), tolerances)
 }
 
 /// Plan a device assignment for a fixed batch of job costs.
@@ -181,6 +138,9 @@ pub struct MultiDeviceService {
     mode: DispatchMode,
     round_robin_next: AtomicUsize,
     default_tolerances: Tolerances,
+    /// One measured cost model shared by every lane: a wall time observed on
+    /// any device prices that job family on all of them.
+    model: Arc<CostModel>,
 }
 
 impl MultiDeviceService {
@@ -218,10 +178,16 @@ impl MultiDeviceService {
     ) -> Self {
         assert!(!devices.is_empty(), "at least one device is required");
         let default_tolerances = config.tolerances;
+        let model = Arc::new(CostModel::new());
         let lanes = devices
             .into_iter()
             .map(|device| Lane {
-                service: IntegrationService::with_policy(device, config.clone(), policy),
+                service: IntegrationService::with_policy_and_model(
+                    device,
+                    config.clone(),
+                    policy,
+                    Arc::clone(&model),
+                ),
                 outstanding: Arc::new(Mutex::new(0.0)),
             })
             .collect();
@@ -230,6 +196,7 @@ impl MultiDeviceService {
             mode,
             round_robin_next: AtomicUsize::new(0),
             default_tolerances,
+            model,
         }
     }
 
@@ -255,21 +222,28 @@ impl MultiDeviceService {
             .collect()
     }
 
-    /// Dispatch `job` to a device and return its handle.
-    ///
-    /// `CostBalanced` picks the device with the least estimated outstanding
-    /// cost at this instant; under a bounded per-lane [`ServicePolicy`],
-    /// lanes whose queue is at its bound are skipped (best-effort — the
-    /// occupancy snapshot can race a concurrent submitter) so a full cheap
-    /// lane cannot block the call while another lane has room; only when
-    /// *every* lane is full does the call block waiting for space on the
-    /// least-loaded one.  `RoundRobin` rotates unconditionally — placement
-    /// stays a pure function of the submission index, so a full lane blocks
-    /// rather than breaking determinism.  The job's estimated cost is charged
-    /// to the chosen lane and retired when the job completes.
+    /// A per-lane [`ServiceMetrics`] snapshot, in device order.  One entry
+    /// per device; sum counters across entries for pool-level totals.
     #[must_use]
-    pub fn submit(&self, job: BatchJob) -> JobHandle {
-        let lane_index = match self.mode {
+    pub fn metrics(&self) -> Vec<ServiceMetrics> {
+        self.lanes
+            .iter()
+            .map(|lane| lane.service.metrics())
+            .collect()
+    }
+
+    /// The measured [`CostModel`] shared by every lane.  Seed it with
+    /// [`CostModel::record`] for deterministic admission in tests, or inspect
+    /// it to watch the pool's learning converge.
+    #[must_use]
+    pub fn cost_model(&self) -> &Arc<CostModel> {
+        &self.model
+    }
+
+    /// Pick the lane the next submission goes to; advances the round-robin
+    /// rotation when that mode is in force.
+    fn select_lane(&self) -> usize {
+        match self.mode {
             DispatchMode::RoundRobin => {
                 self.round_robin_next.fetch_add(1, AtomicOrdering::Relaxed) % self.lanes.len()
             }
@@ -293,15 +267,67 @@ impl MultiDeviceService {
                     .or_else(|| least_loaded(&mut (0..self.lanes.len())))
                     .expect("the lane list is never empty")
             }
-        };
-        self.submit_to(lane_index, job)
+        }
+    }
+
+    /// Dispatch `job` to a device and return its handle.
+    ///
+    /// `CostBalanced` picks the device with the least estimated outstanding
+    /// cost at this instant; under a bounded per-lane [`ServicePolicy`],
+    /// lanes whose queue is at its bound are skipped (best-effort — the
+    /// occupancy snapshot can race a concurrent submitter) so a full cheap
+    /// lane cannot block the call while another lane has room; only when
+    /// *every* lane is full does the call block waiting for space on the
+    /// least-loaded one.  `RoundRobin` rotates unconditionally — placement
+    /// stays a pure function of the submission index, so a full lane blocks
+    /// rather than breaking determinism.  The job's weight under the shared
+    /// [`CostModel`] is charged to the chosen lane and retired when the job
+    /// completes.
+    #[must_use]
+    pub fn submit(&self, job: BatchJob) -> JobHandle {
+        self.submit_to(self.select_lane(), job)
+    }
+
+    /// [`MultiDeviceService::submit`] with refuse-instead-of-wait semantics:
+    /// the chosen lane's [`IntegrationService::try_submit`] admission checks
+    /// (queue bound, deadline feasibility) run, and a refusal hands the job
+    /// back as [`Rejected`] without charging the lane.
+    ///
+    /// Under `RoundRobin` a rejected submission still consumes its rotation
+    /// slot — placement stays a pure function of the submission *attempt*
+    /// index, so a retried job probes the next lane instead of hammering the
+    /// same full one.
+    ///
+    /// # Errors
+    /// Whatever the chosen lane's [`IntegrationService::try_submit`] returns:
+    /// [`Rejected::QueueFull`] at the lane's bound,
+    /// [`Rejected::DeadlineInfeasible`] when the shared model predicts the
+    /// deadline cannot be met on that lane.
+    pub fn try_submit(&self, job: BatchJob) -> Result<JobHandle, Rejected> {
+        let lane_index = self.select_lane();
+        let lane = &self.lanes[lane_index];
+        let cost = self.model.weigh_job(&job, self.default_tolerances);
+        *lock(&lane.outstanding) += cost;
+        let outstanding = Arc::clone(&lane.outstanding);
+        let result = lane.service.try_submit_with_hook(
+            job,
+            Some(Box::new(move || {
+                *lock(&outstanding) -= cost;
+            })),
+        );
+        if result.is_err() {
+            // The lane never accepted the job, so its completion hook will
+            // never run: revert the charge at exactly the charged value.
+            *lock(&lane.outstanding) -= cost;
+        }
+        result
     }
 
     /// Dispatch `job` to the planned `lane`, charging and later retiring its
-    /// estimated cost.
+    /// weight under the shared [`CostModel`].
     fn submit_to(&self, lane_index: usize, job: BatchJob) -> JobHandle {
         let lane = &self.lanes[lane_index];
-        let cost = estimated_job_cost(&job, self.default_tolerances);
+        let cost = self.model.weigh_job(&job, self.default_tolerances);
         *lock(&lane.outstanding) += cost;
         let outstanding = Arc::clone(&lane.outstanding);
         lane.service.submit_with_hook(
@@ -316,15 +342,18 @@ impl MultiDeviceService {
     /// order.
     ///
     /// The batch is planned up front with [`plan_dispatch`], so the
-    /// job-to-device assignment is a pure function of the job list and the
-    /// dispatch mode — deterministic in both modes, unlike streaming
-    /// [`MultiDeviceService::submit`] whose cost-balanced placement depends
-    /// on completion timing.
+    /// job-to-device assignment is a pure function of the job list, the
+    /// dispatch mode and the shared [`CostModel`]'s state at planning time —
+    /// no completion-timing dependence, unlike streaming
+    /// [`MultiDeviceService::submit`] whose cost-balanced placement races
+    /// completions.  (On a fresh service the model is cold and the plan
+    /// reduces to the static [`estimated_cost`] weights — the fully
+    /// reproducible case the pinning tests use.)
     #[must_use]
     pub fn integrate_batch(&self, jobs: &[BatchJob]) -> Vec<PaganiOutput> {
         let costs: Vec<f64> = jobs
             .iter()
-            .map(|job| estimated_job_cost(job, self.default_tolerances))
+            .map(|job| self.model.weigh_job(job, self.default_tolerances))
             .collect();
         let plan = plan_dispatch(&costs, self.lanes.len(), self.mode);
         let handles: Vec<JobHandle> = jobs

@@ -11,9 +11,19 @@
 //!   job through any `Box<dyn Integrator>` — all five methods share this one
 //!   queue), a [`Priority`] and a deadline,
 //! * **apply backpressure** — a [`ServicePolicy`] queue bound makes
-//!   [`IntegrationService::try_submit`] refuse with [`QueueFull`] instead of
-//!   queueing without limit (blocking [`IntegrationService::submit`] waits
-//!   for space instead),
+//!   [`IntegrationService::try_submit`] refuse with
+//!   [`Rejected::QueueFull`] instead of queueing without limit (blocking
+//!   [`IntegrationService::submit`] waits for space instead),
+//! * **admit on measured feasibility** — `try_submit` also refuses a
+//!   deadline-carrying job with [`Rejected::DeadlineInfeasible`] when the
+//!   service's measured [`CostModel`] predicts the job cannot finish inside
+//!   its deadline at the current backlog
+//!   ([`IntegrationService::estimated_completion`]); a cold model admits
+//!   optimistically until real work has been measured,
+//! * **observe** ([`IntegrationService::metrics`]) a [`ServiceMetrics`]
+//!   snapshot: queue depth, per-priority wait percentiles,
+//!   reject/deadline-miss/cancel counters, the outstanding predicted
+//!   backlog and the lane's EWMA of cost-prediction error,
 //! * **poll** ([`JobHandle::try_result`]) or **block** ([`JobHandle::wait`])
 //!   for completion,
 //! * **cancel** ([`JobHandle::cancel`]) a job cooperatively — a queued job is
@@ -58,7 +68,8 @@
 //! ```
 
 use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -69,6 +80,7 @@ use pagani_quadrature::{IntegrationResult, Termination};
 use crate::arena::ScratchArena;
 use crate::batch::BatchJob;
 use crate::config::PaganiConfig;
+use crate::cost::{cost_ceiling, CostModel, Ewma};
 use crate::driver::{CancelToken, Pagani, PaganiOutput};
 use crate::trace::ExecutionTrace;
 
@@ -99,9 +111,10 @@ pub enum Priority {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServicePolicy {
     /// Maximum number of submitted-but-unclaimed jobs.  When the queue is at
-    /// the bound, [`IntegrationService::try_submit`] returns [`QueueFull`]
-    /// and [`IntegrationService::submit`] blocks until a worker frees a slot.
-    /// `None` (the default) never refuses a submission.
+    /// the bound, [`IntegrationService::try_submit`] returns
+    /// [`Rejected::QueueFull`] and [`IntegrationService::submit`] blocks
+    /// until a worker frees a slot.  `None` (the default) never refuses a
+    /// submission.
     pub queue_bound: Option<usize>,
     /// Number of resident worker threads; `None` (the default) uses the
     /// device's effective worker-pool width.
@@ -152,6 +165,224 @@ impl std::fmt::Display for QueueFull {
 }
 
 impl std::error::Error for QueueFull {}
+
+/// A submission was refused because the job's deadline is infeasible: the
+/// measured cost model predicts the job would complete at `estimated` from
+/// now (current backlog included), which is later than its `deadline`.
+/// Carries the rejected job back so the caller can relax the deadline, retry
+/// elsewhere or shed it.
+#[derive(Debug)]
+pub struct DeadlineInfeasible {
+    /// Predicted completion time from now, per
+    /// [`IntegrationService::estimated_completion`].
+    pub estimated: Duration,
+    /// The deadline the job carried.
+    pub deadline: Duration,
+    /// The rejected job, returned unmodified.
+    pub job: BatchJob,
+}
+
+impl std::fmt::Display for DeadlineInfeasible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "deadline of {:?} is infeasible: predicted completion in {:?} at the current backlog",
+            self.deadline, self.estimated
+        )
+    }
+}
+
+impl std::error::Error for DeadlineInfeasible {}
+
+/// Why [`IntegrationService::try_submit`] refused a submission.  Both
+/// variants hand the job back unmodified; [`ServiceMetrics`] counts them
+/// separately.  (The payloads are boxed so the `Result`'s happy path stays
+/// small — rejection is the cold path.)
+#[derive(Debug)]
+pub enum Rejected {
+    /// The queue is at its [`ServicePolicy::queue_bound`] — capacity, not
+    /// feasibility: retrying after a worker frees a slot can succeed.
+    QueueFull(Box<QueueFull>),
+    /// The job's deadline cannot be met at the current backlog according to
+    /// the measured cost model — retrying immediately will fail again;
+    /// relax the deadline, shed the job, or submit it elsewhere.
+    DeadlineInfeasible(Box<DeadlineInfeasible>),
+}
+
+impl Rejected {
+    /// The rejected job, borrowed.
+    #[must_use]
+    pub fn job(&self) -> &BatchJob {
+        match self {
+            Self::QueueFull(refused) => &refused.job,
+            Self::DeadlineInfeasible(refused) => &refused.job,
+        }
+    }
+
+    /// Take the rejected job back for resubmission.
+    #[must_use]
+    pub fn into_job(self) -> BatchJob {
+        match self {
+            Self::QueueFull(refused) => refused.job,
+            Self::DeadlineInfeasible(refused) => refused.job,
+        }
+    }
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull(refused) => refused.fmt(f),
+            Self::DeadlineInfeasible(refused) => refused.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Wait-time statistics for one [`Priority`] level: time from submission to
+/// a worker claiming the job.  Percentiles are computed over a sliding
+/// window of the most recent waits (the window is an implementation detail;
+/// `count` and `max` cover the service's whole lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitStats {
+    /// Jobs of this priority claimed so far.
+    pub count: u64,
+    /// Median wait over the recent window.
+    pub p50: Duration,
+    /// 90th-percentile wait over the recent window.
+    pub p90: Duration,
+    /// Longest wait ever observed.
+    pub max: Duration,
+}
+
+/// A point-in-time observability snapshot of one service (one *lane* of a
+/// [`crate::MultiDeviceService`]), from [`IntegrationService::metrics`].
+///
+/// Counters are monotone over the service's lifetime; `queue_depth` and
+/// `outstanding_predicted` are instantaneous.  Snapshots are cheap (a few
+/// mutex acquisitions) and safe to poll from a dashboard loop.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceMetrics {
+    /// Submitted-but-unclaimed jobs right now.
+    pub queue_depth: usize,
+    /// Jobs ever enqueued (rejected submissions are *not* counted here).
+    pub submitted: u64,
+    /// Jobs completed (including cancelled completions).
+    pub completed: u64,
+    /// Completed jobs that reported [`Termination::Cancelled`] — explicit
+    /// cancels, queued sheds and deadline misses alike.
+    pub cancelled: u64,
+    /// `try_submit` refusals with [`Rejected::QueueFull`].
+    pub rejected_queue_full: u64,
+    /// `try_submit` refusals with [`Rejected::DeadlineInfeasible`].
+    pub rejected_deadline_infeasible: u64,
+    /// Deadlines that fired while their job was still incomplete.
+    pub deadline_misses: u64,
+    /// Predicted wall time of all enqueued-or-running jobs (the admission
+    /// backlog), per the lane's [`CostModel`]; zero while the model is cold.
+    pub outstanding_predicted: Duration,
+    /// EWMA of this lane's relative cost-prediction error
+    /// `|actual − predicted| / predicted`, or `None` before the first
+    /// predicted-and-measured completion.
+    pub prediction_error_ewma: Option<f64>,
+    /// Per-priority wait statistics, indexed `[Low, Normal, High]` — use
+    /// [`ServiceMetrics::wait`] for by-priority access.
+    pub waits: [WaitStats; 3],
+}
+
+impl ServiceMetrics {
+    /// Wait statistics for `priority`.
+    #[must_use]
+    pub fn wait(&self, priority: Priority) -> WaitStats {
+        self.waits[priority as usize]
+    }
+
+    /// Total refusals across both [`Rejected`] variants.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_deadline_infeasible
+    }
+}
+
+/// Sliding window size for wait percentiles.
+const WAIT_WINDOW: usize = 512;
+
+/// Rolling wait-time record for one priority level.
+#[derive(Debug, Default)]
+struct WaitReservoir {
+    recent: VecDeque<Duration>,
+    count: u64,
+    max: Duration,
+}
+
+impl WaitReservoir {
+    fn record(&mut self, wait: Duration) {
+        if self.recent.len() == WAIT_WINDOW {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(wait);
+        self.count += 1;
+        self.max = self.max.max(wait);
+    }
+
+    fn stats(&self) -> WaitStats {
+        let mut sorted: Vec<Duration> = self.recent.iter().copied().collect();
+        sorted.sort_unstable();
+        let percentile = |q_num: usize, q_den: usize| -> Duration {
+            if sorted.is_empty() {
+                Duration::ZERO
+            } else {
+                sorted[(sorted.len() - 1) * q_num / q_den]
+            }
+        };
+        WaitStats {
+            count: self.count,
+            p50: percentile(1, 2),
+            p90: percentile(9, 10),
+            max: self.max,
+        }
+    }
+}
+
+/// Shared observability state: monotone counters, the outstanding
+/// predicted-time ledger that deadline admission reads, per-priority wait
+/// reservoirs and the lane's prediction-error EWMA.
+#[derive(Debug)]
+struct Observability {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_deadline_infeasible: AtomicU64,
+    deadline_misses: AtomicU64,
+    /// Sum of the predicted-duration charges (whole microseconds) of every
+    /// enqueued-or-running job.  Charges are integer-valued and bounded by
+    /// [`cost_ceiling`], so charge/retire cycles cancel exactly.
+    outstanding_micros: Mutex<f64>,
+    prediction_error: Mutex<Ewma>,
+    waits: Mutex<[WaitReservoir; 3]>,
+}
+
+impl Observability {
+    fn new() -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_deadline_infeasible: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            outstanding_micros: Mutex::new(0.0),
+            prediction_error: Mutex::new(Ewma::new(CostModel::DEFAULT_ALPHA)),
+            waits: Mutex::new([
+                WaitReservoir::default(),
+                WaitReservoir::default(),
+                WaitReservoir::default(),
+            ]),
+        }
+    }
+}
 
 /// How a job ended: normally, or by panicking on its worker.
 #[derive(Debug, Clone)]
@@ -285,6 +516,16 @@ struct QueuedJob {
     priority: Priority,
     /// Submission sequence number; breaks priority ties FIFO.
     seq: u64,
+    /// When the job entered the queue; claim time minus this is the wait
+    /// recorded in [`ServiceMetrics`].
+    enqueued_at: Instant,
+    /// What this job charged to the outstanding-predicted ledger at enqueue
+    /// (whole microseconds, `0.0` while the model was cold) — retired at
+    /// exactly this value on completion.
+    charge_micros: f64,
+    /// The model's time prediction at enqueue, compared against the measured
+    /// wall time to update the prediction-error EWMA.
+    predicted: Option<Duration>,
     on_complete: Option<CompletionHook>,
 }
 
@@ -367,6 +608,9 @@ struct ServiceShared {
     device: Device,
     config: PaganiConfig,
     policy: ServicePolicy,
+    worker_count: usize,
+    cost_model: Arc<CostModel>,
+    obs: Observability,
     queue: Mutex<QueueState>,
     /// Wakes workers when a job is queued (or shutdown begins).
     work: Condvar,
@@ -415,11 +659,30 @@ impl IntegrationService {
     /// Start a service with an explicit [`ServicePolicy`].
     #[must_use]
     pub fn with_policy(device: Device, config: PaganiConfig, policy: ServicePolicy) -> Self {
-        let worker_count = policy.workers.unwrap_or_else(|| device.effective_workers());
+        Self::with_policy_and_model(device, config, policy, Arc::new(CostModel::new()))
+    }
+
+    /// Start a service sharing an externally owned [`CostModel`] — the
+    /// multi-device dispatcher passes one model to every lane so buckets pool
+    /// their learning across devices.
+    #[must_use]
+    pub(crate) fn with_policy_and_model(
+        device: Device,
+        config: PaganiConfig,
+        policy: ServicePolicy,
+        cost_model: Arc<CostModel>,
+    ) -> Self {
+        let worker_count = policy
+            .workers
+            .unwrap_or_else(|| device.effective_workers())
+            .max(1);
         let shared = Arc::new(ServiceShared {
             device,
             config,
             policy,
+            worker_count,
+            cost_model,
+            obs: Observability::new(),
             queue: Mutex::new(QueueState {
                 jobs: BinaryHeap::new(),
                 next_seq: 0,
@@ -430,7 +693,7 @@ impl IntegrationService {
             deadlines: Mutex::new(DeadlineState::default()),
             deadline_changed: Condvar::new(),
         });
-        let workers = (0..worker_count.max(1))
+        let workers = (0..worker_count)
             .map(|index| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -489,15 +752,28 @@ impl IntegrationService {
         self.submit_with_hook(job, None)
     }
 
-    /// Enqueue `job` if the queue has room, refusing with [`QueueFull`] —
-    /// the job handed back inside — when it is at the policy's bound.
+    /// Enqueue `job` if it can be accepted, refusing with [`Rejected`] — the
+    /// job handed back inside — otherwise.
+    ///
+    /// Two admission checks run, in order:
+    ///
+    /// 1. **Capacity** — a queue at the policy's
+    ///    [`ServicePolicy::queue_bound`] refuses with
+    ///    [`Rejected::QueueFull`].
+    /// 2. **Feasibility** — a job carrying a deadline is refused with
+    ///    [`Rejected::DeadlineInfeasible`] when the measured [`CostModel`]
+    ///    predicts it cannot complete inside that deadline at the current
+    ///    backlog ([`IntegrationService::estimated_completion`]).  A cold
+    ///    model makes no prediction, so admission is optimistic until real
+    ///    work has been measured; blocking [`IntegrationService::submit`]
+    ///    never applies this check.
     ///
     /// This is the backpressure edge of the service: a front-end that would
     /// rather shed or redirect load than build an unbounded backlog calls
     /// this and handles the `Err`.
     ///
     /// ```
-    /// use pagani_core::{BatchJob, IntegrationService, PaganiConfig, ServicePolicy};
+    /// use pagani_core::{BatchJob, IntegrationService, PaganiConfig, Rejected, ServicePolicy};
     /// use pagani_device::Device;
     /// use pagani_quadrature::{FnIntegrand, Tolerances};
     ///
@@ -509,23 +785,144 @@ impl IntegrationService {
     /// let job = BatchJob::new(FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]));
     /// match service.try_submit(job) {
     ///     Ok(handle) => assert!(handle.wait().result.converged()),
-    ///     Err(refused) => println!("queue full at {}, retry later", refused.bound),
+    ///     Err(Rejected::QueueFull(refused)) => {
+    ///         println!("queue full at {}, retry later", refused.bound);
+    ///     }
+    ///     Err(Rejected::DeadlineInfeasible(refused)) => {
+    ///         println!("cannot finish in {:?}, shed it", refused.deadline);
+    ///     }
     /// }
     /// service.shutdown();
     /// ```
     ///
     /// # Errors
-    /// Returns [`QueueFull`] when the queue holds `queue_bound` unclaimed
-    /// jobs.  An unbounded service never errs.
-    pub fn try_submit(&self, job: BatchJob) -> Result<JobHandle, QueueFull> {
+    /// [`Rejected::QueueFull`] when the queue holds `queue_bound` unclaimed
+    /// jobs; [`Rejected::DeadlineInfeasible`] when the job's deadline cannot
+    /// be met.  An unbounded service with a cold cost model never errs.
+    pub fn try_submit(&self, job: BatchJob) -> Result<JobHandle, Rejected> {
+        self.try_submit_with_hook(job, None)
+    }
+
+    /// [`IntegrationService::try_submit`] with an optional completion hook
+    /// (the multi-device dispatcher's cost-retirement callback).
+    pub(crate) fn try_submit_with_hook(
+        &self,
+        job: BatchJob,
+        on_complete: Option<CompletionHook>,
+    ) -> Result<JobHandle, Rejected> {
+        let queue = lock(&self.shared.queue);
         if let Some(bound) = self.shared.policy.queue_bound {
-            let queue = lock(&self.shared.queue);
             if queue.jobs.len() >= bound {
-                return Err(QueueFull { bound, job });
+                self.shared
+                    .obs
+                    .rejected_queue_full
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                return Err(Rejected::QueueFull(Box::new(QueueFull { bound, job })));
             }
-            return Ok(self.enqueue(queue, job, None));
         }
-        Ok(self.submit(job))
+        if let Some(deadline) = job.deadline() {
+            if let Some(estimated) = self.estimated_completion(&job) {
+                if estimated > deadline {
+                    self.shared
+                        .obs
+                        .rejected_deadline_infeasible
+                        .fetch_add(1, AtomicOrdering::Relaxed);
+                    return Err(Rejected::DeadlineInfeasible(Box::new(DeadlineInfeasible {
+                        estimated,
+                        deadline,
+                        job,
+                    })));
+                }
+            }
+        }
+        Ok(self.enqueue(queue, job, on_complete))
+    }
+
+    /// Predicted completion time of `job` from now, were it submitted at the
+    /// current backlog: the outstanding predicted work divided across the
+    /// worker pool, plus the job's own predicted duration.  `None` while the
+    /// [`CostModel`] is cold (no measured work yet) — exactly the cases where
+    /// [`IntegrationService::try_submit`] admits optimistically.
+    ///
+    /// The backlog term is deliberately simple (it ignores priorities and
+    /// in-flight progress); it errs on the pessimistic side under load, which
+    /// is the right bias for an admission gate.
+    #[must_use]
+    pub fn estimated_completion(&self, job: &BatchJob) -> Option<Duration> {
+        let own = self
+            .shared
+            .cost_model
+            .predict_job(job, self.shared.config.tolerances)?;
+        let outstanding_micros = *lock(&self.shared.obs.outstanding_micros);
+        let backlog =
+            Duration::from_secs_f64(outstanding_micros / 1e6 / self.shared.worker_count as f64);
+        Some(backlog + own)
+    }
+
+    /// A point-in-time [`ServiceMetrics`] snapshot.
+    ///
+    /// ```
+    /// use pagani_core::{BatchJob, IntegrationService, PaganiConfig, Priority};
+    /// use pagani_device::Device;
+    /// use pagani_quadrature::{FnIntegrand, Tolerances};
+    ///
+    /// let service = IntegrationService::new(
+    ///     Device::test_small(),
+    ///     PaganiConfig::test_small(Tolerances::rel(1e-6)),
+    /// );
+    /// let job = BatchJob::new(FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]));
+    /// service.submit(job).wait();
+    ///
+    /// let metrics = service.metrics();
+    /// assert_eq!(metrics.submitted, 1);
+    /// assert_eq!(metrics.completed, 1);
+    /// assert_eq!(metrics.rejected(), 0);
+    /// assert_eq!(metrics.wait(Priority::Normal).count, 1);
+    /// service.shutdown();
+    /// ```
+    #[must_use]
+    pub fn metrics(&self) -> ServiceMetrics {
+        let obs = &self.shared.obs;
+        let outstanding_micros = *lock(&obs.outstanding_micros);
+        let waits = lock(&obs.waits);
+        ServiceMetrics {
+            queue_depth: self.queued_jobs(),
+            submitted: obs.submitted.load(AtomicOrdering::Relaxed),
+            completed: obs.completed.load(AtomicOrdering::Relaxed),
+            cancelled: obs.cancelled.load(AtomicOrdering::Relaxed),
+            rejected_queue_full: obs.rejected_queue_full.load(AtomicOrdering::Relaxed),
+            rejected_deadline_infeasible: obs
+                .rejected_deadline_infeasible
+                .load(AtomicOrdering::Relaxed),
+            deadline_misses: obs.deadline_misses.load(AtomicOrdering::Relaxed),
+            outstanding_predicted: Duration::from_secs_f64(outstanding_micros.max(0.0) / 1e6),
+            prediction_error_ewma: lock(&obs.prediction_error).value(),
+            waits: [waits[0].stats(), waits[1].stats(), waits[2].stats()],
+        }
+    }
+
+    /// The measured [`CostModel`] this service learns into (and admits from).
+    /// Seed it with [`CostModel::record`] to make admission decisions
+    /// deterministic in tests, or inspect it to watch the model converge.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use pagani_core::{CostKey, IntegrationService, PaganiConfig};
+    /// use pagani_device::Device;
+    /// use pagani_quadrature::Tolerances;
+    ///
+    /// let service = IntegrationService::new(
+    ///     Device::test_small(),
+    ///     PaganiConfig::test_small(Tolerances::rel(1e-6)),
+    /// );
+    /// let key = CostKey::new("warmup", 2, Tolerances::rel(1e-6));
+    /// service.cost_model().record(&key, Duration::from_millis(5));
+    /// assert_eq!(service.cost_model().observations(), 1);
+    /// service.shutdown();
+    /// ```
+    #[must_use]
+    pub fn cost_model(&self) -> &Arc<CostModel> {
+        &self.shared.cost_model
     }
 
     /// Enqueue with an optional completion hook (the multi-device dispatcher
@@ -549,8 +946,8 @@ impl IntegrationService {
         self.enqueue(queue, job, on_complete)
     }
 
-    /// Push `job` onto the (already locked) queue, arm its deadline and wake
-    /// a worker.
+    /// Push `job` onto the (already locked) queue, charge its predicted time
+    /// to the outstanding ledger, arm its deadline and wake a worker.
     fn enqueue(
         &self,
         mut queue: MutexGuard<'_, QueueState>,
@@ -560,6 +957,15 @@ impl IntegrationService {
         let state = Arc::new(JobState::new());
         let priority = job.priority();
         let deadline = job.deadline();
+        let predicted = self
+            .shared
+            .cost_model
+            .predict_job(&job, self.shared.config.tolerances);
+        // Whole microseconds in [0, cost_ceiling()] so charge/retire cycles
+        // cancel exactly (see `cost_ceiling`); a cold model charges nothing.
+        let charge_micros = predicted
+            .map(|p| (p.as_secs_f64() * 1e6).round().clamp(0.0, cost_ceiling()))
+            .unwrap_or(0.0);
         let seq = queue.next_seq;
         queue.next_seq += 1;
         queue.jobs.push(QueuedJob {
@@ -567,8 +973,18 @@ impl IntegrationService {
             state: Arc::clone(&state),
             priority,
             seq,
+            enqueued_at: Instant::now(),
+            charge_micros,
+            predicted,
             on_complete,
         });
+        // Charge while still holding the queue lock (lock order: queue →
+        // outstanding) so admission never observes a queued-but-uncharged job.
+        *lock(&self.shared.obs.outstanding_micros) += charge_micros;
+        self.shared
+            .obs
+            .submitted
+            .fetch_add(1, AtomicOrdering::Relaxed);
         drop(queue);
         self.shared.work.notify_one();
         if let Some(deadline) = deadline {
@@ -664,6 +1080,10 @@ fn worker_loop(shared: &ServiceShared) {
         let Some(QueuedJob {
             job,
             state,
+            priority,
+            enqueued_at,
+            charge_micros,
+            predicted,
             on_complete,
             ..
         }) = claimed
@@ -672,6 +1092,7 @@ fn worker_loop(shared: &ServiceShared) {
         };
         // A slot just freed: wake one submitter parked on a bounded queue.
         shared.space.notify_one();
+        lock(&shared.obs.waits)[priority as usize].record(enqueued_at.elapsed());
         // A panicking job must neither kill this worker nor strand its
         // waiters: capture the payload and re-raise it handle-side.  The
         // shared state touched during the unwind is panic-safe — the arena
@@ -680,6 +1101,31 @@ fn worker_loop(shared: &ServiceShared) {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_job(shared, &arena, &job, &state.cancel)
         }));
+        // Retire the admission charge at exactly the value it was charged at
+        // and feed the measurement back — all before the outcome publishes,
+        // so anyone who observed the job as complete also observes its
+        // accounting.
+        *lock(&shared.obs.outstanding_micros) -= charge_micros;
+        shared.obs.completed.fetch_add(1, AtomicOrdering::Relaxed);
+        if let Ok(output) = &outcome {
+            if output.result.termination == Termination::Cancelled {
+                // A cancelled run's partial wall time would bias the model
+                // low: count it, learn nothing from it.
+                shared.obs.cancelled.fetch_add(1, AtomicOrdering::Relaxed);
+            } else {
+                let wall_time = output.result.wall_time;
+                shared
+                    .cost_model
+                    .record_job(&job, shared.config.tolerances, wall_time);
+                if let Some(predicted) = predicted {
+                    let p = predicted.as_secs_f64();
+                    if p > 0.0 {
+                        let error = (wall_time.as_secs_f64() - p).abs() / p;
+                        lock(&shared.obs.prediction_error).observe(error);
+                    }
+                }
+            }
+        }
         // The hook runs before the outcome is published so that anyone who
         // observed the job as complete (via wait/try_result) also observes
         // its side effects — the multi-device dispatcher relies on the job's
@@ -752,6 +1198,15 @@ fn deadline_watcher_loop(shared: &ServiceShared) {
                 break;
             };
             if let Some(state) = entry.state.upgrade() {
+                // A deadline firing on a still-incomplete job is a miss; on a
+                // completed job it is a no-op (cancel-race rule) and counts
+                // for nothing.
+                if lock(&state.slot).is_none() {
+                    shared
+                        .obs
+                        .deadline_misses
+                        .fetch_add(1, AtomicOrdering::Relaxed);
+                }
                 state.cancel.cancel();
                 fired = true;
             }
@@ -969,17 +1424,21 @@ mod tests {
         let refused = service
             .try_submit(BatchJob::new(PaperIntegrand::f4(3)))
             .expect_err("the queue is at its bound");
-        assert_eq!(refused.bound, 2);
+        let Rejected::QueueFull(ref full) = refused else {
+            panic!("expected QueueFull, got {refused:?}");
+        };
+        assert_eq!(full.bound, 2);
+        assert_eq!(service.metrics().rejected_queue_full, 1);
         // The rejected job comes back intact and can be resubmitted once the
         // worker frees a slot.
         release.store(true, Ordering::Release);
         assert!(running.wait().result.converged());
-        let mut job = refused.job;
+        let mut job = refused.into_job();
         let retried = loop {
             match service.try_submit(job) {
                 Ok(handle) => break handle,
                 Err(still_full) => {
-                    job = still_full.job;
+                    job = still_full.into_job();
                     std::thread::yield_now();
                 }
             }

@@ -1,0 +1,96 @@
+//! Admission & observability end to end: the service learns real wall times
+//! into its cost model, refuses a deadline it knows it cannot meet, and
+//! reports everything through a `ServiceMetrics` snapshot.
+//!
+//! ```text
+//! cargo run --release --example service_metrics
+//! ```
+
+use std::time::Duration;
+
+use pagani::prelude::*;
+
+fn print_metrics(label: &str, m: &ServiceMetrics) {
+    println!("{label}:");
+    println!("  queue depth            {}", m.queue_depth);
+    println!(
+        "  submitted / completed  {} / {} ({} cancelled)",
+        m.submitted, m.completed, m.cancelled
+    );
+    println!(
+        "  rejected               {} queue-full, {} deadline-infeasible",
+        m.rejected_queue_full, m.rejected_deadline_infeasible
+    );
+    println!("  deadline misses        {}", m.deadline_misses);
+    println!("  outstanding predicted  {:?}", m.outstanding_predicted);
+    match m.prediction_error_ewma {
+        Some(error) => println!("  prediction error EWMA  {:.1}%", error * 100.0),
+        None => println!("  prediction error EWMA  (no predicted completions yet)"),
+    }
+    for priority in [Priority::High, Priority::Normal, Priority::Low] {
+        let w = m.wait(priority);
+        println!(
+            "  wait[{priority:?}]         count {} p50 {:?} p90 {:?} max {:?}",
+            w.count, w.p50, w.p90, w.max
+        );
+    }
+}
+
+fn main() {
+    let device = Device::new(
+        DeviceConfig::test_small()
+            .with_memory_capacity(32 << 20)
+            .with_worker_threads(2),
+    );
+    let config = PaganiConfig::test_small(Tolerances::rel(1e-4));
+    let service = IntegrationService::new(device, config);
+
+    // --- Train the model on real traffic. ----------------------------------
+    // Each completed, uncancelled job feeds its measured wall time into the
+    // service's cost model, bucketed by (integrand family, dim, digits).
+    let handles: Vec<JobHandle> = (0..8)
+        .map(|i| {
+            let priority = if i % 4 == 0 {
+                Priority::High
+            } else {
+                Priority::Normal
+            };
+            service.submit(BatchJob::new(PaperIntegrand::f4(3)).with_priority(priority))
+        })
+        .collect();
+    for handle in &handles {
+        assert!(handle.wait().result.converged());
+    }
+    println!(
+        "cost model after warm-up: {} observation(s) across {} bucket(s)\n",
+        service.cost_model().observations(),
+        service.cost_model().bucket_count()
+    );
+    print_metrics("after the warm-up traffic", &service.metrics());
+
+    // --- Deadline-aware admission. -----------------------------------------
+    // The model now prices this job family, so an impossible deadline is
+    // refused up front instead of burning a worker on a doomed run.
+    let doomed = BatchJob::new(PaperIntegrand::f4(3)).with_deadline(Duration::from_nanos(1));
+    match service.try_submit(doomed) {
+        Err(Rejected::DeadlineInfeasible(refused)) => println!(
+            "\nadmission refused a 1ns deadline: predicted completion in {:?}",
+            refused.estimated
+        ),
+        Err(Rejected::QueueFull(_)) => unreachable!("the queue is unbounded"),
+        Ok(_) => unreachable!("a trained model cannot promise a 1ns integration"),
+    }
+
+    // A feasible deadline sails through the same gate.
+    let relaxed = service
+        .try_submit(BatchJob::new(PaperIntegrand::f4(3)).with_deadline(Duration::from_secs(60)))
+        .expect("a generous deadline is feasible");
+    assert!(relaxed.wait().result.converged());
+
+    let metrics = service.metrics();
+    print_metrics("\nfinal snapshot", &metrics);
+    assert_eq!(metrics.rejected_deadline_infeasible, 1);
+    assert_eq!(metrics.deadline_misses, 0, "every admitted deadline held");
+    service.shutdown();
+    println!("\nadmission held every promise it made.");
+}

@@ -106,8 +106,9 @@ pub use pagani_quadrature as quadrature;
 pub use pagani_baselines::{IntegratorBuilder, MethodConfig};
 pub use pagani_core::batch::integrate_batch;
 pub use pagani_core::{
-    Capabilities, DispatchMode, IntegrationService, Integrator, IntegratorFactory, JobHandle,
-    MultiDeviceService, Priority, QueueFull, ServicePolicy,
+    Capabilities, CostKey, CostModel, DeadlineInfeasible, DispatchMode, IntegrationService,
+    Integrator, IntegratorFactory, JobHandle, MultiDeviceService, Priority, QueueFull, Rejected,
+    ServiceMetrics, ServicePolicy, WaitStats,
 };
 
 /// The most commonly used types, re-exported for convenience.
@@ -117,10 +118,11 @@ pub mod prelude {
         QmcConfig, TwoPhase, TwoPhaseConfig,
     };
     pub use pagani_core::{
-        integrate_batch, BatchJob, BatchRunner, CancelToken, Capabilities, DispatchMode,
-        HeuristicFiltering, IntegrationService, Integrator, IntegratorFactory, JobHandle,
-        MultiDeviceOutput, MultiDevicePagani, MultiDeviceService, Pagani, PaganiConfig,
-        PaganiOutput, Priority, QueueFull, ScratchArena, ServicePolicy,
+        integrate_batch, BatchJob, BatchRunner, CancelToken, Capabilities, CostKey, CostModel,
+        DispatchMode, HeuristicFiltering, IntegrationService, Integrator, IntegratorFactory,
+        JobHandle, MultiDeviceOutput, MultiDevicePagani, MultiDeviceService, Pagani, PaganiConfig,
+        PaganiOutput, Priority, QueueFull, Rejected, ScratchArena, ServiceMetrics, ServicePolicy,
+        WaitStats,
     };
     pub use pagani_device::{Device, DeviceConfig};
     pub use pagani_integrands::paper::PaperIntegrand;

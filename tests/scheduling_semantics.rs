@@ -9,9 +9,16 @@
 //!   directly, bit for bit;
 //! * cancellation is uniform: whatever the method, a cancelled job reports
 //!   `Termination::Cancelled`;
-//! * `try_submit` refuses with `QueueFull` at exactly the policy bound;
+//! * `try_submit` refuses with `Rejected::QueueFull` at exactly the policy
+//!   bound, and with `Rejected::DeadlineInfeasible` when the measured cost
+//!   model says the deadline cannot be met at the current backlog — the same
+//!   job is accepted at depth 0;
+//! * the cost model's EWMA convergence is a pure fold: deterministic across
+//!   the worker matrix, and feedback never changes integration results;
 //! * a deadline landing mid-run cancels with partial statistics intact;
 //! * priorities reorder claims but never starve a queued job;
+//! * `ServiceMetrics` accounts for all of the above (the `metrics_`-prefixed
+//!   tests are what the CI `service-stress` job asserts on);
 //! * `MultiDeviceService` round-robin placement is pinned (job `i` on device
 //!   `i mod n`) and cost-balanced placement never changes a result.
 
@@ -206,13 +213,260 @@ fn try_submit_refuses_at_exactly_the_bound_across_worker_counts() {
         let refused = service
             .try_submit(BatchJob::new(PaperIntegrand::f4(3)))
             .expect_err("the queue is at its bound");
-        assert_eq!(refused.bound, bound);
+        let Rejected::QueueFull(ref full) = refused else {
+            panic!("workers {workers}: expected QueueFull, got {refused:?}");
+        };
+        assert_eq!(full.bound, bound);
+        assert_eq!(service.metrics().rejected_queue_full, 1);
         release.store(true, Ordering::Release);
         for handle in blockers.iter().chain(&queued) {
             assert!(handle.wait().result.converged(), "workers {workers}");
         }
         service.shutdown();
     }
+}
+
+/// Seed `service`'s cost model so that jobs in `key`'s bucket are predicted
+/// to take exactly `predicted` — admission decisions become deterministic.
+fn seed_model(service: &IntegrationService, key: &CostKey, predicted: Duration) {
+    service.cost_model().record(key, predicted);
+}
+
+#[test]
+fn deadline_infeasible_rejection_depends_on_queue_depth() {
+    for workers in worker_matrix(&[1, 2, 8]) {
+        let probe = || BatchJob::new(PaperIntegrand::f4(3));
+        let key = CostKey::for_job(&probe(), config().tolerances);
+        let predicted = Duration::from_millis(50);
+        // The probe's deadline is 4× its own predicted duration: feasible on
+        // an idle service, infeasible once the backlog alone exceeds it.
+        let deadline = 4 * predicted;
+
+        // Busy service: every worker parked, then 4×workers same-family jobs
+        // queued — outstanding ≥ 4·workers·predicted, so the backlog term is
+        // ≥ 4·predicted whatever the worker count and the probe cannot fit.
+        let busy =
+            IntegrationService::with_workers(device_with_workers(workers), config(), workers);
+        seed_model(&busy, &key, predicted);
+        let started = Arc::new(AtomicUsize::new(0));
+        let release = Arc::new(AtomicBool::new(false));
+        let blockers: Vec<JobHandle> = (0..workers)
+            .map(|_| {
+                busy.submit(BatchJob::new(blocking_integrand(
+                    started.clone(),
+                    release.clone(),
+                )))
+            })
+            .collect();
+        while started.load(Ordering::Acquire) < workers || busy.queued_jobs() > 0 {
+            std::thread::yield_now();
+        }
+        let queued: Vec<JobHandle> = (0..4 * workers).map(|_| busy.submit(probe())).collect();
+        let estimated = busy
+            .estimated_completion(&probe())
+            .expect("a seeded model always predicts");
+        assert!(estimated > deadline, "workers {workers}: backlog too small");
+        let refused = busy
+            .try_submit(probe().with_deadline(deadline))
+            .expect_err("the backlog cannot fit the deadline");
+        let Rejected::DeadlineInfeasible(ref infeasible) = refused else {
+            panic!("workers {workers}: expected DeadlineInfeasible, got {refused:?}");
+        };
+        assert_eq!(infeasible.deadline, deadline);
+        assert!(infeasible.estimated > deadline);
+        assert_eq!(busy.metrics().rejected_deadline_infeasible, 1);
+        // The refused job comes back intact.
+        assert_eq!(refused.job().region().dim(), 3);
+        release.store(true, Ordering::Release);
+        for handle in blockers.iter().chain(&queued) {
+            assert!(handle.wait().result.converged(), "workers {workers}");
+        }
+        busy.shutdown();
+
+        // Idle service, identically seeded: the very same job is accepted at
+        // queue depth 0 — its own predicted duration fits the deadline.
+        let idle =
+            IntegrationService::with_workers(device_with_workers(workers), config(), workers);
+        seed_model(&idle, &key, predicted);
+        let accepted = idle
+            .try_submit(probe().with_deadline(deadline))
+            .unwrap_or_else(|refused| panic!("workers {workers}: idle service refused: {refused}"));
+        let _ = accepted.wait();
+        assert_eq!(idle.metrics().rejected_deadline_infeasible, 0);
+        idle.shutdown();
+    }
+}
+
+#[test]
+fn ewma_cost_convergence_is_deterministic_across_worker_counts() {
+    // The model's per-bucket EWMA is a pure fold: feeding the same
+    // observation sequence yields bit-identical state whether the recording
+    // threads number 1, 2 or 8 — concurrent recording into *distinct*
+    // buckets cannot cross-contaminate.
+    let observations: Vec<Duration> = (0..32)
+        .map(|i| Duration::from_micros(500 + 137 * (i % 7)))
+        .collect();
+    let serial_fold = |key: &CostKey| -> u64 {
+        let model = CostModel::new();
+        for &obs in &observations {
+            model.record(key, obs);
+        }
+        model
+            .bucket(key)
+            .and_then(|e| e.value())
+            .expect("the bucket was observed")
+            .to_bits()
+    };
+    for workers in worker_matrix(&[1, 2, 8]) {
+        let model = CostModel::new();
+        let keys: Vec<CostKey> = (0..workers)
+            .map(|w| CostKey::new(format!("family-{w}"), 3, Tolerances::rel(1e-4)))
+            .collect();
+        std::thread::scope(|scope| {
+            for key in &keys {
+                let model = &model;
+                let observations = &observations;
+                scope.spawn(move || {
+                    for &obs in observations {
+                        model.record(key, obs);
+                    }
+                });
+            }
+        });
+        for key in &keys {
+            let concurrent = model
+                .bucket(key)
+                .and_then(|e| e.value())
+                .expect("every bucket was observed")
+                .to_bits();
+            assert_eq!(
+                concurrent,
+                serial_fold(key),
+                "workers {workers}: bucket {} diverged from the serial fold",
+                key.family
+            );
+        }
+        assert_eq!(model.observations(), (workers as u64) * 32);
+    }
+}
+
+#[test]
+fn cost_model_feedback_never_changes_results() {
+    // A trained model reroutes and re-prices jobs but every job still runs
+    // against an isolated memory view: the result is bit-identical to the
+    // same job on a cold service.
+    let probe = || BatchJob::new(PaperIntegrand::f4(3));
+    let cold = IntegrationService::with_workers(device_with_workers(2), config(), 2);
+    assert_eq!(cold.cost_model().observations(), 0);
+    let cold_bits = cold.submit(probe()).wait().result.estimate.to_bits();
+    cold.shutdown();
+
+    let trained = IntegrationService::with_workers(device_with_workers(2), config(), 2);
+    seed_model(
+        &trained,
+        &CostKey::for_job(&probe(), config().tolerances),
+        Duration::from_millis(25),
+    );
+    // Real completions keep feeding the model while the probes run.
+    for _ in 0..4 {
+        assert!(trained.submit(probe()).wait().result.converged());
+    }
+    assert!(trained.cost_model().observations() >= 5);
+    let trained_bits = trained.submit(probe()).wait().result.estimate.to_bits();
+    trained.shutdown();
+
+    assert_eq!(
+        cold_bits, trained_bits,
+        "cost-model feedback changed an integration result"
+    );
+}
+
+#[test]
+fn metrics_feasible_traffic_has_zero_misses_and_rejects() {
+    // The CI service-stress matrix asserts this shape: generously-deadlined
+    // traffic completes with no deadline misses, no rejections and no
+    // cancellations, and every job's wait is accounted to its priority.
+    for workers in worker_matrix(&[1, 2, 8]) {
+        let service =
+            IntegrationService::with_workers(device_with_workers(workers), config(), workers);
+        let jobs = 6;
+        let handles: Vec<JobHandle> = (0..jobs)
+            .map(|i| {
+                let priority = match i % 3 {
+                    0 => Priority::High,
+                    1 => Priority::Normal,
+                    _ => Priority::Low,
+                };
+                service.submit(
+                    BatchJob::new(PaperIntegrand::f4(3))
+                        .with_priority(priority)
+                        .with_deadline(Duration::from_secs(600)),
+                )
+            })
+            .collect();
+        for handle in &handles {
+            assert!(handle.wait().result.converged(), "workers {workers}");
+        }
+        let metrics = service.metrics();
+        assert_eq!(metrics.queue_depth, 0, "workers {workers}");
+        assert_eq!(metrics.submitted, jobs, "workers {workers}");
+        assert_eq!(metrics.completed, jobs, "workers {workers}");
+        assert_eq!(metrics.cancelled, 0, "workers {workers}");
+        assert_eq!(metrics.rejected(), 0, "workers {workers}");
+        assert_eq!(metrics.deadline_misses, 0, "workers {workers}");
+        let waits: u64 = [Priority::Low, Priority::Normal, Priority::High]
+            .into_iter()
+            .map(|p| metrics.wait(p).count)
+            .sum();
+        assert_eq!(waits, jobs, "workers {workers}");
+        service.shutdown();
+    }
+}
+
+#[test]
+fn metrics_infeasible_deadline_is_rejected_and_counted() {
+    // The deterministic infeasible case the CI service-stress job asserts:
+    // once the model prices a family, a 1ns deadline cannot be promised.
+    let service = IntegrationService::with_workers(device_with_workers(2), config(), 2);
+    let probe = || BatchJob::new(PaperIntegrand::f4(3));
+    seed_model(
+        &service,
+        &CostKey::for_job(&probe(), config().tolerances),
+        Duration::from_millis(50),
+    );
+    let refused = service
+        .try_submit(probe().with_deadline(Duration::from_nanos(1)))
+        .expect_err("a priced family cannot fit a 1ns deadline");
+    assert!(matches!(refused, Rejected::DeadlineInfeasible(_)));
+    let metrics = service.metrics();
+    assert_eq!(metrics.rejected_deadline_infeasible, 1);
+    assert_eq!(metrics.rejected(), 1);
+    assert_eq!(metrics.submitted, 0, "a rejected job was never enqueued");
+    service.shutdown();
+}
+
+#[test]
+fn metrics_mid_run_deadline_miss_is_counted() {
+    // A deadline that fires while its job is still running is a miss — and
+    // the cancelled completion is excluded from the model's learning.
+    let slow = FnIntegrand::new(3, |x: &[f64]| {
+        std::thread::sleep(Duration::from_micros(100));
+        (x[0] * x[1] * x[2]).sin().mul_add(0.1, 1.0)
+    });
+    let tight = PaganiConfig::test_small(Tolerances::rel(1e-12));
+    let service = IntegrationService::with_workers(device_with_workers(1), tight, 1);
+    let handle = service.submit(BatchJob::new(slow).with_deadline(Duration::from_millis(60)));
+    let output = handle.wait();
+    assert_eq!(output.result.termination, Termination::Cancelled);
+    let metrics = service.metrics();
+    assert!(metrics.deadline_misses >= 1, "{metrics:?}");
+    assert_eq!(metrics.cancelled, 1);
+    assert_eq!(
+        service.cost_model().observations(),
+        0,
+        "a cancelled run's partial wall time must not train the model"
+    );
+    service.shutdown();
 }
 
 #[test]
