@@ -1,0 +1,314 @@
+//! Orchestration: walk the workspace, lex and extract facts, run the rules,
+//! match suppressions, and assemble the report.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::facts;
+use crate::json::Value;
+use crate::lexer;
+use crate::minitoml::Allow;
+use crate::rules::{self, AnalyzedFile, Diagnostic, FileClass};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
+
+/// The complete result of one analysis run.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed violations, in (file, line, rule) order.
+    pub violations: Vec<Diagnostic>,
+    /// Suppressed diagnostics with the justification that matched them.
+    pub suppressed: Vec<(Diagnostic, String)>,
+    /// Indices (into the input allowlist) of entries that matched nothing.
+    pub unused_allows: Vec<Allow>,
+    /// Workspace-wide fact counts for the report.
+    pub fact_counts: FactCounts,
+}
+
+/// Aggregate fact counts surfaced in `ANALYZE_report.json`.
+#[derive(Debug, Default)]
+pub struct FactCounts {
+    /// Thread-spawn sites (including allowlisted and test ones).
+    pub spawn_sites: usize,
+    /// `unsafe` blocks/impls/fns.
+    pub unsafe_sites: usize,
+    /// Wall-clock reads.
+    pub time_sites: usize,
+    /// Mutex field declarations.
+    pub mutex_decls: usize,
+    /// `unwrap`/`expect` calls in non-test service-layer code
+    /// (`service.rs`, `multi_device.rs`), as `file:line` strings — the
+    /// panic-surface audit the service workers' catch_unwind must cover.
+    pub service_unwraps: Vec<String>,
+}
+
+impl Analysis {
+    /// Human-readable diagnostics: one `file:line: rule: message` per line,
+    /// followed by a summary.
+    #[must_use]
+    pub fn human_report(&self) -> String {
+        let mut out = String::new();
+        for d in &self.violations {
+            out.push_str(&format!(
+                "{}:{}: {}: {}\n",
+                d.file, d.line, d.rule, d.message
+            ));
+        }
+        for allow in &self.unused_allows {
+            out.push_str(&format!(
+                "rules.toml: warning: unused suppression (rule {}, file {}{}): {}\n",
+                allow.rule,
+                allow.file,
+                allow
+                    .line
+                    .map(|l| format!(", line {l}"))
+                    .unwrap_or_default(),
+                allow.reason
+            ));
+        }
+        out.push_str(&format!(
+            "pagani-analyze: {} file(s), {} violation(s), {} suppressed, {} unused suppression(s)\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressed.len(),
+            self.unused_allows.len()
+        ));
+        out
+    }
+
+    /// The machine-readable report.
+    #[must_use]
+    pub fn to_report(&self) -> Value {
+        let diag_value = |d: &Diagnostic| {
+            Value::obj([
+                ("rule", Value::Str(d.rule.to_string())),
+                ("file", Value::Str(d.file.clone())),
+                ("line", Value::Num(f64::from(d.line))),
+                ("message", Value::Str(d.message.clone())),
+            ])
+        };
+        Value::obj([
+            ("tool", Value::Str("pagani-analyze".to_string())),
+            ("schema_version", Value::Num(1.0)),
+            ("files_scanned", Value::Num(self.files_scanned as f64)),
+            (
+                "violations",
+                Value::Arr(self.violations.iter().map(diag_value).collect()),
+            ),
+            (
+                "suppressed",
+                Value::Arr(
+                    self.suppressed
+                        .iter()
+                        .map(|(d, reason)| {
+                            let mut v = diag_value(d);
+                            if let Value::Obj(map) = &mut v {
+                                map.insert("reason".to_string(), Value::Str(reason.clone()));
+                            }
+                            v
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "unused_allows",
+                Value::Arr(
+                    self.unused_allows
+                        .iter()
+                        .map(|a| {
+                            Value::obj([
+                                ("rule", Value::Str(a.rule.clone())),
+                                ("file", Value::Str(a.file.clone())),
+                                ("reason", Value::Str(a.reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "facts",
+                Value::obj([
+                    (
+                        "spawn_sites",
+                        Value::Num(self.fact_counts.spawn_sites as f64),
+                    ),
+                    (
+                        "unsafe_sites",
+                        Value::Num(self.fact_counts.unsafe_sites as f64),
+                    ),
+                    ("time_sites", Value::Num(self.fact_counts.time_sites as f64)),
+                    (
+                        "mutex_decls",
+                        Value::Num(self.fact_counts.mutex_decls as f64),
+                    ),
+                    (
+                        "service_unwraps",
+                        Value::Arr(
+                            self.fact_counts
+                                .service_unwraps
+                                .iter()
+                                .map(|s| Value::Str(s.clone()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Classify a workspace-relative path for rule applicability.
+fn classify(rel_path: &str) -> FileClass {
+    if rel_path.starts_with("vendor/") {
+        return FileClass::Vendor;
+    }
+    let test_like = rel_path
+        .split('/')
+        .any(|seg| matches!(seg, "tests" | "benches" | "examples"));
+    if test_like {
+        FileClass::TestLike
+    } else {
+        FileClass::Src
+    }
+}
+
+/// Recursively collect `.rs` files under `root`, sorted for determinism.
+fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Analyze the workspace rooted at `root` against `allows`.
+///
+/// # Errors
+/// Propagates I/O errors from the directory walk or file reads.
+pub fn analyze(root: &Path, allows: &[Allow]) -> io::Result<Analysis> {
+    let paths = collect_rs_files(root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = std::fs::read_to_string(path)?;
+        let rel_path = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let lexed = lexer::lex(&text);
+        let facts = facts::extract(&lexed);
+        files.push(AnalyzedFile {
+            class: classify(&rel_path),
+            lines: text.lines().map(str::to_string).collect(),
+            facts,
+            rel_path,
+        });
+    }
+
+    let candidates = rules::check_all(&files);
+
+    // Suppression matching.
+    let source_line = |file: &str, line: u32| -> Option<&str> {
+        files
+            .iter()
+            .find(|f| f.rel_path == file)
+            .and_then(|f| f.lines.get((line as usize).saturating_sub(1)))
+            .map(String::as_str)
+    };
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    let mut violations = Vec::new();
+    let mut suppressed = Vec::new();
+    for diag in candidates {
+        let matched = allows.iter().enumerate().find(|(_, a)| {
+            a.rule == diag.rule
+                && diag.file.ends_with(&a.file)
+                && a.line.is_none_or(|l| l == diag.line)
+                && a.pattern.as_ref().is_none_or(|p| {
+                    source_line(&diag.file, diag.line).is_some_and(|text| text.contains(p))
+                })
+        });
+        match matched {
+            Some((idx, allow)) => {
+                used.insert(idx);
+                suppressed.push((diag, allow.reason.clone()));
+            }
+            None => violations.push(diag),
+        }
+    }
+    let unused_allows = allows
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !used.contains(i))
+        .map(|(_, a)| a.clone())
+        .collect();
+
+    let mut fact_counts = FactCounts::default();
+    for file in &files {
+        fact_counts.spawn_sites += file.facts.spawns.len();
+        fact_counts.unsafe_sites += file.facts.unsafe_sites.len();
+        fact_counts.time_sites += file.facts.time_sites.len();
+        fact_counts.mutex_decls += file.facts.mutex_decls.len();
+        if file.rel_path.ends_with("core/src/service.rs")
+            || file.rel_path.ends_with("core/src/multi_device.rs")
+        {
+            for &line in &file.facts.unwrap_sites {
+                fact_counts
+                    .service_unwraps
+                    .push(format!("{}:{line}", file.rel_path));
+            }
+        }
+    }
+
+    Ok(Analysis {
+        files_scanned: files.len(),
+        violations,
+        suppressed,
+        unused_allows,
+        fact_counts,
+    })
+}
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

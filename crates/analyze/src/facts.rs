@@ -1,0 +1,919 @@
+//! Per-file fact extraction from the token stream.
+//!
+//! The extractor walks a file's code tokens once and records the raw material
+//! the rules in [`crate::rules`] check: mutex declarations and acquisition
+//! sequences (with heuristic guard-lifetime tracking), thread-spawn sites,
+//! float compound-assignments inside `launch*` closures, wall-clock reads,
+//! `unsafe` sites, `static mut` / `process::exit` uses, and `unwrap`/`expect`
+//! call sites.  Everything is line-anchored so diagnostics and suppressions
+//! line up with the source.
+//!
+//! # Precision model
+//!
+//! This is a lexical analyzer, not a type checker.  Guard lifetimes are
+//! approximated: a `let`-bound guard is held until an explicit `drop(guard)`,
+//! the end of its block, or the end of the function; a guard that is never
+//! bound (`lock(&x).field`, `drop(lock(&x))`) is held to the end of its
+//! statement.  Condvar waits (`cv.wait(guard)`) keep the guard held, which
+//! matches both `std` and the vendored `parking_lot`.  The approximation errs
+//! toward *longer* holds, so lock-order edges are a superset of the real
+//! nesting — sound for deadlock detection, with `rules.toml` absorbing any
+//! intentional exceptions.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// A mutex-typed field declaration (`field: Mutex<Inner>` or
+/// `field: Arc<Mutex<Inner>>`).
+#[derive(Debug, Clone)]
+pub struct MutexDecl {
+    /// Field name, the analyzer's lock identity within a file.
+    pub field: String,
+    /// First identifier of the guarded type (`QueueState`, `f64`, ...), used
+    /// to resolve `MutexGuard<'_, Inner>` function parameters back to fields.
+    pub inner_type: String,
+    /// 1-based declaration line.
+    pub line: u32,
+}
+
+/// One lock-acquired-while-holding-another observation.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Field name of the lock already held.
+    pub held: String,
+    /// Field name of the lock being acquired under it.
+    pub acquired: String,
+    /// Line of the inner acquisition.
+    pub line: u32,
+}
+
+/// A function call made while at least one lock is held (fuel for the
+/// one-level interprocedural propagation in rule R1).
+#[derive(Debug, Clone)]
+pub struct HeldCall {
+    /// Fields of the locks held at the call site.
+    pub held: Vec<String>,
+    /// Callee name as written (`notify_waiters`, `arm_deadline`, ...).
+    pub callee: String,
+    /// Call-site line.
+    pub line: u32,
+}
+
+/// Per-function lock facts.
+#[derive(Debug, Clone, Default)]
+pub struct FnFacts {
+    /// Function name as written.
+    pub name: String,
+    /// Fields of every lock acquired directly inside the body.
+    pub locks: Vec<String>,
+    /// Lock-order edges observed inside the body.
+    pub edges: Vec<LockEdge>,
+    /// Calls made while holding at least one lock.
+    pub held_calls: Vec<HeldCall>,
+    /// Every call made anywhere in the body (fuel for the transitive
+    /// lock-set computation in rule R1).
+    pub calls: Vec<String>,
+}
+
+/// What produced a thread-spawn site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpawnKind {
+    /// `thread::spawn(...)` / `std::thread::spawn(...)`.
+    Direct,
+    /// Any `.spawn(...)` method call: `Builder::new().spawn`, `scope.spawn`.
+    Method,
+}
+
+/// A thread-spawn site.
+#[derive(Debug, Clone)]
+pub struct SpawnSite {
+    /// 1-based line.
+    pub line: u32,
+    /// How the spawn was written.
+    pub kind: SpawnKind,
+    /// Whether the site is inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+/// A wall-clock read (`Instant::now` or any `SystemTime` use).
+#[derive(Debug, Clone)]
+pub struct TimeSite {
+    /// 1-based line.
+    pub line: u32,
+    /// The construct observed (`Instant::now` or `SystemTime`).
+    pub what: &'static str,
+    /// Whether the site is inside test code.
+    pub in_test: bool,
+}
+
+/// The syntactic form an `unsafe` keyword introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeForm {
+    /// `unsafe { ... }`.
+    Block,
+    /// `unsafe impl ... {}`.
+    Impl,
+    /// `unsafe fn name(...)` definition.
+    FnDef,
+    /// `unsafe trait ...`.
+    Trait,
+}
+
+/// An `unsafe` site subject to rule R5.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// Which form of `unsafe` this is.
+    pub form: UnsafeForm,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileFacts {
+    /// Mutex-typed field declarations.
+    pub mutex_decls: Vec<MutexDecl>,
+    /// Per-function lock facts.
+    pub functions: Vec<FnFacts>,
+    /// Thread-spawn sites.
+    pub spawns: Vec<SpawnSite>,
+    /// Compound float assignments (`+=`/`-=`) inside `launch*` argument spans.
+    pub launch_accums: Vec<(u32, String)>,
+    /// Wall-clock reads.
+    pub time_sites: Vec<TimeSite>,
+    /// `unsafe` sites.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// `static mut` declarations.
+    pub static_muts: Vec<u32>,
+    /// `process::exit` calls.
+    pub process_exits: Vec<u32>,
+    /// `.unwrap()` / `.expect(` sites outside test code.
+    pub unwrap_sites: Vec<u32>,
+}
+
+/// Type names that never identify a unique lock (generic containers); their
+/// `MutexGuard` parameters are left unresolved.
+const GENERIC_TYPES: &[&str] = &["Option", "Vec", "VecDeque", "BTreeMap", "HashMap", "Box"];
+
+/// Extract all facts from one lexed file.
+pub fn extract(lexed: &Lexed) -> FileFacts {
+    let tokens = &lexed.tokens;
+    let mut facts = FileFacts::default();
+    let in_test = test_spans(tokens);
+
+    scan_decls(tokens, &mut facts);
+    scan_simple_sites(tokens, &in_test, &mut facts);
+    scan_launch_accums(tokens, &mut facts);
+
+    for (name, sig, body) in function_spans(tokens) {
+        if name == "lock" {
+            // The one-line poisoning helper every crate carries; its body is
+            // `mutex.lock().unwrap_or_else(...)` on a generic parameter, which
+            // is not an acquisition of any *particular* lock.
+            continue;
+        }
+        let guard_params = signature_guards(&tokens[sig.clone()]);
+        facts
+            .functions
+            .push(scan_function(&tokens[body], name, guard_params));
+    }
+    facts
+}
+
+/// Identify `#[cfg(test)]` / `#[test]` token spans; returns one flag per token.
+fn test_spans(tokens: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_punct(tokens, i, "#") && is_punct(tokens, i + 1, "[") {
+            // Find the matching `]`, checking for a `test` marker inside.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut is_test_attr = false;
+            while j < tokens.len() {
+                match &tokens[j].kind {
+                    TokenKind::Punct(p) if p == "[" => depth += 1,
+                    TokenKind::Punct(p) if p == "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenKind::Ident(id) if id == "test" => is_test_attr = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_test_attr {
+                // Mark everything through the end of the annotated item's body.
+                if let Some(open) = (j..tokens.len()).find(|&k| is_punct(tokens, k, "{")) {
+                    let close = matching_brace(tokens, open);
+                    for flag in flags.iter_mut().take(close + 1).skip(i) {
+                        *flag = true;
+                    }
+                    // Continue scanning *inside* as well (nested attributes are
+                    // already marked), resume after the attribute itself.
+                }
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, token) in tokens.iter().enumerate().skip(open) {
+        match &token.kind {
+            TokenKind::Punct(p) if p == "{" => depth += 1,
+            TokenKind::Punct(p) if p == "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len() - 1
+}
+
+fn is_punct(tokens: &[Token], i: usize, p: &str) -> bool {
+    matches!(tokens.get(i), Some(Token { kind: TokenKind::Punct(q), .. }) if q == p)
+}
+
+fn is_ident(tokens: &[Token], i: usize, id: &str) -> bool {
+    matches!(tokens.get(i), Some(Token { kind: TokenKind::Ident(q), .. }) if q == id)
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(id)) => Some(id),
+        _ => None,
+    }
+}
+
+/// Record `field: Mutex<Inner>` / `field: Arc<Mutex<Inner>>` declarations.
+fn scan_decls(tokens: &[Token], facts: &mut FileFacts) {
+    for i in 0..tokens.len() {
+        if !is_ident(tokens, i, "Mutex") || !is_punct(tokens, i + 1, "<") {
+            continue;
+        }
+        // `Mutex::new` etc. are uses, not declarations; require `: Mutex<` or
+        // `: Arc<Mutex<` with a field identifier before the colon.
+        let colon = if is_punct(tokens, i.wrapping_sub(1), ":") {
+            i - 1
+        } else if is_punct(tokens, i.wrapping_sub(1), "<")
+            && is_ident(tokens, i.wrapping_sub(2), "Arc")
+            && is_punct(tokens, i.wrapping_sub(3), ":")
+        {
+            i - 3
+        } else {
+            continue;
+        };
+        let Some(field) = colon.checked_sub(1).and_then(|k| ident_at(tokens, k)) else {
+            continue;
+        };
+        let Some(inner) = ident_at(tokens, i + 2) else {
+            continue;
+        };
+        facts.mutex_decls.push(MutexDecl {
+            field: field.to_string(),
+            inner_type: inner.to_string(),
+            line: tokens[i].line,
+        });
+    }
+}
+
+/// Record spawn / time / unsafe / static-mut / exit / unwrap sites.
+fn scan_simple_sites(tokens: &[Token], in_test: &[bool], facts: &mut FileFacts) {
+    for i in 0..tokens.len() {
+        let line = tokens[i].line;
+        match &tokens[i].kind {
+            TokenKind::Ident(id) => match id.as_str() {
+                "thread" if is_punct(tokens, i + 1, "::") && is_ident(tokens, i + 2, "spawn") => {
+                    facts.spawns.push(SpawnSite {
+                        line,
+                        kind: SpawnKind::Direct,
+                        in_test: in_test[i],
+                    });
+                }
+                "Instant" if is_punct(tokens, i + 1, "::") && is_ident(tokens, i + 2, "now") => {
+                    facts.time_sites.push(TimeSite {
+                        line,
+                        what: "Instant::now",
+                        in_test: in_test[i],
+                    });
+                }
+                "SystemTime" => {
+                    facts.time_sites.push(TimeSite {
+                        line,
+                        what: "SystemTime",
+                        in_test: in_test[i],
+                    });
+                }
+                "unsafe" => {
+                    let form = if is_punct(tokens, i + 1, "{") {
+                        Some(UnsafeForm::Block)
+                    } else if is_ident(tokens, i + 1, "impl") {
+                        Some(UnsafeForm::Impl)
+                    } else if is_ident(tokens, i + 1, "trait") {
+                        Some(UnsafeForm::Trait)
+                    } else if is_ident(tokens, i + 1, "fn") {
+                        // `unsafe fn name(...)` is a definition; `unsafe
+                        // fn(...)` in type position has no name and needs no
+                        // SAFETY narrative of its own.
+                        ident_at(tokens, i + 2).map(|_| UnsafeForm::FnDef)
+                    } else {
+                        None
+                    };
+                    if let Some(form) = form {
+                        facts.unsafe_sites.push(UnsafeSite { line, form });
+                    }
+                }
+                "static" if is_ident(tokens, i + 1, "mut") => facts.static_muts.push(line),
+                "process" if is_punct(tokens, i + 1, "::") && is_ident(tokens, i + 2, "exit") => {
+                    facts.process_exits.push(line);
+                }
+                _ => {}
+            },
+            TokenKind::Punct(p) if p == "." => {
+                if is_ident(tokens, i + 1, "spawn") && is_punct(tokens, i + 2, "(") {
+                    facts.spawns.push(SpawnSite {
+                        line: tokens[i + 1].line,
+                        kind: SpawnKind::Method,
+                        in_test: in_test[i],
+                    });
+                }
+                if (is_ident(tokens, i + 1, "unwrap") || is_ident(tokens, i + 1, "expect"))
+                    && is_punct(tokens, i + 2, "(")
+                    && !in_test[i]
+                {
+                    facts.unwrap_sites.push(tokens[i + 1].line);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Flag `+=` / `-=` on *captured* variables inside `.launch*(...)` spans.
+///
+/// A closure-local accumulator (`let mut sum = 0.0;` inside the closure,
+/// returned as the block's partial and combined in block order on the host)
+/// is the blessed deterministic form; accumulating into state captured from
+/// outside the closure is the order-dependent pattern rule R3 forbids.
+fn scan_launch_accums(tokens: &[Token], facts: &mut FileFacts) {
+    for i in 0..tokens.len() {
+        if !is_punct(tokens, i, ".") {
+            continue;
+        }
+        let Some(name) = ident_at(tokens, i + 1) else {
+            continue;
+        };
+        if !matches!(name, "launch" | "launch_with" | "launch_map") || !is_punct(tokens, i + 2, "(")
+        {
+            continue;
+        }
+        let end = skip_parens(tokens, i + 2);
+        let span = &tokens[i + 2..end];
+        // Names declared inside the span: `let` bindings and closure params.
+        let mut local: Vec<&str> = Vec::new();
+        let mut k = 0;
+        while k < span.len() {
+            if is_ident(span, k, "let") {
+                let mut j = k + 1;
+                if is_ident(span, j, "mut") {
+                    j += 1;
+                }
+                if let Some(id) = ident_at(span, j) {
+                    local.push(id);
+                }
+            }
+            if is_punct(span, k, "|") {
+                // Closure parameter list: idents up to the closing `|`.
+                let mut j = k + 1;
+                while j < span.len() && !is_punct(span, j, "|") {
+                    if let Some(id) = ident_at(span, j) {
+                        local.push(id);
+                    }
+                    j += 1;
+                }
+                k = j;
+            }
+            k += 1;
+        }
+        for (k, token) in span.iter().enumerate() {
+            let TokenKind::Punct(p) = &token.kind else {
+                continue;
+            };
+            if p != "+=" && p != "-=" {
+                continue;
+            }
+            // Assignment target: the ident just before, or — for an indexed
+            // target like `out[i] +=` — the ident before the `[`.
+            let target = match k.checked_sub(1) {
+                Some(prev) if is_punct(span, prev, "]") => {
+                    let mut depth = 0i32;
+                    let mut b = prev;
+                    loop {
+                        match &span[b].kind {
+                            TokenKind::Punct(q) if q == "]" => depth += 1,
+                            TokenKind::Punct(q) if q == "[" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        if b == 0 {
+                            break;
+                        }
+                        b -= 1;
+                    }
+                    b.checked_sub(1).and_then(|j| ident_at(span, j))
+                }
+                Some(prev) => ident_at(span, prev),
+                None => None,
+            };
+            if target.is_none_or(|t| !local.contains(&t)) {
+                facts.launch_accums.push((token.line, p.clone()));
+            }
+        }
+    }
+}
+
+/// Locate every `fn name ... { body }`; yields `(name, signature_span,
+/// body_span)` with token-index ranges.
+fn function_spans(
+    tokens: &[Token],
+) -> Vec<(String, std::ops::Range<usize>, std::ops::Range<usize>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !is_ident(tokens, i, "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = ident_at(tokens, i + 1) else {
+            i += 1;
+            continue;
+        };
+        // Walk the signature to the body `{`, or to `;` for a bodyless decl.
+        let mut paren = 0i32;
+        let mut j = i + 2;
+        let mut body_open = None;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                TokenKind::Punct(p) if p == "(" || p == "[" => paren += 1,
+                TokenKind::Punct(p) if p == ")" || p == "]" => paren -= 1,
+                TokenKind::Punct(p) if p == "{" && paren == 0 => {
+                    body_open = Some(j);
+                    break;
+                }
+                TokenKind::Punct(p) if p == ";" && paren == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else {
+            i = j + 1;
+            continue;
+        };
+        let close = matching_brace(tokens, open);
+        out.push((name.to_string(), i + 2..open, open..close + 1));
+        // Continue scanning from inside the body so nested fns are found too.
+        i = open + 1;
+    }
+    out
+}
+
+/// Parse `name: MutexGuard<'_, Inner>` parameters out of a signature span;
+/// the function body starts with those locks already held.
+fn signature_guards(sig: &[Token]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for i in 0..sig.len() {
+        if !is_ident(sig, i, "MutexGuard") {
+            continue;
+        }
+        // Walk back over `:` (and `mut`) to the parameter name.
+        let mut back = i;
+        while back > 0 && !is_punct(sig, back, ":") {
+            back -= 1;
+        }
+        let mut name_idx = back.wrapping_sub(1);
+        if is_ident(sig, name_idx, "mut") {
+            name_idx = name_idx.wrapping_sub(1);
+        }
+        let Some(param) = ident_at(sig, name_idx) else {
+            continue;
+        };
+        // Forward past `<`, the lifetime, `,` to the inner type.
+        let mut k = i + 1;
+        let mut inner = None;
+        while k < sig.len() && !is_punct(sig, k, ">") {
+            if let Some(id) = ident_at(sig, k) {
+                inner = Some(id.to_string());
+                break;
+            }
+            k += 1;
+        }
+        if let Some(inner) = inner {
+            if !GENERIC_TYPES.contains(&inner.as_str()) {
+                out.push((param.to_string(), inner));
+            }
+        }
+    }
+    out
+}
+
+/// A lock currently held during the body walk.
+struct Held {
+    field: String,
+    guard: Option<String>,
+    depth: i32,
+    temp: bool,
+}
+
+/// Walk one function body, tracking held locks and recording acquisition
+/// edges plus calls made while holding.
+fn scan_function(body: &[Token], name: String, guard_params: Vec<(String, String)>) -> FnFacts {
+    let mut facts = FnFacts {
+        name,
+        ..FnFacts::default()
+    };
+    // Guards received as parameters are held for the whole body; the engine
+    // resolves their inner type to a lock field before running R1, so they
+    // are carried with a `type:` prefix here.
+    let mut held: Vec<Held> = guard_params
+        .into_iter()
+        .map(|(param, inner)| Held {
+            field: format!("type:{inner}"),
+            guard: Some(param),
+            depth: 0,
+            temp: false,
+        })
+        .collect();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < body.len() {
+        let line = body[i].line;
+        match &body[i].kind {
+            TokenKind::Punct(p) if p == "{" => depth += 1,
+            TokenKind::Punct(p) if p == "}" => {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth);
+            }
+            TokenKind::Punct(p) if p == ";" => {
+                held.retain(|h| !(h.temp && h.depth >= depth));
+            }
+            _ => {}
+        }
+        // `drop(guard)` releases a named guard.
+        if is_ident(body, i, "drop") && is_punct(body, i + 1, "(") {
+            if let Some(g) = ident_at(body, i + 2) {
+                if is_punct(body, i + 3, ")") {
+                    held.retain(|h| h.guard.as_deref() != Some(g));
+                }
+            }
+        }
+        if let Some((field, after)) = acquisition_at(body, i) {
+            // Skip guard-preserving adapters (`.lock().unwrap()`), then check
+            // whether the guard is consumed inside the expression: a further
+            // method chain (`lock(&x).observations`) means the guard is a
+            // temporary however the statement is bound.
+            let mut after = after;
+            while is_punct(body, after, ".")
+                && matches!(
+                    ident_at(body, after + 1),
+                    Some("unwrap" | "expect" | "unwrap_or_else")
+                )
+                && is_punct(body, after + 2, "(")
+            {
+                after = skip_parens(body, after + 2);
+            }
+            let chained = is_punct(body, after, ".");
+            let guard = if chained { None } else { let_binding(body, i) };
+            for h in &held {
+                if h.field != field {
+                    facts.edges.push(LockEdge {
+                        held: h.field.clone(),
+                        acquired: field.clone(),
+                        line,
+                    });
+                }
+            }
+            facts.locks.push(field.clone());
+            held.push(Held {
+                temp: guard.is_none(),
+                field,
+                guard,
+                depth,
+            });
+            i = after;
+            continue;
+        }
+        if let Some(callee) = call_at(body, i) {
+            if !held.is_empty() {
+                facts.held_calls.push(HeldCall {
+                    held: held.iter().map(|h| h.field.clone()).collect(),
+                    callee: callee.clone(),
+                    line,
+                });
+            }
+            facts.calls.push(callee);
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// Detect a lock acquisition starting at token `i`; returns the lock's field
+/// name and the index to resume scanning from.
+fn acquisition_at(body: &[Token], i: usize) -> Option<(String, usize)> {
+    // Helper style: `lock(&path.to.field)`, not preceded by `.`.
+    if is_ident(body, i, "lock")
+        && is_punct(body, i + 1, "(")
+        && is_punct(body, i + 2, "&")
+        && !(i > 0 && is_punct(body, i - 1, "."))
+    {
+        let mut depth = 0i32;
+        let mut last_ident = None;
+        let mut k = i + 1;
+        while k < body.len() {
+            match &body[k].kind {
+                TokenKind::Punct(p) if p == "(" => depth += 1,
+                TokenKind::Punct(p) if p == ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Ident(id) => last_ident = Some(id.clone()),
+                _ => {}
+            }
+            k += 1;
+        }
+        return last_ident.map(|f| (f, k + 1));
+    }
+    // Method style: `expr.field.lock()`.
+    if is_punct(body, i, ".")
+        && is_ident(body, i + 1, "lock")
+        && is_punct(body, i + 2, "(")
+        && is_punct(body, i + 3, ")")
+    {
+        if let Some(field) = i.checked_sub(1).and_then(|k| ident_at(body, k)) {
+            return Some((field.to_string(), i + 4));
+        }
+    }
+    None
+}
+
+/// If the statement containing token `i` is a `let <name> = ...` binding,
+/// return the bound name.
+fn let_binding(body: &[Token], i: usize) -> Option<String> {
+    // Scan back to the start of the statement.
+    let mut s = i;
+    while s > 0 {
+        if let TokenKind::Punct(p) = &body[s - 1].kind {
+            if p == ";" || p == "{" || p == "}" {
+                break;
+            }
+        }
+        s -= 1;
+    }
+    if !is_ident(body, s, "let") {
+        return None;
+    }
+    let mut k = s + 1;
+    if is_ident(body, k, "mut") {
+        k += 1;
+    }
+    let name = ident_at(body, k)?;
+    if !is_punct(body, k + 1, "=") {
+        return None;
+    }
+    // `let x = *lock(&y);` copies the guarded value and releases immediately;
+    // the binding is a value, not a guard.
+    if is_punct(body, k + 2, "*") {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Index just past the `)` matching the `(` at `open`.
+fn skip_parens(body: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < body.len() {
+        match &body[k].kind {
+            TokenKind::Punct(p) if p == "(" => depth += 1,
+            TokenKind::Punct(p) if p == ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Detect a plain call at token `i`: `name(...)` or `.name(...)`.
+fn call_at(body: &[Token], i: usize) -> Option<String> {
+    if is_punct(body, i, ".") {
+        let name = ident_at(body, i + 1)?;
+        return is_punct(body, i + 2, "(").then(|| name.to_string());
+    }
+    if let Some(name) = ident_at(body, i) {
+        // Exclude macro invocations (`name!(...)`) and method calls already
+        // handled via the `.` arm (the previous token would be `.`).
+        if is_punct(body, i + 1, "(") && !(i > 0 && is_punct(body, i - 1, ".")) {
+            return Some(name.to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn facts_of(src: &str) -> FileFacts {
+        extract(&lex(src))
+    }
+
+    #[test]
+    fn nested_lock_produces_an_edge() {
+        let f = facts_of(
+            "fn f(&self) { let a = lock(&self.queue); let b = lock(&self.deadlines); drop(a); }",
+        );
+        let edges = &f.functions[0].edges;
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].held, "queue");
+        assert_eq!(edges[0].acquired, "deadlines");
+    }
+
+    #[test]
+    fn dropped_guard_stops_producing_edges() {
+        let f = facts_of(
+            "fn f(&self) { let a = lock(&self.queue); drop(a); let b = lock(&self.deadlines); }",
+        );
+        assert!(f.functions[0].edges.is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_releases_at_statement_end() {
+        let f = facts_of("fn f(&self) { *lock(&self.counter) += 1; let b = lock(&self.other); }");
+        assert!(
+            f.functions[0].edges.is_empty(),
+            "{:?}",
+            f.functions[0].edges
+        );
+    }
+
+    #[test]
+    fn deref_copy_binding_is_a_temporary() {
+        // `let x = *lock(&y);` copies the value out; the guard dies with the
+        // statement, so no edge to a later acquisition.
+        let f =
+            facts_of("fn f(&self) { let x = *lock(&self.counter); let w = lock(&self.waits); }");
+        assert!(
+            f.functions[0].edges.is_empty(),
+            "{:?}",
+            f.functions[0].edges
+        );
+    }
+
+    #[test]
+    fn chained_method_consumes_the_guard() {
+        let f = facts_of(
+            "fn f(&self) { let n = lock(&self.state).observations; let w = lock(&self.waits); }",
+        );
+        assert!(
+            f.functions[0].edges.is_empty(),
+            "{:?}",
+            f.functions[0].edges
+        );
+    }
+
+    #[test]
+    fn lock_unwrap_still_binds_the_guard() {
+        let f = facts_of(
+            "fn f(&self) { let g = self.records.lock().unwrap(); let w = lock(&self.waits); }",
+        );
+        let edges = &f.functions[0].edges;
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].held, "records");
+    }
+
+    #[test]
+    fn method_lock_is_detected() {
+        let f = facts_of("fn f(&self) { let g = self.records.lock(); self.free.lock(); }");
+        let edges = &f.functions[0].edges;
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].held, "records");
+        assert_eq!(edges[0].acquired, "free");
+    }
+
+    #[test]
+    fn guard_param_counts_as_held() {
+        let f = facts_of(
+            "fn f(&self, mut queue: MutexGuard<'_, QueueState>) { let d = lock(&self.deadlines); }",
+        );
+        let edges = &f.functions[0].edges;
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].held, "type:QueueState");
+    }
+
+    #[test]
+    fn block_scoped_guard_releases_at_block_end() {
+        let f = facts_of(
+            "fn f(&self) { { let a = lock(&self.queue); } let b = lock(&self.deadlines); }",
+        );
+        assert!(f.functions[0].edges.is_empty());
+    }
+
+    #[test]
+    fn spawn_and_test_attribution() {
+        let f = facts_of(
+            "fn prod() { std::thread::spawn(|| {}); }\n\
+             #[cfg(test)] mod tests { fn t() { std::thread::spawn(|| {}); } }",
+        );
+        assert_eq!(f.spawns.len(), 2);
+        assert!(!f.spawns[0].in_test);
+        assert!(f.spawns[1].in_test);
+    }
+
+    #[test]
+    fn launch_accumulation_is_flagged() {
+        let f = facts_of("fn f(d: &Device) { d.launch_map(\"k\", n, |ctx| { acc += x; }); }");
+        assert_eq!(f.launch_accums.len(), 1);
+    }
+
+    #[test]
+    fn accumulation_outside_launch_is_not_flagged() {
+        let f = facts_of("fn f() { total += 1.0; }");
+        assert!(f.launch_accums.is_empty());
+    }
+
+    #[test]
+    fn closure_local_accumulator_is_the_blessed_form() {
+        let f = facts_of(
+            "fn f(d: &Device) { d.launch_map(\"k\", n, |ctx| { \
+                 let mut sum = 0.0; sum += x; sum }); }",
+        );
+        assert!(f.launch_accums.is_empty());
+    }
+
+    #[test]
+    fn closure_param_accumulator_is_not_flagged() {
+        let f = facts_of("fn f(d: &Device) { d.launch(\"k\", n, |acc, x| { acc += x; }); }");
+        assert!(f.launch_accums.is_empty());
+    }
+
+    #[test]
+    fn indexed_captured_accumulation_is_flagged() {
+        let f = facts_of("fn f(d: &Device) { d.launch_map(\"k\", n, |ctx| { out[i] += x; }); }");
+        assert_eq!(f.launch_accums.len(), 1);
+    }
+
+    #[test]
+    fn mutex_decls_resolve_fields_and_inner_types() {
+        let f = facts_of("struct S { queue: Mutex<QueueState>, n: Arc<Mutex<f64>> }");
+        assert_eq!(f.mutex_decls.len(), 2);
+        assert_eq!(f.mutex_decls[0].field, "queue");
+        assert_eq!(f.mutex_decls[0].inner_type, "QueueState");
+        assert_eq!(f.mutex_decls[1].field, "n");
+    }
+
+    #[test]
+    fn unsafe_forms_are_classified() {
+        let f = facts_of(
+            "unsafe impl Send for X {}\n\
+             unsafe fn g(p: *const ()) {}\n\
+             fn h(x: unsafe fn(*const ())) {}\n\
+             fn i() { unsafe { core(); } }",
+        );
+        let forms: Vec<_> = f.unsafe_sites.iter().map(|u| u.form).collect();
+        assert_eq!(
+            forms,
+            vec![UnsafeForm::Impl, UnsafeForm::FnDef, UnsafeForm::Block]
+        );
+    }
+
+    #[test]
+    fn held_calls_record_the_held_set() {
+        let f = facts_of("fn f(&self) { let q = lock(&self.queue); self.arm_deadline(1); }");
+        let calls = &f.functions[0].held_calls;
+        assert!(calls
+            .iter()
+            .any(|c| c.callee == "arm_deadline" && c.held == ["queue"]));
+    }
+}

@@ -1,0 +1,385 @@
+//! A minimal, comment- and string-aware Rust lexer.
+//!
+//! The offline build environment forbids `syn`/`proc-macro2`, so the analyzer
+//! tokenizes source by hand.  The lexer only needs to be faithful enough for
+//! fact extraction: it must never mistake the *contents* of a string literal,
+//! raw string, char literal or comment for code (otherwise a doc example
+//! mentioning `thread::spawn` would trip rule R2), and it must keep line
+//! numbers exact so diagnostics and suppressions anchor correctly.
+//!
+//! Comments are not discarded: rule R5 (`// SAFETY:` audit) needs them, so
+//! they are collected separately from the code token stream.
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is (and its text, where relevant).
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// The kinds of code tokens the fact extractor distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `state`, ...).
+    Ident(String),
+    /// An operator or delimiter, greedily grouped (`::`, `+=`, `->`, `{`).
+    Punct(String),
+    /// Any literal: string, raw string, byte string, char, or number.
+    /// The payload is discarded — literal contents are never code.
+    Literal,
+    /// A lifetime such as `'a` (kept distinct so it is not a char literal).
+    Lifetime,
+}
+
+/// A comment, collected outside the code token stream for rule R5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text including its delimiters (`// ...` or `/* ... */`).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The output of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order, comments stripped.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators recognized as single [`TokenKind::Punct`] tokens,
+/// longest first so greedy matching picks the full operator.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Tokenize `source`, separating code tokens from comments.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: source[start..i.min(source.len())].to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            }
+            b'r' | b'b' if raw_string_start(bytes, i).is_some() => {
+                let (body_start, hashes) = raw_string_start(bytes, i).expect("checked above");
+                let start_line = line;
+                i = skip_raw_string(bytes, body_start, hashes, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                i = skip_char(bytes, i + 1, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                i = skip_string(bytes, i + 1, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            }
+            b'\'' => {
+                // Disambiguate char literal from lifetime: a lifetime is `'`
+                // followed by an identifier NOT closed by another `'`.
+                if is_lifetime(bytes, i) {
+                    let mut j = i + 1;
+                    while j < bytes.len() && is_ident_continue(bytes[j]) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        line,
+                    });
+                    i = j;
+                } else {
+                    i = skip_char(bytes, i, &mut line);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (is_ident_continue(bytes[j])
+                        || bytes[j] == b'.' && bytes.get(j + 1) != Some(&b'.'))
+                {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(source[start..j].to_string()),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                let rest = &source[i..];
+                let op = OPERATORS
+                    .iter()
+                    .find(|op| rest.starts_with(**op))
+                    .copied()
+                    .unwrap_or(&source[i..i + 1]);
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(op.to_string()),
+                    line,
+                });
+                i += op.len();
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// True when the `'` at `i` begins a lifetime rather than a char literal.
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let Some(&next) = bytes.get(i + 1) else {
+        return false;
+    };
+    if !is_ident_start(next) {
+        return false;
+    }
+    // `'a'` is a char literal; `'a` followed by anything else is a lifetime.
+    let mut j = i + 1;
+    while j < bytes.len() && is_ident_continue(bytes[j]) {
+        j += 1;
+    }
+    bytes.get(j) != Some(&b'\'')
+}
+
+/// Return `(index_after_opening_quote, hash_count)` when a raw (byte) string
+/// starts at `i`, e.g. `r"`, `r#"`, `br##"`.
+fn raw_string_start(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some((j + 1, hashes))
+}
+
+/// Skip a normal string literal whose opening `"` is at `i`; returns the index
+/// just past the closing quote.
+fn skip_string(bytes: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skip a raw string body starting at `i` (just past the opening quote),
+/// terminated by `"` followed by `hashes` `#`s.
+fn skip_raw_string(bytes: &[u8], i: usize, hashes: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            *line += 1;
+            j += 1;
+        } else if bytes[j] == b'"'
+            && bytes[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&b| b == b'#')
+                .count()
+                == hashes
+        {
+            return j + 1 + hashes;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Skip a char literal whose opening `'` is at `i`.
+fn skip_char(bytes: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r##"
+            // thread::spawn in a comment
+            /* nested /* thread::spawn */ still comment */
+            let s = "thread::spawn";
+            let r = r#"thread::spawn"#;
+            let c = 'x';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"thread".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'q';";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn compound_operators_are_single_tokens() {
+        let lexed = lex("a += b; c::d(); e -> f");
+        let puncts: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Punct(p) => Some(p.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"->"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"multi\nline\"\nb";
+        let lexed = lex(src);
+        let b = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "let x = 1;\n// SAFETY: fine\nunsafe_marker();";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("SAFETY:"));
+    }
+}

@@ -1,0 +1,36 @@
+//! `pagani-analyze`: the offline workspace invariant checker.
+//!
+//! PAGANI's headline guarantee — bit-identical results regardless of worker
+//! count — rests on a handful of source-level disciplines that runtime tests
+//! can only spot-check: all parallelism flows through the vendored pool,
+//! float reductions go through the blessed `reduce`/`scan` entry points, the
+//! wall clock never feeds result arithmetic, and the service/gate/pool lock
+//! graph stays acyclic.  This crate enforces those disciplines statically:
+//! it lexes every workspace `.rs` file with a hand-rolled comment- and
+//! string-aware lexer (the offline environment forbids `syn`), extracts
+//! concurrency facts, and checks rules R1–R6 (see [`rules`]) against them,
+//! with a `rules.toml` allowlist for the intentional exceptions.
+//!
+//! Run it as:
+//!
+//! ```text
+//! cargo run -p pagani-analyze --release -- --workspace
+//! ```
+//!
+//! Diagnostics print as `file:line: rule-id: message`; the machine-readable
+//! report lands in `ANALYZE_report.json`.  Exit status is 0 only when every
+//! violation is suppressed by a justified `rules.toml` entry.
+
+#![forbid(unsafe_code)]
+#![warn(unreachable_pub)]
+
+pub mod engine;
+pub mod facts;
+pub mod json;
+pub mod lexer;
+pub mod minitoml;
+pub mod rules;
+
+pub use engine::{analyze, find_workspace_root, Analysis};
+pub use minitoml::{parse_allows, Allow};
+pub use rules::Diagnostic;

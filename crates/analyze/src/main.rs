@@ -1,0 +1,123 @@
+//! CLI entry point for the workspace invariant checker.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pagani_analyze::{analyze, find_workspace_root, parse_allows};
+
+const USAGE: &str = "\
+pagani-analyze: offline workspace invariant checker (rules R1-R6)
+
+USAGE:
+    pagani-analyze [--workspace | --root <DIR>] [--rules <FILE>] [--json <FILE>]
+
+OPTIONS:
+    --workspace      Analyze the enclosing cargo workspace (default)
+    --root <DIR>     Analyze an explicit directory tree instead
+    --rules <FILE>   Suppression allowlist (default: <root>/rules.toml)
+    --json <FILE>    Where to write the report (default: ANALYZE_report.json)
+    --no-json        Skip writing the JSON report
+
+EXIT STATUS:
+    0  no unsuppressed violations
+    1  violations found
+    2  usage or configuration error
+";
+
+struct Args {
+    root: Option<PathBuf>,
+    rules: Option<PathBuf>,
+    json: Option<PathBuf>,
+    no_json: bool,
+}
+
+/// Parse CLI arguments; `Ok(None)` means `--help` was printed.
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        root: None,
+        rules: None,
+        json: None,
+        no_json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.root = None,
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root needs a directory argument")?,
+                ));
+            }
+            "--rules" => {
+                args.rules = Some(PathBuf::from(
+                    it.next().ok_or("--rules needs a file argument")?,
+                ));
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(
+                    it.next().ok_or("--json needs a file argument")?,
+                ));
+            }
+            "--no-json" => args.no_json = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn run() -> Result<bool, String> {
+    let Some(args) = parse_args()? else {
+        return Ok(true);
+    };
+    let root = match args.root {
+        Some(root) => root,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd)
+                .ok_or("no enclosing cargo workspace found; pass --root <DIR>")?
+        }
+    };
+    let rules_path = args
+        .rules
+        .clone()
+        .unwrap_or_else(|| root.join("rules.toml"));
+    let allows = if rules_path.is_file() {
+        let text = std::fs::read_to_string(&rules_path)
+            .map_err(|e| format!("{}: {e}", rules_path.display()))?;
+        parse_allows(&text).map_err(|e| format!("{}: {e}", rules_path.display()))?
+    } else if args.rules.is_some() {
+        return Err(format!("rules file not found: {}", rules_path.display()));
+    } else {
+        Vec::new()
+    };
+
+    let analysis = analyze(&root, &allows).map_err(|e| e.to_string())?;
+    print!("{}", analysis.human_report());
+
+    if !args.no_json {
+        let json_path = args
+            .json
+            .unwrap_or_else(|| PathBuf::from("ANALYZE_report.json"));
+        std::fs::write(&json_path, analysis.to_report().to_json())
+            .map_err(|e| format!("{}: {e}", json_path.display()))?;
+        eprintln!("report written to {}", json_path.display());
+    }
+    Ok(analysis.violations.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("pagani-analyze: error: {message}");
+            eprintln!();
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

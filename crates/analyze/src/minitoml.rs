@@ -1,0 +1,235 @@
+//! A TOML subset parser for `rules.toml`.
+//!
+//! The analyzer must stay dependency-free, so it reads exactly the dialect it
+//! ships: `[[allow]]` array-of-tables entries whose values are double-quoted
+//! strings (with `\"`, `\\`, `\n`, `\t` escapes) or unsigned integers, plus
+//! `#` comments and blank lines.  Anything outside that subset is a hard
+//! configuration error — a malformed suppression must fail loudly, not be
+//! silently ignored.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One suppression entry from `rules.toml`.
+///
+/// A diagnostic is suppressed when its rule id equals `rule`, the diagnostic's
+/// path ends with `file`, and — when given — its line equals `line` and/or the
+/// offending source line contains `pattern`.  `reason` is mandatory: an
+/// unexplained suppression is itself a configuration error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule id the entry suppresses (`R1` ... `R6`).
+    pub rule: String,
+    /// Path suffix the entry applies to (e.g. `crates/core/src/service.rs`).
+    pub file: String,
+    /// Exact 1-based line anchor, when present.
+    pub line: Option<u32>,
+    /// Substring of the offending source line, when present.
+    pub pattern: Option<String>,
+    /// Why the site is intentional; required.
+    pub reason: String,
+}
+
+/// A `rules.toml` parse or validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line of the offending input, 0 for end-of-input errors.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rules.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err(line: u32, message: impl Into<String>) -> TomlError {
+    TomlError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse the full suppression file.
+pub fn parse_allows(input: &str) -> Result<Vec<Allow>, TomlError> {
+    let mut tables: Vec<(u32, BTreeMap<String, Value>)> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            tables.push((lineno, BTreeMap::new()));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(
+                lineno,
+                format!("unknown table {line:?}; only [[allow]] is supported"),
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(lineno, format!("expected `key = value`, got {line:?}")));
+        };
+        let key = key.trim();
+        let value = parse_value(value.trim()).map_err(|m| err(lineno, m))?;
+        let Some((_, table)) = tables.last_mut() else {
+            return Err(err(lineno, "key outside any [[allow]] table"));
+        };
+        if table.insert(key.to_string(), value).is_some() {
+            return Err(err(lineno, format!("duplicate key {key:?}")));
+        }
+    }
+    tables.into_iter().map(|(l, t)| build_allow(l, t)).collect()
+}
+
+#[derive(Debug)]
+enum Value {
+    Str(String),
+    Int(u32),
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a quoted string is not a comment; track quoting.
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_value(raw: &str) -> Result<Value, String> {
+    if let Some(body) = raw.strip_prefix('"') {
+        let Some(body) = body.strip_suffix('"') else {
+            return Err(format!("unterminated string {raw:?}"));
+        };
+        let mut out = String::with_capacity(body.len());
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => return Err(format!("unsupported escape \\{}", other.unwrap_or(' '))),
+            }
+        }
+        return Ok(Value::Str(out));
+    }
+    raw.parse::<u32>()
+        .map(Value::Int)
+        .map_err(|_| format!("expected a quoted string or unsigned integer, got {raw:?}"))
+}
+
+fn build_allow(lineno: u32, mut table: BTreeMap<String, Value>) -> Result<Allow, TomlError> {
+    let mut take_str = |key: &str| -> Result<Option<String>, TomlError> {
+        match table.remove(key) {
+            None => Ok(None),
+            Some(Value::Str(s)) => Ok(Some(s)),
+            Some(Value::Int(_)) => Err(err(lineno, format!("`{key}` must be a string"))),
+        }
+    };
+    let rule = take_str("rule")?.ok_or_else(|| err(lineno, "missing `rule`"))?;
+    let file = take_str("file")?.ok_or_else(|| err(lineno, "missing `file`"))?;
+    let pattern = take_str("pattern")?;
+    let reason = take_str("reason")?
+        .filter(|r| !r.trim().is_empty())
+        .ok_or_else(|| {
+            err(
+                lineno,
+                "missing `reason`: every suppression must be justified",
+            )
+        })?;
+    let line = match table.remove("line") {
+        None => None,
+        Some(Value::Int(n)) => Some(n),
+        Some(Value::Str(_)) => return Err(err(lineno, "`line` must be an integer")),
+    };
+    if let Some(extra) = table.keys().next() {
+        return Err(err(lineno, format!("unknown key {extra:?}")));
+    }
+    if line.is_none() && pattern.is_none() {
+        return Err(err(
+            lineno,
+            "an [[allow]] entry needs a `line` and/or a `pattern` anchor",
+        ));
+    }
+    Ok(Allow {
+        rule,
+        file,
+        line,
+        pattern,
+        reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_entry() {
+        let allows = parse_allows(
+            "# comment\n\
+             [[allow]]\n\
+             rule = \"R2\"  # trailing comment\n\
+             file = \"crates/core/src/service.rs\"\n\
+             pattern = \"worker_loop\"\n\
+             reason = \"resident service workers\"\n",
+        )
+        .unwrap();
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "R2");
+        assert_eq!(allows[0].pattern.as_deref(), Some("worker_loop"));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let e = parse_allows("[[allow]]\nrule = \"R2\"\nfile = \"x.rs\"\nline = 3\n").unwrap_err();
+        assert!(e.message.contains("reason"), "{e}");
+    }
+
+    #[test]
+    fn anchor_is_mandatory() {
+        let e = parse_allows("[[allow]]\nrule = \"R2\"\nfile = \"x.rs\"\nreason = \"because\"\n")
+            .unwrap_err();
+        assert!(e.message.contains("anchor"), "{e}");
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let e = parse_allows(
+            "[[allow]]\nrule = \"R2\"\nfile = \"x.rs\"\nline = 1\nreason = \"r\"\nbogus = \"y\"\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("bogus"), "{e}");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let allows = parse_allows(
+            "[[allow]]\nrule = \"R4\"\nfile = \"a.rs\"\npattern = \"x # y\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        assert_eq!(allows[0].pattern.as_deref(), Some("x # y"));
+    }
+}

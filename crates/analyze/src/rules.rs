@@ -1,0 +1,513 @@
+//! The rule set: six checks keyed to the invariants in `ARCHITECTURE.md`.
+//!
+//! | Rule | Invariant it guards | Enforced against |
+//! |------|---------------------|------------------|
+//! | R1   | lock-order acyclicity (no potential deadlock) | the global lock graph |
+//! | R2   | all parallelism flows through `DeviceConfig::worker_threads` | spawn sites |
+//! | R3   | bit-identical float reduction (no ad-hoc accumulation in kernels) | `launch*` closures |
+//! | R4   | wall clock never feeds result arithmetic | `Instant::now` / `SystemTime` |
+//! | R5   | every `unsafe` carries a written safety argument | `// SAFETY:` comments |
+//! | R6   | no process-global mutable state or hard exits | `static mut`, `process::exit` |
+//!
+//! Rules R2 and R4 skip test-like code (`tests/`, `benches/`, `examples/`
+//! directories and `#[cfg(test)]` modules): tests spawn scaffolding threads
+//! and time things on purpose.  R4 additionally skips `vendor/` (the
+//! criterion stand-in *is* a timer).  R1, R3, R5 and R6 see everything.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::facts::{FileFacts, SpawnKind, UnsafeForm};
+
+/// Where a file sits in the workspace, which decides rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// First-party library/binary source.
+    Src,
+    /// Integration tests, benches and examples.
+    TestLike,
+    /// Vendored offline stand-ins under `vendor/`.
+    Vendor,
+}
+
+/// One analyzed file, as the rules see it.
+pub struct AnalyzedFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Raw source lines (for R5's comment audit and suppression patterns).
+    pub lines: Vec<String>,
+    /// Extracted facts.
+    pub facts: FileFacts,
+    /// Rule applicability class.
+    pub class: FileClass,
+}
+
+/// A rule violation (or candidate violation, before suppression matching).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id, `R1` ... `R6`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Function names the R1 interprocedural propagation never looks through:
+/// ubiquitous names whose definitions are ambiguous or whose semantics are
+/// already modeled (e.g. `lock`, `wait`).
+const CALL_STOPLIST: &[&str] = &[
+    "new",
+    "clone",
+    "drop",
+    "lock",
+    "wait",
+    "unwrap",
+    "expect",
+    "unwrap_or_else",
+    "len",
+    "is_empty",
+    "get",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "take",
+    "iter",
+    "map",
+    "collect",
+    "notify_all",
+    "notify_one",
+    "default",
+    "into",
+    "from",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+];
+
+/// Run every rule over the analyzed files; returns candidate diagnostics in
+/// deterministic (file, line, rule) order.
+pub fn check_all(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_lock_order(files, &mut diags);
+    for file in files {
+        check_spawns(file, &mut diags);
+        check_launch_accums(file, &mut diags);
+        check_time(file, &mut diags);
+        check_safety_comments(file, &mut diags);
+        check_globals(file, &mut diags);
+    }
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    diags
+}
+
+fn file_stem(rel_path: &str) -> &str {
+    let name = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    name.strip_suffix(".rs").unwrap_or(name)
+}
+
+/// R1: the global lock-order graph must be acyclic.
+///
+/// This is the static half of the liveness story: the dynamic half — the
+/// gate's lock-then-notify wakeup handshake — is model-checked exhaustively
+/// in `crates/device/tests/gate_interleavings.rs`.
+///
+/// Lock identity is `field@file-stem`, with the declaring file preferred when
+/// a field name is declared in exactly one scanned file.  Edges come from two
+/// sources: a lock acquired while another guard is live in the same function
+/// body, and — one interprocedural layer — a call made under a held lock to a
+/// function whose (transitive) lock set is known.  Transitivity only follows
+/// calls to functions defined exactly once in the scanned set and not on the
+/// common-name stoplist, so name collisions cannot fabricate edges.
+fn check_lock_order(files: &[AnalyzedFile], diags: &mut Vec<Diagnostic>) {
+    // Field / inner-type declaration maps.
+    let mut field_decls: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut type_decls: BTreeMap<&str, BTreeSet<(&str, &str)>> = BTreeMap::new();
+    for file in files {
+        for decl in &file.facts.mutex_decls {
+            field_decls
+                .entry(decl.field.as_str())
+                .or_default()
+                .insert(file.rel_path.as_str());
+            type_decls
+                .entry(decl.inner_type.as_str())
+                .or_default()
+                .insert((decl.field.as_str(), file.rel_path.as_str()));
+        }
+    }
+    // field name as written in `file` -> canonical class.
+    let classify = |field: &str, file: &AnalyzedFile| -> Option<String> {
+        if let Some(inner) = field.strip_prefix("type:") {
+            // A MutexGuard parameter: resolvable only when the inner type
+            // names exactly one declared lock.
+            let decls = type_decls.get(inner)?;
+            if decls.len() != 1 {
+                return None;
+            }
+            let (f, path) = decls.iter().next().expect("len checked");
+            return Some(format!("{f}@{}", file_stem(path)));
+        }
+        match field_decls.get(field) {
+            Some(decls) if decls.len() == 1 => {
+                let path = decls.iter().next().expect("len checked");
+                Some(format!("{field}@{}", file_stem(path)))
+            }
+            _ => Some(format!("{field}@{}", file_stem(&file.rel_path))),
+        }
+    };
+
+    // Unambiguous function definitions for the transitive lock sets.
+    let mut fn_defs: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, function) in file.facts.functions.iter().enumerate() {
+            fn_defs
+                .entry(function.name.as_str())
+                .or_default()
+                .push((fi, gi));
+        }
+    }
+    let resolvable = |name: &str| -> Option<(usize, usize)> {
+        if CALL_STOPLIST.contains(&name) {
+            return None;
+        }
+        match fn_defs.get(name) {
+            Some(defs) if defs.len() == 1 => Some(defs[0]),
+            _ => None,
+        }
+    };
+
+    // Transitive lock classes per function (fixpoint over the call graph).
+    let mut lock_sets: BTreeMap<(usize, usize), BTreeSet<String>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, function) in file.facts.functions.iter().enumerate() {
+            let set: BTreeSet<String> = function
+                .locks
+                .iter()
+                .filter_map(|f| classify(f, file))
+                .collect();
+            lock_sets.insert((fi, gi), set);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, function) in file.facts.functions.iter().enumerate() {
+                let mut additions: BTreeSet<String> = BTreeSet::new();
+                for callee in &function.calls {
+                    if let Some(def) = resolvable(callee) {
+                        if def == (fi, gi) {
+                            continue;
+                        }
+                        additions.extend(lock_sets[&def].iter().cloned());
+                    }
+                }
+                let set = lock_sets.get_mut(&(fi, gi)).expect("pre-seeded");
+                let before = set.len();
+                set.extend(additions);
+                changed |= set.len() != before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edges: (from, to) -> earliest witness site.
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    let mut add_edge = |from: String, to: String, file: &str, line: u32| {
+        if from == to {
+            return;
+        }
+        let site = (file.to_string(), line);
+        edges
+            .entry((from, to))
+            .and_modify(|existing| {
+                if site < *existing {
+                    *existing = site.clone();
+                }
+            })
+            .or_insert(site);
+    };
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, function) in file.facts.functions.iter().enumerate() {
+            for edge in &function.edges {
+                if let (Some(from), Some(to)) =
+                    (classify(&edge.held, file), classify(&edge.acquired, file))
+                {
+                    add_edge(from, to, &file.rel_path, edge.line);
+                }
+            }
+            for call in &function.held_calls {
+                let Some(def) = resolvable(&call.callee) else {
+                    continue;
+                };
+                if def == (fi, gi) {
+                    continue;
+                }
+                for to in &lock_sets[&def] {
+                    for held in &call.held {
+                        if let Some(from) = classify(held, file) {
+                            add_edge(from, to.clone(), &file.rel_path, call.line);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection: strongly connected components of the class graph.
+    let nodes: Vec<&String> = {
+        let mut set = BTreeSet::new();
+        for (from, to) in edges.keys() {
+            set.insert(from);
+            set.insert(to);
+        }
+        set.into_iter().collect()
+    };
+    let index_of: BTreeMap<&String, usize> =
+        nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (from, to) in edges.keys() {
+        adj[index_of[from]].push(index_of[to]);
+    }
+    for scc in tarjan_sccs(&adj) {
+        let cyclic = scc.len() > 1 || (scc.len() == 1 && adj[scc[0]].contains(&scc[0]));
+        if !cyclic {
+            continue;
+        }
+        let members: BTreeSet<usize> = scc.iter().copied().collect();
+        let mut cycle_edges: Vec<(&str, &str, &str, u32)> = edges
+            .iter()
+            .filter(|((from, to), _)| {
+                members.contains(&index_of[from]) && members.contains(&index_of[to])
+            })
+            .map(|((from, to), (file, line))| (from.as_str(), to.as_str(), file.as_str(), *line))
+            .collect();
+        cycle_edges.sort_by_key(|(_, _, file, line)| (file.to_string(), *line));
+        let (_, _, anchor_file, anchor_line) = cycle_edges[0];
+        let description = cycle_edges
+            .iter()
+            .map(|(from, to, file, line)| format!("{from} -> {to} at {file}:{line}"))
+            .collect::<Vec<_>>()
+            .join("; ");
+        diags.push(Diagnostic {
+            rule: "R1",
+            file: anchor_file.to_string(),
+            line: anchor_line,
+            message: format!(
+                "lock-order cycle (potential deadlock) between {{{}}}: {description}",
+                nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| members.contains(i))
+                    .map(|(_, n)| n.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        });
+    }
+}
+
+/// Iterative Tarjan SCC over an adjacency list.
+fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: i64,
+        lowlink: i64,
+        on_stack: bool,
+    }
+    let n = adj.len();
+    let mut state = vec![
+        NodeState {
+            index: -1,
+            lowlink: -1,
+            on_stack: false,
+        };
+        n
+    ];
+    let mut next_index = 0i64;
+    let mut stack = Vec::new();
+    let mut sccs = Vec::new();
+    // Explicit DFS frames: (node, next-neighbor position).
+    for start in 0..n {
+        if state[start].index >= 0 {
+            continue;
+        }
+        let mut frames = vec![(start, 0usize)];
+        while let Some(&mut (v, ref mut ni)) = frames.last_mut() {
+            if *ni == 0 {
+                state[v].index = next_index;
+                state[v].lowlink = next_index;
+                next_index += 1;
+                state[v].on_stack = true;
+                stack.push(v);
+            }
+            if let Some(&w) = adj[v].get(*ni) {
+                *ni += 1;
+                if state[w].index < 0 {
+                    frames.push((w, 0));
+                } else if state[w].on_stack {
+                    state[v].lowlink = state[v].lowlink.min(state[w].index);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    state[parent].lowlink = state[parent].lowlink.min(state[v].lowlink);
+                }
+                if state[v].lowlink == state[v].index {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        state[w].on_stack = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort_unstable();
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// R2: no thread spawns outside the sanctioned substrate.
+fn check_spawns(file: &AnalyzedFile, diags: &mut Vec<Diagnostic>) {
+    if file.class == FileClass::TestLike {
+        return;
+    }
+    for spawn in &file.facts.spawns {
+        if spawn.in_test {
+            continue;
+        }
+        let how = match spawn.kind {
+            SpawnKind::Direct => "thread::spawn",
+            SpawnKind::Method => ".spawn(...)",
+        };
+        diags.push(Diagnostic {
+            rule: "R2",
+            file: file.rel_path.clone(),
+            line: spawn.line,
+            message: format!(
+                "{how} outside the sanctioned thread sources — parallelism must flow through \
+                 the vendored pool or a rules.toml-allowlisted service site so \
+                 DeviceConfig::worker_threads stays authoritative"
+            ),
+        });
+    }
+}
+
+/// R3: no ad-hoc float accumulation inside `launch*` closures.
+fn check_launch_accums(file: &AnalyzedFile, diags: &mut Vec<Diagnostic>) {
+    for (line, op) in &file.facts.launch_accums {
+        diags.push(Diagnostic {
+            rule: "R3",
+            file: file.rel_path.clone(),
+            line: *line,
+            message: format!(
+                "`{op}` inside a launch closure: cross-block accumulation is \
+                 order-dependent under parallel execution; write per-index results and \
+                 combine via pagani_device::reduce/scan to preserve bit-identity"
+            ),
+        });
+    }
+}
+
+/// R4: wall-clock reads only where timing is the product.
+fn check_time(file: &AnalyzedFile, diags: &mut Vec<Diagnostic>) {
+    if file.class != FileClass::Src {
+        return;
+    }
+    for site in &file.facts.time_sites {
+        if site.in_test {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: "R4",
+            file: file.rel_path.clone(),
+            line: site.line,
+            message: format!(
+                "{} outside a timing/cost module — wall-clock reads must never feed \
+                 result-affecting arithmetic; allowlist intentional instrumentation in rules.toml",
+                site.what
+            ),
+        });
+    }
+}
+
+/// R5: every `unsafe` site carries a written safety argument.
+fn check_safety_comments(file: &AnalyzedFile, diags: &mut Vec<Diagnostic>) {
+    for site in &file.facts.unsafe_sites {
+        if has_safety_narrative(&file.lines, site.line) {
+            continue;
+        }
+        let what = match site.form {
+            UnsafeForm::Block => "unsafe block",
+            UnsafeForm::Impl => "unsafe impl",
+            UnsafeForm::FnDef => "unsafe fn",
+            UnsafeForm::Trait => "unsafe trait",
+        };
+        diags.push(Diagnostic {
+            rule: "R5",
+            file: file.rel_path.clone(),
+            line: site.line,
+            message: format!(
+                "{what} without a `// SAFETY:` comment (or `# Safety` doc section) \
+                 explaining why the invariants hold"
+            ),
+        });
+    }
+}
+
+/// A safety narrative is a `SAFETY:` comment or `# Safety` doc heading on the
+/// same line or on the contiguous run of comment/attribute lines above.
+fn has_safety_narrative(lines: &[String], line: u32) -> bool {
+    let idx = (line as usize).saturating_sub(1);
+    let marker = |s: &str| s.contains("SAFETY:") || s.contains("# Safety");
+    if lines.get(idx).is_some_and(|l| marker(l)) {
+        return true;
+    }
+    let mut k = idx;
+    while k > 0 {
+        k -= 1;
+        let trimmed = lines[k].trim();
+        let is_annotation =
+            trimmed.starts_with("//") || trimmed.starts_with("#[") || trimmed.starts_with("#![");
+        if !is_annotation {
+            return false;
+        }
+        if marker(trimmed) {
+            return true;
+        }
+    }
+    false
+}
+
+/// R6: no process-global mutable state, no hard process exits.
+fn check_globals(file: &AnalyzedFile, diags: &mut Vec<Diagnostic>) {
+    for &line in &file.facts.static_muts {
+        diags.push(Diagnostic {
+            rule: "R6",
+            file: file.rel_path.clone(),
+            line,
+            message: "`static mut` is forbidden: process-global mutable state breaks the \
+                      isolated-view determinism contract"
+                .to_string(),
+        });
+    }
+    for &line in &file.facts.process_exits {
+        diags.push(Diagnostic {
+            rule: "R6",
+            file: file.rel_path.clone(),
+            line,
+            message: "`process::exit` is forbidden in library code: it skips Drop-based \
+                      cleanup (gate permits, ledger retirement, worker joins)"
+                .to_string(),
+        });
+    }
+}

@@ -1,0 +1,200 @@
+//! End-to-end tests for the rule engine, driven by the seeded fixture tree
+//! under `tests/fixtures/` (never compiled — data for the lexer only).
+//!
+//! `violations/` holds one file per rule with known-bad code; `clean/`,
+//! `tests/` and `vendor/` hold the allowlisted forms each rule must stay
+//! silent on.  The assertions pin exact (rule, file, line) triples so a
+//! precision or recall regression in any rule shows up as a diff here.
+
+use std::path::{Path, PathBuf};
+
+use pagani_analyze::{analyze, find_workspace_root, json, parse_allows, Allow};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_findings(allows: &[Allow]) -> pagani_analyze::Analysis {
+    analyze(&fixture_root(), allows).expect("fixture tree analyzes")
+}
+
+/// The full expected finding set over the fixture tree: every seeded
+/// violation fires, and nothing in `clean/`, `tests/` or `vendor/` does.
+#[test]
+fn every_rule_fires_exactly_on_the_seeded_violations() {
+    let analysis = fixture_findings(&[]);
+    let got: Vec<(&str, &str, u32)> = analysis
+        .violations
+        .iter()
+        .map(|d| (d.rule, d.file.as_str(), d.line))
+        .collect();
+    let expected: Vec<(&str, &str, u32)> = vec![
+        ("R6", "violations/globals.rs", 2),
+        ("R6", "violations/globals.rs", 5),
+        ("R3", "violations/launch_accum.rs", 5),
+        ("R3", "violations/launch_accum.rs", 11),
+        ("R1", "violations/lock_cycle.rs", 13),
+        ("R2", "violations/spawns.rs", 4),
+        ("R2", "violations/spawns.rs", 8),
+        ("R4", "violations/timing.rs", 4),
+        ("R4", "violations/timing.rs", 8),
+        ("R5", "violations/unsafe_nodoc.rs", 3),
+        ("R5", "violations/unsafe_nodoc.rs", 6),
+        ("R5", "violations/unsafe_nodoc.rs", 10),
+    ];
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn lock_cycle_message_names_both_edges() {
+    let analysis = fixture_findings(&[]);
+    let r1 = analysis
+        .violations
+        .iter()
+        .find(|d| d.rule == "R1")
+        .expect("R1 fires");
+    assert!(r1.message.contains("alpha@lock_cycle -> beta@lock_cycle"));
+    assert!(r1.message.contains("beta@lock_cycle -> alpha@lock_cycle"));
+    assert!(r1.message.contains("violations/lock_cycle.rs:20"));
+}
+
+#[test]
+fn pattern_anchored_suppression_moves_a_finding_to_suppressed() {
+    let allows = parse_allows(
+        r#"
+        [[allow]]
+        rule = "R2"
+        file = "violations/spawns.rs"
+        pattern = "std::thread::spawn(|| {});"
+        reason = "fixture: direct spawn is intentional here"
+        "#,
+    )
+    .expect("allowlist parses");
+    let analysis = fixture_findings(&allows);
+    assert_eq!(analysis.violations.len(), 11);
+    assert!(!analysis
+        .violations
+        .iter()
+        .any(|d| d.rule == "R2" && d.line == 4));
+    assert_eq!(analysis.suppressed.len(), 1);
+    let (diag, reason) = &analysis.suppressed[0];
+    assert_eq!((diag.rule, diag.line), ("R2", 4));
+    assert_eq!(reason, "fixture: direct spawn is intentional here");
+    assert!(analysis.unused_allows.is_empty());
+}
+
+#[test]
+fn line_anchored_suppression_is_exact() {
+    let allows = parse_allows(
+        r#"
+        [[allow]]
+        rule = "R5"
+        file = "violations/unsafe_nodoc.rs"
+        line = 6
+        reason = "fixture: exercising the line anchor"
+        "#,
+    )
+    .expect("allowlist parses");
+    let analysis = fixture_findings(&allows);
+    // Only line 6 is excused; lines 3 and 10 still fire.
+    let r5_lines: Vec<u32> = analysis
+        .violations
+        .iter()
+        .filter(|d| d.rule == "R5")
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(r5_lines, vec![3, 10]);
+}
+
+#[test]
+fn non_matching_suppression_is_reported_unused() {
+    let allows = parse_allows(
+        r#"
+        [[allow]]
+        rule = "R4"
+        file = "violations/timing.rs"
+        pattern = "this text appears nowhere"
+        reason = "fixture: stale suppression"
+        "#,
+    )
+    .expect("allowlist parses");
+    let analysis = fixture_findings(&allows);
+    assert_eq!(analysis.violations.len(), 12);
+    assert!(analysis.suppressed.is_empty());
+    assert_eq!(analysis.unused_allows.len(), 1);
+    assert_eq!(
+        analysis.unused_allows[0].reason,
+        "fixture: stale suppression"
+    );
+}
+
+#[test]
+fn json_report_round_trips_through_the_parser() {
+    let allows = parse_allows(
+        r#"
+        [[allow]]
+        rule = "R6"
+        file = "violations/globals.rs"
+        line = 2
+        reason = "fixture: round-trip payload"
+        "#,
+    )
+    .expect("allowlist parses");
+    let report = fixture_findings(&allows).to_report();
+    let text = report.to_json();
+    let reparsed = json::parse(&text).expect("report parses back");
+    assert_eq!(reparsed, report);
+    // Spot-check structure through the parsed form.
+    let json::Value::Obj(map) = &reparsed else {
+        panic!("report is an object")
+    };
+    assert_eq!(map["tool"], json::Value::Str("pagani-analyze".to_string()));
+    let json::Value::Arr(violations) = &map["violations"] else {
+        panic!("violations is an array")
+    };
+    assert_eq!(violations.len(), 11);
+    let json::Value::Arr(suppressed) = &map["suppressed"] else {
+        panic!("suppressed is an array")
+    };
+    assert_eq!(suppressed.len(), 1);
+}
+
+#[test]
+fn human_report_formats_file_line_rule_message() {
+    let analysis = fixture_findings(&[]);
+    let report = analysis.human_report();
+    assert!(report.contains("violations/spawns.rs:4: R2: "));
+    assert!(report.contains("12 violation(s)"));
+}
+
+/// Self-check: the shipped `rules.toml` fully covers the real workspace —
+/// zero unsuppressed violations and zero stale suppressions.  This is the
+/// same gate CI runs via `cargo run -p pagani-analyze`.
+#[test]
+fn shipped_rules_toml_covers_the_workspace_exactly() {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest_dir).expect("enclosing workspace");
+    let rules = std::fs::read_to_string(root.join("rules.toml")).expect("rules.toml exists");
+    let allows = parse_allows(&rules).expect("rules.toml parses");
+    assert!(!allows.is_empty());
+    for allow in &allows {
+        assert!(
+            allow.line.is_some() || allow.pattern.is_some(),
+            "unanchored suppression for {}",
+            allow.file
+        );
+        assert!(!allow.reason.is_empty());
+    }
+    let analysis = analyze(&root, &allows).expect("workspace analyzes");
+    let leftovers: Vec<String> = analysis
+        .violations
+        .iter()
+        .map(|d| format!("{}:{}: {}", d.file, d.line, d.rule))
+        .collect();
+    assert!(leftovers.is_empty(), "unsuppressed: {leftovers:?}");
+    assert!(
+        analysis.unused_allows.is_empty(),
+        "stale rules.toml entries: {:?}",
+        analysis.unused_allows
+    );
+}

@@ -1,0 +1,20 @@
+//! R3 true negatives: the blessed per-block accumulation forms — a
+//! closure-local `let mut` accumulator and a fold-style closure parameter.
+fn block_local(device: &Device) {
+    device.launch_map("kernel", 4, |ctx| {
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for value in ctx.samples() {
+            sum += value;
+            sum_sq += value * value;
+        }
+        (sum, sum_sq)
+    });
+}
+
+fn fold_param(device: &Device) {
+    device.launch("kernel", 4, |mut acc, value| {
+        acc += value;
+        acc
+    });
+}

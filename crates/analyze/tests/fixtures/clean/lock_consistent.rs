@@ -1,0 +1,42 @@
+//! R1 true negatives: every path takes `first` before `second`, a deref
+//! value-copy releases its guard at the statement, and an explicit
+//! `drop(...)` ends a hold before the next acquisition.
+use std::sync::Mutex;
+
+struct Ordered {
+    first: Mutex<FirstInner>,
+    second: Mutex<SecondInner>,
+    tally: Mutex<f64>,
+}
+
+impl Ordered {
+    fn nested(&self) {
+        let f = self.first.lock().unwrap();
+        let s = self.second.lock().unwrap();
+        drop(s);
+        drop(f);
+    }
+
+    fn also_nested(&self) {
+        let f = self.first.lock().unwrap();
+        let s = self.second.lock().unwrap();
+        drop(s);
+        drop(f);
+    }
+
+    fn copy_then_lock(&self) {
+        // The guard here dies at the semicolon: no tally -> first edge.
+        let snapshot = *self.tally.lock().unwrap();
+        let f = self.first.lock().unwrap();
+        drop(f);
+        let _ = snapshot;
+    }
+
+    fn drop_then_lock(&self) {
+        let s = self.second.lock().unwrap();
+        drop(s);
+        // `second` is no longer held: no second -> first edge.
+        let f = self.first.lock().unwrap();
+        drop(f);
+    }
+}

@@ -1,0 +1,17 @@
+//! R5 true negatives: every unsafe site carries a written safety argument,
+//! either a `// SAFETY:` comment or a `# Safety` doc section.
+fn documented_block(p: *const u32) -> u32 {
+    // SAFETY: callers pass a pointer derived from a live reference.
+    unsafe { *p }
+}
+
+/// Reads through `p`.
+///
+/// # Safety
+/// `p` must be valid for reads and properly aligned.
+unsafe fn documented_fn(p: *const u32) -> u32 {
+    *p
+}
+
+// SAFETY: Wrapper owns its buffer exclusively; no aliasing is possible.
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,6 @@
+//! R4 true negative: vendored stand-ins may read the wall clock — the
+//! criterion stand-in *is* a timer.  (R2/R5/R6 still apply to vendor code.)
+fn measure() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

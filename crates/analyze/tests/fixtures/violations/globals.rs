@@ -1,0 +1,6 @@
+//! R6 true positives: process-global mutable state and a hard exit.
+static mut COUNTER: u32 = 0;
+
+fn bail() {
+    std::process::exit(2);
+}

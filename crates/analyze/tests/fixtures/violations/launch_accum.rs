@@ -1,0 +1,13 @@
+//! R3 true positives: compound assignment to *captured* state inside a
+//! launch closure — the order-dependent pattern that breaks bit-identity.
+fn captured_scalar(device: &Device, mut acc: f64) {
+    device.launch_map("kernel", 4, |ctx| {
+        acc += ctx.value;
+    });
+}
+
+fn captured_indexed(device: &Device, out: &SharedSlice) {
+    device.launch("kernel", 4, |ctx| {
+        out[0] -= ctx.value;
+    });
+}

@@ -1,0 +1,24 @@
+//! R1 true positive: two functions acquire the same pair of locks in
+//! opposite orders, closing a cycle alpha -> beta -> alpha.
+use std::sync::Mutex;
+
+struct State {
+    alpha: Mutex<AlphaInner>,
+    beta: Mutex<BetaInner>,
+}
+
+impl State {
+    fn alpha_then_beta(&self) {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    fn beta_then_alpha(&self) {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        drop(a);
+        drop(b);
+    }
+}

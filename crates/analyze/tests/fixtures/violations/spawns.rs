@@ -1,0 +1,9 @@
+//! R2 true positives: a bare `thread::spawn` and a builder `.spawn(...)`
+//! outside any sanctioned thread source.
+fn direct() {
+    std::thread::spawn(|| {});
+}
+
+fn via_builder(builder: std::thread::Builder) {
+    let _ = builder.spawn(|| {});
+}

@@ -1,0 +1,9 @@
+//! R4 true positives: wall-clock reads in first-party source outside a
+//! rules.toml-allowlisted instrumentation site.
+fn stamp() {
+    let _ = std::time::Instant::now();
+}
+
+fn wall() {
+    let _ = std::time::SystemTime::now();
+}

@@ -1,0 +1,10 @@
+//! R5 true positives: unsafe sites with no written safety argument.
+fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+unsafe fn raw_read(p: *const u32) -> u32 {
+    *p
+}
+
+unsafe impl Send for Wrapper {}

@@ -21,6 +21,8 @@
 //! [`MethodConfig`] value into any of the five integrators at runtime.
 
 #![warn(missing_docs)]
+#![warn(unreachable_pub)]
+#![forbid(unsafe_code)]
 
 pub mod cuhre;
 pub mod method;

@@ -18,6 +18,8 @@
 //!   the paper allows 10⁹ for Cuhre).
 
 #![warn(missing_docs)]
+#![warn(unreachable_pub)]
+#![forbid(unsafe_code)]
 
 use std::time::Duration;
 

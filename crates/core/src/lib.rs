@@ -32,6 +32,8 @@
 //!   submit-all-then-wait sugar over it.
 
 #![warn(missing_docs)]
+#![warn(unreachable_pub)]
+#![forbid(unsafe_code)]
 
 pub mod arena;
 pub mod batch;

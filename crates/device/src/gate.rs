@@ -130,6 +130,11 @@ impl FairGate {
     ///
     /// Completion (permit drop) already notifies; this hook exists for
     /// out-of-band events such as job cancellation or service shutdown.
+    ///
+    /// The lock-then-notify handshake below is load-bearing: the exhaustive
+    /// interleaving model in `tests/gate_interleavings.rs` shows that
+    /// notifying without taking the lock loses the wakeup when the flag is
+    /// set between a waiter's predicate check and its park.
     pub fn notify_waiters(&self) {
         // Serialise with the waiters' check-then-wait: once this lock is
         // acquired, every waiter has either seen the out-of-band event or is

@@ -23,6 +23,8 @@
 //! bulk-synchronous-parallel substrate.
 
 #![warn(missing_docs)]
+#![warn(unreachable_pub)]
+#![forbid(unsafe_code)]
 
 pub mod error;
 pub mod gate;

@@ -1,0 +1,352 @@
+//! Loom-lite interleaving coverage for the `FairGate` wakeup protocol.
+//!
+//! `FairGate::notify_waiters` deliberately locks (and immediately drops) the
+//! gate mutex before calling `notify_all`.  That handshake is what makes
+//! out-of-band cancellation race-free: a waiter in `acquire_unless` checks
+//! its cancellation predicate *while holding the mutex* and parks on the
+//! condvar atomically with releasing it, so a canceller that takes the lock
+//! first is guaranteed its flag is seen, and one that takes it second is
+//! guaranteed its notification lands on a parked waiter.  Skipping the lock
+//! re-opens the classic lost-wakeup window: flag set and notify delivered
+//! between the waiter's check and its park.
+//!
+//! Real-thread tests cannot pin interleavings, so this file checks the
+//! protocol two ways:
+//!
+//! 1. An exhaustive model checker over a step-level model of one waiter and
+//!    one signaller.  Every interleaving of the locked protocol must
+//!    terminate; the unlocked variant must reach a demonstrable lost-wakeup
+//!    state (proving the model is sharp enough to see the bug the lock
+//!    prevents).  Spurious wakeups are deliberately absent from the model:
+//!    correctness must not depend on them.
+//! 2. Real-`FairGate` schedules that sequence the external events (cancel,
+//!    notify, permit drop) in every order, asserting the waiter always
+//!    terminates within a timeout and the gate drains.
+//!
+//! The lock-order discipline these tests lean on is enforced statically by
+//! analyzer rule R1 (`cargo run -p pagani-analyze -- --workspace`).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pagani_device::FairGate;
+
+// ---------------------------------------------------------------------------
+// Part 1: exhaustive model checker.
+// ---------------------------------------------------------------------------
+
+/// How the signaller publishes its event relative to the gate mutex.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Protocol {
+    /// `notify_waiters` as shipped: set flag, lock+unlock, notify.
+    LockedNotify,
+    /// The buggy variant: set flag, notify — never touching the mutex.
+    UnlockedNotify,
+    /// `GatePermit::drop`: mutate shared state *under* the mutex, unlock,
+    /// notify.  The mutation-under-lock is what makes the later unlocked
+    /// notify safe here.
+    ReleaseUnderLock,
+}
+
+/// One interleaving state of the two-thread model.  The waiter models the
+/// `acquire_unless` loop: lock, check the wake condition, park atomically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    /// Which thread owns the mutex (0 = waiter, 1 = signaller).
+    mutex: Option<u8>,
+    /// The waiter's wake condition (cancellation flag or released permit).
+    cond: bool,
+    /// Waiter program counter: 0 lock, 1 check, 2 unlock-and-finish,
+    /// 3 park, 4 done, 5 woken-reacquire.
+    waiter: u8,
+    /// Signaller program counter (meaning depends on the protocol).
+    signaller: u8,
+    /// Waiter is parked on the condvar.
+    parked: bool,
+}
+
+const INITIAL: State = State {
+    mutex: None,
+    cond: false,
+    waiter: 0,
+    signaller: 0,
+    parked: false,
+};
+
+fn waiter_steps(s: State) -> Option<State> {
+    let mut n = s;
+    match s.waiter {
+        0 if s.mutex.is_none() => {
+            n.mutex = Some(0);
+            n.waiter = 1;
+        }
+        1 => n.waiter = if s.cond { 2 } else { 3 },
+        2 => {
+            n.mutex = None;
+            n.waiter = 4;
+        }
+        // Park: release the mutex and enter the wait set in one step —
+        // exactly the atomicity `Condvar::wait` guarantees.
+        3 => {
+            n.mutex = None;
+            n.parked = true;
+            n.waiter = 5;
+        }
+        5 if !s.parked && s.mutex.is_none() => {
+            // Woken: re-acquire and re-check.
+            n.mutex = Some(0);
+            n.waiter = 1;
+        }
+        _ => return None,
+    }
+    Some(n)
+}
+
+fn signaller_steps(s: State, protocol: Protocol) -> Option<State> {
+    let mut n = s;
+    match protocol {
+        Protocol::LockedNotify => match s.signaller {
+            // flag is an external atomic: set outside the mutex.
+            0 => {
+                n.cond = true;
+                n.signaller = 1;
+            }
+            1 if s.mutex.is_none() => {
+                n.mutex = Some(1);
+                n.signaller = 2;
+            }
+            2 => {
+                n.mutex = None;
+                n.signaller = 3;
+            }
+            3 => {
+                n.parked = false;
+                n.signaller = 4;
+            }
+            _ => return None,
+        },
+        Protocol::UnlockedNotify => match s.signaller {
+            0 => {
+                n.cond = true;
+                n.signaller = 1;
+            }
+            1 => {
+                n.parked = false;
+                n.signaller = 4;
+            }
+            _ => return None,
+        },
+        Protocol::ReleaseUnderLock => match s.signaller {
+            0 if s.mutex.is_none() => {
+                n.mutex = Some(1);
+                n.signaller = 1;
+            }
+            // The permit release mutates gate state while holding the mutex.
+            1 => {
+                n.cond = true;
+                n.signaller = 2;
+            }
+            2 => {
+                n.mutex = None;
+                n.signaller = 3;
+            }
+            3 => {
+                n.parked = false;
+                n.signaller = 4;
+            }
+            _ => return None,
+        },
+    }
+    Some(n)
+}
+
+/// Explore every interleaving; return the set of dead states (no thread can
+/// step, not everyone finished).  An empty set proves the protocol is
+/// lost-wakeup-free under the model.
+fn explore(protocol: Protocol) -> Vec<State> {
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut stuck = Vec::new();
+    let mut stack = vec![INITIAL];
+    while let Some(s) = stack.pop() {
+        if !seen.insert(s) {
+            continue;
+        }
+        let next: Vec<State> = [waiter_steps(s), signaller_steps(s, protocol)]
+            .into_iter()
+            .flatten()
+            .collect();
+        if next.is_empty() {
+            let all_done = s.waiter == 4 && s.signaller == 4;
+            if !all_done {
+                stuck.push(s);
+            }
+            continue;
+        }
+        stack.extend(next);
+    }
+    stuck
+}
+
+#[test]
+fn locked_notify_has_no_lost_wakeup_in_any_interleaving() {
+    let stuck = explore(Protocol::LockedNotify);
+    assert!(
+        stuck.is_empty(),
+        "locked notify_waiters protocol reached {} dead state(s)",
+        stuck.len()
+    );
+}
+
+#[test]
+fn unlocked_notify_demonstrably_loses_the_wakeup() {
+    // Sanity check on the model itself: without the lock handshake the
+    // canceller can slip its flag-set and notify between the waiter's check
+    // and its park, leaving the waiter parked forever.
+    let stuck = explore(Protocol::UnlockedNotify);
+    assert!(
+        !stuck.is_empty(),
+        "model failed to reproduce the lost-wakeup the lock prevents"
+    );
+    assert!(
+        stuck.iter().all(|s| s.parked && s.cond && s.signaller == 4),
+        "every dead state should be: signaller done, waiter parked, flag set"
+    );
+}
+
+#[test]
+fn permit_release_mutating_under_the_lock_is_safe_with_unlocked_notify() {
+    // `GatePermit::drop` notifies *after* unlocking, which is sound only
+    // because the release mutates gate state while holding the mutex: a
+    // waiter that misses the notification must have checked before the
+    // mutation, and then its park serialized before the release's lock.
+    let stuck = explore(Protocol::ReleaseUnderLock);
+    assert!(
+        stuck.is_empty(),
+        "permit-release protocol reached {} dead state(s)",
+        stuck.len()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: real-gate schedules over permuted external event orders.
+// ---------------------------------------------------------------------------
+
+const STEP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Join with a deadline so a lost wakeup fails the test instead of hanging it.
+fn join_within<T>(done: &AtomicBool, handle: std::thread::JoinHandle<T>, what: &str) -> T {
+    let deadline = Instant::now() + STEP_TIMEOUT;
+    while !done.load(Ordering::SeqCst) {
+        assert!(Instant::now() < deadline, "{what} did not terminate");
+        std::thread::yield_now();
+    }
+    handle.join().expect(what)
+}
+
+/// Spawn a cancellable waiter on `gate` and report whether it was admitted.
+struct Waiter {
+    cancel: Arc<AtomicBool>,
+    done: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<bool>,
+}
+
+fn spawn_waiter(gate: &Arc<FairGate>) -> Waiter {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let (gate, cancel, done) = (Arc::clone(gate), Arc::clone(&cancel), Arc::clone(&done));
+        std::thread::spawn(move || {
+            let admitted = gate
+                .acquire_unless(|| cancel.load(Ordering::SeqCst))
+                .is_some();
+            done.store(true, Ordering::SeqCst);
+            admitted
+        })
+    };
+    Waiter {
+        cancel,
+        done,
+        handle,
+    }
+}
+
+fn wait_for_in_flight(gate: &FairGate, n: usize) {
+    let deadline = Instant::now() + STEP_TIMEOUT;
+    while gate.in_flight() < n {
+        assert!(Instant::now() < deadline, "waiter never joined the line");
+        std::thread::yield_now();
+    }
+}
+
+/// The three external events that can race on a contended gate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Event {
+    SetCancel,
+    Notify,
+    DropPermit,
+}
+
+/// Run one schedule: permit held, waiter parked, then the events in `order`.
+/// Liveness (the waiter terminates) must hold for every order; the admission
+/// outcome depends on whether the cancel flag was set before the freed slot
+/// reached the waiter, so only invariants — not the outcome — are asserted.
+fn run_schedule(order: [Event; 3]) {
+    let gate = Arc::new(FairGate::new(1));
+    let mut permit = Some(gate.acquire());
+    let waiter = spawn_waiter(&gate);
+    wait_for_in_flight(&gate, 2);
+    for event in order {
+        match event {
+            Event::SetCancel => waiter.cancel.store(true, Ordering::SeqCst),
+            Event::Notify => gate.notify_waiters(),
+            Event::DropPermit => drop(permit.take()),
+        }
+    }
+    let admitted = join_within(&waiter.done, waiter.handle, "cancellable waiter");
+    // Admission vs cancellation is schedule-dependent (the waiter re-checks
+    // its predicate before its ticket on every wake), so only the
+    // schedule-independent invariants are asserted: the waiter terminated
+    // (checked by join_within) and the line drains.
+    let _ = admitted;
+    drop(permit);
+    assert_eq!(gate.in_flight(), 0, "gate did not drain after {order:?}");
+    // The gate still hands out permits afterwards.
+    drop(gate.acquire());
+}
+
+#[test]
+fn waiter_terminates_under_every_external_event_order() {
+    let events = [Event::SetCancel, Event::Notify, Event::DropPermit];
+    // All 6 permutations of the three external events.
+    for i in 0..3 {
+        for j in 0..3 {
+            if j == i {
+                continue;
+            }
+            let k = 3 - i - j;
+            run_schedule([events[i], events[j], events[k]]);
+        }
+    }
+}
+
+#[test]
+fn cancel_before_notify_always_cancels_a_parked_waiter() {
+    // The deterministic subcase of the schedule matrix: flag set, then the
+    // locked notify, while the permit is still held — the waiter must leave
+    // the line cancelled, never admitted.  This is the exact sequence the
+    // model checker proves lost-wakeup-free.
+    for _ in 0..100 {
+        let gate = Arc::new(FairGate::new(1));
+        let permit = gate.acquire();
+        let waiter = spawn_waiter(&gate);
+        wait_for_in_flight(&gate, 2);
+        waiter.cancel.store(true, Ordering::SeqCst);
+        gate.notify_waiters();
+        let admitted = join_within(&waiter.done, waiter.handle, "cancelled waiter");
+        assert!(!admitted, "waiter admitted despite cancel-before-notify");
+        drop(permit);
+        assert_eq!(gate.in_flight(), 0);
+    }
+}

@@ -20,6 +20,8 @@
 //!   basket-option payoff).
 
 #![warn(missing_docs)]
+#![warn(unreachable_pub)]
+#![forbid(unsafe_code)]
 
 pub mod genz;
 pub mod paper;

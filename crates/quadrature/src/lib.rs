@@ -17,6 +17,8 @@
 //! * [`result`] — the result / tolerance / termination types every integrator returns.
 
 #![warn(missing_docs)]
+#![warn(unreachable_pub)]
+#![forbid(unsafe_code)]
 
 pub mod adaptive1d;
 pub mod gauss_kronrod;

@@ -96,6 +96,8 @@
 //! figure of the paper's evaluation.
 
 #![warn(missing_docs)]
+#![warn(unreachable_pub)]
+#![forbid(unsafe_code)]
 
 pub use pagani_baselines as baselines;
 pub use pagani_core as core;

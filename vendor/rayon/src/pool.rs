@@ -432,8 +432,14 @@ where
     T: Send,
     F: Fn(S) -> T + Sync,
 {
+    // SAFETY: the caller's contract (see `# Safety` above) guarantees `data`
+    // points to a live `BatchCtx<S, T, F>`; the submitter keeps it alive on
+    // its stack until the batch latch releases.
     let ctx = unsafe { &*data.cast::<BatchCtx<'_, S, T, F>>() };
     let slot = &ctx.slots[index];
+    // SAFETY: each span index is enqueued exactly once, so this thread is the
+    // only one touching `slot.input`; the `.take()` turns a hypothetical
+    // double execution into a panic instead of a double drop.
     let input = unsafe { (*slot.input.get()).take() }.expect("span job executed twice");
     let result = catch_unwind(AssertUnwindSafe(|| (ctx.work)(input)));
     // Copy the pool pointer out of `ctx` before completing: the moment the
@@ -443,6 +449,9 @@ where
     let pool: *const PoolCore = ctx.pool;
     let batch = ctx.batch;
     match result {
+        // SAFETY: same exclusivity as the input slot — only this span's
+        // executor writes `slot.output`, and the submitter only reads it
+        // after the batch latch releases.
         Ok(value) => unsafe { *slot.output.get() = Some(value) },
         Err(payload) => batch.record_panic(payload),
     }
@@ -450,6 +459,9 @@ where
         // `batch` and `ctx` must not be touched past this point.  The batch
         // owner may be a worker asleep on the job-queue condvar (helping);
         // make sure it re-checks its latch.
+        // SAFETY: `pool` was copied out of `ctx` before `complete_one`, and
+        // the pool outlives the batch — this executing thread is one of its
+        // workers and holds an `Arc<PoolCore>` keeping it alive.
         unsafe { (*pool).wake_sleepers() };
     }
 }
