@@ -373,7 +373,10 @@ fn scan_launch_accums(tokens: &[Token], facts: &mut FileFacts) {
         let Some(name) = ident_at(tokens, i + 1) else {
             continue;
         };
-        if !matches!(name, "launch" | "launch_with" | "launch_map") || !is_punct(tokens, i + 2, "(")
+        if !matches!(
+            name,
+            "launch" | "launch_with" | "launch_map" | "launch_batch"
+        ) || !is_punct(tokens, i + 2, "(")
         {
             continue;
         }
@@ -882,6 +885,24 @@ mod tests {
     fn indexed_captured_accumulation_is_flagged() {
         let f = facts_of("fn f(d: &Device) { d.launch_map(\"k\", n, |ctx| { out[i] += x; }); }");
         assert_eq!(f.launch_accums.len(), 1);
+    }
+
+    #[test]
+    fn launch_batch_captured_accumulation_is_flagged() {
+        let f = facts_of(
+            "fn f(d: &Device) { d.launch_batch(\"k\", n, 1, &mut out, |ctx, slot| { \
+                 acc += x; }); }",
+        );
+        assert_eq!(f.launch_accums.len(), 1);
+    }
+
+    #[test]
+    fn launch_batch_lane_param_writes_are_the_blessed_form() {
+        let f = facts_of(
+            "fn f(d: &Device) { d.launch_batch(\"k\", n, 2, &mut out, |ctx, slot| { \
+                 let mut sum = 0.0; sum += x; slot[0] += sum; }); }",
+        );
+        assert!(f.launch_accums.is_empty());
     }
 
     #[test]

@@ -251,7 +251,14 @@ fn skip_string(bytes: &[u8], i: usize, line: &mut u32) -> usize {
     let mut j = i + 1;
     while j < bytes.len() {
         match bytes[j] {
-            b'\\' => j += 2,
+            // An escape skips the next byte — which may itself be the newline
+            // of a `\`-continuation, still a new source line.
+            b'\\' => {
+                if bytes.get(j + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                j += 2;
+            }
             b'\n' => {
                 *line += 1;
                 j += 1;
@@ -292,7 +299,12 @@ fn skip_char(bytes: &[u8], i: usize, line: &mut u32) -> usize {
     let mut j = i + 1;
     while j < bytes.len() {
         match bytes[j] {
-            b'\\' => j += 2,
+            b'\\' => {
+                if bytes.get(j + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                j += 2;
+            }
             b'\n' => {
                 *line += 1;
                 j += 1;
@@ -365,6 +377,18 @@ mod tests {
     #[test]
     fn line_numbers_track_newlines_everywhere() {
         let src = "a\n\"multi\nline\"\nb";
+        let lexed = lex(src);
+        let b = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn string_continuation_escapes_still_count_their_newline() {
+        let src = "a\n\"split \\\nstring\"\nb";
         let lexed = lex(src);
         let b = lexed
             .tokens

@@ -33,6 +33,7 @@ fn every_rule_fires_exactly_on_the_seeded_violations() {
         ("R6", "violations/globals.rs", 5),
         ("R3", "violations/launch_accum.rs", 5),
         ("R3", "violations/launch_accum.rs", 11),
+        ("R3", "violations/launch_accum.rs", 17),
         ("R1", "violations/lock_cycle.rs", 13),
         ("R2", "violations/spawns.rs", 4),
         ("R2", "violations/spawns.rs", 8),
@@ -71,7 +72,7 @@ fn pattern_anchored_suppression_moves_a_finding_to_suppressed() {
     )
     .expect("allowlist parses");
     let analysis = fixture_findings(&allows);
-    assert_eq!(analysis.violations.len(), 11);
+    assert_eq!(analysis.violations.len(), 12);
     assert!(!analysis
         .violations
         .iter()
@@ -119,7 +120,7 @@ fn non_matching_suppression_is_reported_unused() {
     )
     .expect("allowlist parses");
     let analysis = fixture_findings(&allows);
-    assert_eq!(analysis.violations.len(), 12);
+    assert_eq!(analysis.violations.len(), 13);
     assert!(analysis.suppressed.is_empty());
     assert_eq!(analysis.unused_allows.len(), 1);
     assert_eq!(
@@ -152,7 +153,7 @@ fn json_report_round_trips_through_the_parser() {
     let json::Value::Arr(violations) = &map["violations"] else {
         panic!("violations is an array")
     };
-    assert_eq!(violations.len(), 11);
+    assert_eq!(violations.len(), 12);
     let json::Value::Arr(suppressed) = &map["suppressed"] else {
         panic!("suppressed is an array")
     };
@@ -164,7 +165,7 @@ fn human_report_formats_file_line_rule_message() {
     let analysis = fixture_findings(&[]);
     let report = analysis.human_report();
     assert!(report.contains("violations/spawns.rs:4: R2: "));
-    assert!(report.contains("12 violation(s)"));
+    assert!(report.contains("13 violation(s)"));
 }
 
 /// Self-check: the shipped `rules.toml` fully covers the real workspace —

@@ -18,3 +18,14 @@ fn fold_param(device: &Device) {
         acc
     });
 }
+
+fn batch_lane_writes(device: &Device, lanes: &mut [f64]) {
+    device.launch_batch("kernel", 4, 2, lanes, |ctx, slot| {
+        let mut sum = 0.0;
+        for value in ctx.samples() {
+            sum += value;
+        }
+        slot[0] += sum;
+        slot[1] += sum * sum;
+    });
+}

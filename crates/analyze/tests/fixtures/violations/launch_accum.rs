@@ -11,3 +11,9 @@ fn captured_indexed(device: &Device, out: &SharedSlice) {
         out[0] -= ctx.value;
     });
 }
+
+fn captured_in_batch(device: &Device, lanes: &mut [f64], mut total: f64) {
+    device.launch_batch("kernel", 4, 1, lanes, |ctx, slot| {
+        total += ctx.value;
+    });
+}

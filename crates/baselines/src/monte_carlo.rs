@@ -124,33 +124,41 @@ impl MonteCarlo {
         let mut iterations = 0usize;
         let mut round = 0u64;
 
+        // Two lanes per stream: Σf and Σf² partials, combined in block order.
+        let mut partials = vec![0.0f64; streams * 2];
         let (estimate, error, termination) = loop {
             iterations += 1;
             let per_stream = (round_samples / streams as u64).max(1);
             let seed = self.config.seed;
-            let partials = self
-                .device
-                .launch_map("monte_carlo.sample", streams, |ctx| {
-                    let mut rng =
-                        StdRng::seed_from_u64(seed ^ (round << 32) ^ ctx.block_idx as u64);
-                    let mut point = vec![0.0; dim];
-                    let mut sum = 0.0;
-                    let mut sum_sq = 0.0;
-                    for _ in 0..per_stream {
-                        for (axis, coord) in point.iter_mut().enumerate() {
-                            let u: f64 = rng.gen_range(0.0..1.0);
-                            *coord = region.lo()[axis] + u * region.extent(axis);
+            self.device
+                .launch_batch(
+                    "monte_carlo.sample",
+                    streams,
+                    2,
+                    &mut partials,
+                    |ctx, out| {
+                        let mut rng =
+                            StdRng::seed_from_u64(seed ^ (round << 32) ^ ctx.block_idx as u64);
+                        let mut point = vec![0.0; dim];
+                        let mut sum = 0.0;
+                        let mut sum_sq = 0.0;
+                        for _ in 0..per_stream {
+                            for (axis, coord) in point.iter_mut().enumerate() {
+                                let u: f64 = rng.gen_range(0.0..1.0);
+                                *coord = region.lo()[axis] + u * region.extent(axis);
+                            }
+                            let value = f.eval(&point);
+                            sum += value;
+                            sum_sq += value * value;
                         }
-                        let value = f.eval(&point);
-                        sum += value;
-                        sum_sq += value * value;
-                    }
-                    (sum, sum_sq)
-                })
+                        out[0] = sum;
+                        out[1] = sum_sq;
+                    },
+                )
                 .expect("Monte Carlo launches are never empty");
-            for (sum, sum_sq) in partials {
-                total_sum += sum;
-                total_sum_sq += sum_sq;
+            for slot in partials.chunks_exact(2) {
+                total_sum += slot[0];
+                total_sum_sq += slot[1];
             }
             total_samples += per_stream * streams as u64;
             round += 1;

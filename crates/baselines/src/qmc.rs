@@ -158,25 +158,32 @@ impl Qmc {
         let mut evaluations = 0u64;
         let mut iterations = 0usize;
 
+        let mut shift_means = vec![0.0f64; shifts.len()];
         let (estimate, error, termination) = loop {
             iterations += 1;
-            // One simulated block per shift; each block streams its Halton points.
-            let shift_means = self
-                .device
-                .launch_map("qmc.sample", shifts.len(), |ctx| {
-                    let shift = &shifts[ctx.block_idx];
-                    let mut sum = 0.0;
-                    let mut point = vec![0.0; dim];
-                    for k in 0..points_per_shift {
-                        for (axis, coord) in point.iter_mut().enumerate() {
-                            let u = radical_inverse(k + 1, PRIMES[axis]) + shift[axis];
-                            let u = u - u.floor();
-                            *coord = region.lo()[axis] + u * region.extent(axis);
+            // One simulated block per shift; each block streams its Halton
+            // points and writes its mean into its own lane slot.
+            self.device
+                .launch_batch(
+                    "qmc.sample",
+                    shifts.len(),
+                    1,
+                    &mut shift_means,
+                    |ctx, out| {
+                        let shift = &shifts[ctx.block_idx];
+                        let mut sum = 0.0;
+                        let mut point = vec![0.0; dim];
+                        for k in 0..points_per_shift {
+                            for (axis, coord) in point.iter_mut().enumerate() {
+                                let u = radical_inverse(k + 1, PRIMES[axis]) + shift[axis];
+                                let u = u - u.floor();
+                                *coord = region.lo()[axis] + u * region.extent(axis);
+                            }
+                            sum += f.eval(&point);
                         }
-                        sum += f.eval(&point);
-                    }
-                    volume * sum / points_per_shift as f64
-                })
+                        out[0] = volume * sum / points_per_shift as f64;
+                    },
+                )
                 .expect("QMC launches are never empty");
             evaluations += points_per_shift * shifts.len() as u64;
 

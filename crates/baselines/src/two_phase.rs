@@ -158,17 +158,34 @@ impl TwoPhase {
 
         loop {
             phase1_iterations += 1;
-            let estimates = self
-                .device
-                .launch_map("two_phase.evaluate", active.len(), |ctx| {
-                    let mut scratch = EvalScratch::new(dim);
-                    rule.evaluate(f, &active[ctx.block_idx], &mut scratch)
-                })
+            // Four lanes per region, the same layout as the core `evaluate`
+            // kernel: integral, error, split axis and evaluation count.
+            let mut lanes = vec![0.0f64; active.len() * 4];
+            self.device
+                .launch_batch(
+                    "two_phase.evaluate",
+                    active.len(),
+                    4,
+                    &mut lanes,
+                    |ctx, out| {
+                        let mut scratch = EvalScratch::new(dim);
+                        let est = rule.evaluate(f, &active[ctx.block_idx], &mut scratch);
+                        out[0] = est.integral;
+                        out[1] = est.error;
+                        out[2] = est.split_axis as f64;
+                        out[3] = est.evaluations as f64;
+                    },
+                )
                 .expect("phase I launch cannot be empty");
-            function_evaluations += estimates.iter().map(|e| e.evaluations as u64).sum::<u64>();
-            let integrals: Vec<f64> = estimates.iter().map(|e| e.integral).collect();
-            let mut errors: Vec<f64> = estimates.iter().map(|e| e.error).collect();
-            let axes: Vec<usize> = estimates.iter().map(|e| e.split_axis).collect();
+            let mut integrals: Vec<f64> = Vec::with_capacity(active.len());
+            let mut errors: Vec<f64> = Vec::with_capacity(active.len());
+            let mut axes: Vec<usize> = Vec::with_capacity(active.len());
+            for slot in lanes.chunks_exact(4) {
+                integrals.push(slot[0]);
+                errors.push(slot[1]);
+                axes.push(slot[2] as usize);
+                function_evaluations += slot[3] as u64;
+            }
             if let Some(parents) = &parent_integrals {
                 if parents.len() * 2 == integrals.len() {
                     refine_generation(&integrals, &mut errors, parents);
@@ -265,31 +282,46 @@ impl TwoPhase {
         // ----- Phase II: independent sequential Cuhre per region. -------------------
         let heap_capacity = self.config.phase2_heap_capacity;
         let local_budget = self.config.phase2_max_evaluations;
-        let outcomes = self
-            .device
-            .launch_map("two_phase.phase2", active.len(), |ctx| {
-                phase2_processor(
-                    f,
-                    &rule,
-                    &active[ctx.block_idx],
-                    tolerances,
-                    heap_capacity,
-                    local_budget,
-                    cancel,
-                )
-            })
+        // Five lanes per processor: integral, error, evaluation count,
+        // regions processed, and a 0/1 memory-exhaustion flag.  The counts
+        // ride in `f64` lanes; both are bounded far below 2^53 (by the
+        // per-processor evaluation budget), so the round trip is exact.
+        let mut outcomes = vec![0.0f64; active.len() * 5];
+        self.device
+            .launch_batch(
+                "two_phase.phase2",
+                active.len(),
+                5,
+                &mut outcomes,
+                |ctx, out| {
+                    let outcome = phase2_processor(
+                        f,
+                        &rule,
+                        &active[ctx.block_idx],
+                        tolerances,
+                        heap_capacity,
+                        local_budget,
+                        cancel,
+                    );
+                    out[0] = outcome.integral;
+                    out[1] = outcome.error;
+                    out[2] = outcome.evaluations as f64;
+                    out[3] = outcome.regions as f64;
+                    out[4] = f64::from(u8::from(outcome.memory_exhausted));
+                },
+            )
             .expect("phase II launch cannot be empty");
 
         let mut estimate = finished_estimate;
         let mut error = finished_error;
         let mut any_memory_exhausted = false;
         let mut phase2_regions = 0u64;
-        for outcome in &outcomes {
-            estimate += outcome.integral;
-            error += outcome.error;
-            function_evaluations += outcome.evaluations;
-            phase2_regions += outcome.regions;
-            any_memory_exhausted |= outcome.memory_exhausted;
+        for slot in outcomes.chunks_exact(5) {
+            estimate += slot[0];
+            error += slot[1];
+            function_evaluations += slot[2] as u64;
+            phase2_regions += slot[3] as u64;
+            any_memory_exhausted |= slot[4] != 0.0;
         }
         regions_generated += phase2_regions;
 
@@ -311,7 +343,7 @@ impl TwoPhase {
             iterations: phase1_iterations,
             function_evaluations,
             regions_generated,
-            active_regions_final: outcomes.len(),
+            active_regions_final: active.len(),
             wall_time: start.elapsed(),
         }
     }

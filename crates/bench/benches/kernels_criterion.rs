@@ -100,21 +100,26 @@ fn bench_launch_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("launch_overhead");
     group.sample_size(50);
     let shared = Device::v100_like();
-    group.bench_function("launch_map_64_trivial_global_pool", |b| {
+    let mut out = vec![0.0f64; 64];
+    group.bench_function("launch_batch_64_trivial_global_pool", |b| {
         b.iter(|| {
-            let out: Vec<usize> = shared
-                .launch_map("bench.trivial", 64, |ctx| ctx.block_idx)
+            shared
+                .launch_batch("bench.trivial", 64, 1, &mut out, |ctx, slot| {
+                    slot[0] = ctx.block_idx as f64;
+                })
                 .unwrap();
-            black_box(out.len())
+            black_box(out[63])
         })
     });
     let pooled = Device::new(DeviceConfig::v100_like().with_worker_threads(2));
-    group.bench_function("launch_map_64_trivial_2_workers", |b| {
+    group.bench_function("launch_batch_64_trivial_2_workers", |b| {
         b.iter(|| {
-            let out: Vec<usize> = pooled
-                .launch_map("bench.trivial", 64, |ctx| ctx.block_idx)
+            pooled
+                .launch_batch("bench.trivial", 64, 1, &mut out, |ctx, slot| {
+                    slot[0] = ctx.block_idx as f64;
+                })
                 .unwrap();
-            black_box(out.len())
+            black_box(out[63])
         })
     });
     group.finish();

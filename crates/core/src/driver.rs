@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use pagani_device::{reduce, scan, Device, DeviceError};
+use pagani_device::{scan, Device, DeviceError};
 use pagani_quadrature::two_level::refine_generation;
 use pagani_quadrature::{GenzMalik, Integrand, IntegrationResult, Region, Termination};
 
@@ -253,7 +253,10 @@ impl Pagani {
             // --- Global reductions and termination (lines 13-16). ---------------
             let (iter_estimate, iter_error) =
                 self.device.timed_section("postprocess.reduce", || {
-                    (reduce::sum(&integrals), reduce::sum(&errors))
+                    (
+                        self.device.reduce_sum(&integrals),
+                        self.device.reduce_sum(&errors),
+                    )
                 });
             let cumulative_estimate = iter_estimate + finished_estimate;
             let cumulative_error = iter_error + finished_error;
@@ -350,8 +353,8 @@ impl Pagani {
             let (active_estimate, active_error) =
                 self.device.timed_section("postprocess.reduce", || {
                     (
-                        reduce::masked_sum(&integrals, &mask),
-                        reduce::masked_sum(&errors, &mask),
+                        self.device.reduce_masked_sum(&integrals, &mask),
+                        self.device.reduce_masked_sum(&errors, &mask),
                     )
                 });
             finished_estimate += iter_estimate - active_estimate;

@@ -5,9 +5,17 @@
 //! block/region mapping the CUDA implementation uses — and produces the region's
 //! integral estimate, raw error estimate and recommended split axis.
 //!
-//! Two layers of storage are recycled on the hot path: the per-generation output
-//! arrays come from a [`ScratchArena`] (see [`evaluate_all_in`]), and the per-block
-//! rule scratch ([`EvalScratch`] plus the centre/half-width staging buffers) is
+//! Since the backend redesign the whole generation goes through **one batched
+//! structure-of-arrays launch**: the region list's centres and half-widths are
+//! packed into contiguous [`RegionPack`] buffers, every block reads its region
+//! straight out of the pack and writes its [`EVAL_LANES`] result values into its
+//! own slot of one flat output buffer, and the host unpacks the lanes in block
+//! order.  No per-block return values, no per-launch `Vec` of estimates — the
+//! same flat `dRegions`/`dRegionsLength` idiom the CUDA implementation uses.
+//!
+//! Two layers of storage are recycled on the hot path: the pack, the lane buffer
+//! and the per-generation output arrays come from a [`ScratchArena`] (see
+//! [`evaluate_all_in`]), and the per-block rule scratch ([`EvalScratch`]) is
 //! cached per worker thread, mirroring how a CUDA block reuses its shared-memory
 //! scratch across kernel launches instead of re-allocating it per region.
 
@@ -19,6 +27,97 @@ use pagani_quadrature::{EvalScratch, GenzMalik, Integrand};
 
 use crate::arena::ScratchArena;
 use crate::region_list::RegionList;
+
+/// Output lanes per block of the batched `evaluate` launch: integral estimate,
+/// raw error estimate, split axis and evaluation count (the two integer lanes
+/// ride in `f64` values; both are far below 2^53, so the round trip is exact).
+pub const EVAL_LANES: usize = 4;
+
+/// A generation of regions packed into contiguous centre/half-width arrays —
+/// the structure-of-arrays input of the batched `evaluate` launch.
+///
+/// Layout is region-major like [`RegionList`]: region `i`'s centre occupies
+/// `centers[i*dim .. (i+1)*dim]`.  The arrays are taken from (and retired to)
+/// a [`ScratchArena`], so steady-state generations allocate nothing.
+#[derive(Debug)]
+pub struct RegionPack {
+    centers: Vec<f64>,
+    halfwidths: Vec<f64>,
+    len: usize,
+    dim: usize,
+}
+
+impl RegionPack {
+    /// Pack `list` into contiguous centre/half-width buffers drawn from
+    /// `arena`.  The per-element arithmetic is exactly
+    /// [`RegionList::centered_view`]'s, so a packed centre is bit-identical
+    /// to the scalar path's.
+    #[must_use]
+    pub fn pack(list: &RegionList, arena: &ScratchArena) -> Self {
+        let values = list.len() * list.dim();
+        let mut centers = arena.take_f64(values);
+        let mut halfwidths = arena.take_f64(values);
+        for (&left, &length) in list.lefts().iter().zip(list.lengths()) {
+            let halfwidth = 0.5 * length;
+            halfwidths.push(halfwidth);
+            centers.push(left + halfwidth);
+        }
+        Self {
+            centers,
+            halfwidths,
+            len: list.len(),
+            dim: list.dim(),
+        }
+    }
+
+    /// Number of packed regions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pack is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the packed regions.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Centre of region `i`.
+    #[must_use]
+    pub fn center_of(&self, i: usize) -> &[f64] {
+        &self.centers[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Half-widths of region `i`.
+    #[must_use]
+    pub fn halfwidth_of(&self, i: usize) -> &[f64] {
+        &self.halfwidths[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The whole flat centre array, region-major.
+    #[must_use]
+    pub fn centers(&self) -> &[f64] {
+        &self.centers
+    }
+
+    /// The whole flat half-width array, region-major.
+    #[must_use]
+    pub fn halfwidths(&self) -> &[f64] {
+        &self.halfwidths
+    }
+
+    /// Shelve the pack's buffers into `arena` for the next generation.
+    pub fn retire(self, arena: &ScratchArena) {
+        arena.put_f64(self.centers);
+        arena.put_f64(self.halfwidths);
+    }
+}
 
 /// Per-generation output of the evaluate kernel (PAGANI's `V`, `E` and `K` lists).
 #[derive(Debug, Clone)]
@@ -42,39 +141,20 @@ impl Evaluation {
     }
 }
 
-/// Per-thread rule scratch, keyed by dimension.  Worker threads are
-/// persistent, so each worker allocates this once per dimension and reuses it
-/// for every region it ever evaluates.
-struct BlockScratch {
-    scratch: EvalScratch,
-    center: Vec<f64>,
-    halfwidth: Vec<f64>,
-}
-
-impl BlockScratch {
-    fn new(dim: usize) -> Self {
-        Self {
-            scratch: EvalScratch::new(dim),
-            center: vec![0.0; dim],
-            halfwidth: vec![0.0; dim],
-        }
-    }
-}
-
 thread_local! {
-    static BLOCK_SCRATCH: RefCell<HashMap<usize, BlockScratch>> = RefCell::new(HashMap::new());
+    static BLOCK_SCRATCH: RefCell<HashMap<usize, EvalScratch>> = RefCell::new(HashMap::new());
 }
 
-/// Run `body` with this thread's cached scratch for `dim`, creating it on
+/// Run `body` with this thread's cached rule scratch for `dim`, creating it on
 /// first use.  The scratch is taken out of the cache for the duration of the
 /// call (and re-inserted afterwards), so a re-entrant evaluation on the same
 /// thread degrades to a fresh allocation instead of a borrow panic.
-fn with_block_scratch<R>(dim: usize, body: impl FnOnce(&mut BlockScratch) -> R) -> R {
-    let mut block = BLOCK_SCRATCH
+fn with_block_scratch<R>(dim: usize, body: impl FnOnce(&mut EvalScratch) -> R) -> R {
+    let mut scratch = BLOCK_SCRATCH
         .with(|cache| cache.borrow_mut().remove(&dim))
-        .unwrap_or_else(|| BlockScratch::new(dim));
-    let out = body(&mut block);
-    BLOCK_SCRATCH.with(|cache| cache.borrow_mut().insert(dim, block));
+        .unwrap_or_else(|| EvalScratch::new(dim));
+    let out = body(&mut scratch);
+    BLOCK_SCRATCH.with(|cache| cache.borrow_mut().insert(dim, scratch));
     out
 }
 
@@ -92,7 +172,9 @@ pub fn evaluate_all<F: Integrand + ?Sized>(
     evaluate_all_in(device, rule, integrand, list, &ScratchArena::default())
 }
 
-/// [`evaluate_all`] drawing the output arrays from `arena`.
+/// [`evaluate_all`] drawing the pack, lane and output arrays from `arena`:
+/// pack the generation into a [`RegionPack`], issue **one** batched
+/// [`Device::launch_batch`] over it, and unpack the flat lanes in block order.
 ///
 /// # Errors
 /// Propagates launch errors from the device.
@@ -105,28 +187,38 @@ pub fn evaluate_all_in<F: Integrand + ?Sized>(
 ) -> DeviceResult<Evaluation> {
     let dim = list.dim();
     debug_assert_eq!(rule.dim(), dim);
-    let estimates = device.launch_map("evaluate", list.len(), |ctx| {
-        with_block_scratch(dim, |block| {
-            list.centered_view(ctx.block_idx, &mut block.center, &mut block.halfwidth);
-            rule.evaluate_centered(
-                integrand,
-                &block.center,
-                &block.halfwidth,
-                &mut block.scratch,
-            )
-        })
-    })?;
-
-    let mut integrals = arena.take_f64(estimates.len());
-    let mut errors = arena.take_f64(estimates.len());
-    let mut split_axes = arena.take_axes(estimates.len());
-    let mut function_evaluations = 0u64;
-    for est in estimates {
-        integrals.push(est.integral);
-        errors.push(est.error);
-        split_axes.push(est.split_axis);
-        function_evaluations += est.evaluations as u64;
+    let count = list.len();
+    let pack = RegionPack::pack(list, arena);
+    let mut lanes = arena.take_f64(count * EVAL_LANES);
+    lanes.resize(count * EVAL_LANES, 0.0);
+    let launched = device.launch_batch("evaluate", count, EVAL_LANES, &mut lanes, |ctx, out| {
+        let i = ctx.block_idx;
+        with_block_scratch(dim, |scratch| {
+            let est =
+                rule.evaluate_centered(integrand, pack.center_of(i), pack.halfwidth_of(i), scratch);
+            out[0] = est.integral;
+            out[1] = est.error;
+            out[2] = est.split_axis as f64;
+            out[3] = est.evaluations as f64;
+        });
+    });
+    pack.retire(arena);
+    if let Err(err) = launched {
+        arena.put_f64(lanes);
+        return Err(err);
     }
+
+    let mut integrals = arena.take_f64(count);
+    let mut errors = arena.take_f64(count);
+    let mut split_axes = arena.take_axes(count);
+    let mut function_evaluations = 0u64;
+    for slot in lanes.chunks_exact(EVAL_LANES) {
+        integrals.push(slot[0]);
+        errors.push(slot[1]);
+        split_axes.push(slot[2] as usize);
+        function_evaluations += slot[3] as u64;
+    }
+    arena.put_f64(lanes);
     Ok(Evaluation {
         integrals,
         errors,
@@ -193,6 +285,34 @@ mod tests {
         let timing = device.profile().kernel("evaluate").unwrap();
         assert_eq!(timing.launches, 1);
         assert_eq!(timing.blocks, 16);
+    }
+
+    #[test]
+    fn pack_matches_centered_view_bit_for_bit() {
+        let (device, _, _) = setup(2, 2);
+        let regions = [
+            Region::new(vec![0.25, -3.0, 10.0], vec![0.75, 4.5, 10.125]),
+            Region::new(vec![-1e-9, 0.0, -5.5], vec![2e-9, 0.1, -2.25]),
+        ];
+        let list = RegionList::from_regions(&regions, device.memory()).unwrap();
+        let arena = ScratchArena::new();
+        let pack = RegionPack::pack(&list, &arena);
+        assert_eq!((pack.len(), pack.dim()), (2, 3));
+        let mut center = vec![0.0; 3];
+        let mut halfwidth = vec![0.0; 3];
+        for i in 0..list.len() {
+            list.centered_view(i, &mut center, &mut halfwidth);
+            for axis in 0..3 {
+                assert_eq!(pack.center_of(i)[axis].to_bits(), center[axis].to_bits());
+                assert_eq!(
+                    pack.halfwidth_of(i)[axis].to_bits(),
+                    halfwidth[axis].to_bits()
+                );
+            }
+        }
+        assert_eq!(pack.centers().len(), 6);
+        assert_eq!(pack.halfwidths().len(), 6);
+        pack.retire(&arena);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub use cost::{
     cost_ceiling, estimated_cost, estimated_job_cost, job_tolerances, CostKey, CostModel, Ewma,
 };
 pub use driver::{CancelToken, Pagani, PaganiOutput};
+pub use evaluate::{Evaluation, RegionPack, EVAL_LANES};
 pub use integrator::{check_cancelled, Capabilities, Integrator, IntegratorFactory};
 pub use multi_device::{
     plan_dispatch, DispatchMode, MultiDeviceOutput, MultiDevicePagani, MultiDeviceService,

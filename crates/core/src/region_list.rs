@@ -161,6 +161,19 @@ impl RegionList {
         self.lefts.charged_bytes() + self.lengths.charged_bytes()
     }
 
+    /// The whole flat left-edge array, region-major (`[i*dim + axis]`) —
+    /// the buffer a batched structure-of-arrays launch packs from.
+    #[must_use]
+    pub fn lefts(&self) -> &[f64] {
+        &self.lefts[..self.len * self.dim]
+    }
+
+    /// The whole flat edge-length array, region-major (`[i*dim + axis]`).
+    #[must_use]
+    pub fn lengths(&self) -> &[f64] {
+        &self.lengths[..self.len * self.dim]
+    }
+
     /// Left edges of region `i`.
     #[must_use]
     pub fn lefts_of(&self, i: usize) -> &[f64] {

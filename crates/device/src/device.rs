@@ -1,16 +1,20 @@
 //! The simulated device: configuration, kernel launches and access to memory,
 //! primitives and profiling.
+//!
+//! Since the backend redesign, [`Device`] is a thin handle: an
+//! `Arc<dyn ComputeBackend>` plus one [`MemoryPool`] accounting view.  All
+//! execution — wave-serialised launches, reductions, profiled host sections —
+//! goes through the trait, so swapping the substrate (see
+//! [`crate::backend`]) leaves every caller of this type untouched.
 
 use std::sync::Arc;
-use std::time::Instant;
 
-use rayon::prelude::*;
-
-use crate::error::{DeviceError, DeviceResult};
-use crate::gate::FairGate;
+use crate::backend::{ComputeBackend, CpuBackend};
+use crate::error::DeviceResult;
 use crate::launch::{BlockContext, LaunchConfig};
 use crate::memory::MemoryPool;
 use crate::profile::DeviceProfile;
+use crate::FairGate;
 
 /// Static description of the simulated accelerator.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,16 +87,13 @@ impl Default for DeviceConfig {
 
 struct DeviceInner {
     config: DeviceConfig,
+    /// The execution substrate.  Shared with clones and memory-isolated
+    /// views, so workers, the submission gate and the profile are common
+    /// to every view of one device.
+    backend: Arc<dyn ComputeBackend>,
+    /// This view's memory-accounting pool (clones share it; isolated
+    /// views get a fresh one from the backend).
     memory: MemoryPool,
-    /// Shared with memory-isolated views so the §4.3.2 breakdown aggregates
-    /// every job's kernels, wherever they ran.
-    profile: Arc<DeviceProfile>,
-    /// Shared with memory-isolated views: all views launch onto the same
-    /// workers, which is what keeps batch execution free of oversubscription.
-    thread_pool: Option<Arc<rayon::ThreadPool>>,
-    /// FIFO admission gate for concurrent job submitters, sized to the
-    /// device's effective worker count and shared across views.
-    gate: Arc<FairGate>,
 }
 
 /// Handle to the simulated accelerator.
@@ -113,32 +114,43 @@ impl std::fmt::Debug for Device {
 }
 
 impl Device {
-    /// Create a device from a configuration.
+    /// Create a device from a configuration, running on the reference
+    /// [`CpuBackend`].
     ///
     /// # Panics
-    /// Panics if a dedicated Rayon pool was requested but could not be built (this
+    /// Panics if a dedicated worker pool was requested but could not be built (this
     /// only happens under pathological resource exhaustion on the host).
     #[must_use]
     pub fn new(config: DeviceConfig) -> Self {
-        let memory = MemoryPool::new(config.memory_capacity);
-        let thread_pool = config.worker_threads.map(|threads| {
-            Arc::new(
-                rayon::ThreadPoolBuilder::new()
-                    .num_threads(threads)
-                    .build()
-                    .expect("failed to build device worker pool"),
-            )
-        });
-        let workers = config
-            .worker_threads
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        Self::from_parts(config.clone(), Arc::new(CpuBackend::new(config)))
+    }
+
+    /// Create a device over an explicit backend; the configuration is
+    /// synthesised from [`ComputeBackend::caps`].
+    ///
+    /// This is how alternative substrates — or instrumentation wrappers
+    /// like [`crate::CountingBackend`] — slot in underneath the whole
+    /// integration stack.
+    #[must_use]
+    pub fn with_backend(backend: Arc<dyn ComputeBackend>) -> Self {
+        let caps = backend.caps();
+        let config = DeviceConfig {
+            memory_capacity: caps.memory_capacity,
+            max_resident_blocks: caps.max_resident_blocks,
+            default_block_size: caps.default_block_size,
+            worker_threads: Some(caps.workers),
+            name: caps.name,
+        };
+        Self::from_parts(config, backend)
+    }
+
+    fn from_parts(config: DeviceConfig, backend: Arc<dyn ComputeBackend>) -> Self {
+        let memory = backend.alloc_memory_view();
         Self {
             inner: Arc::new(DeviceInner {
                 config,
+                backend,
                 memory,
-                profile: Arc::new(DeviceProfile::new()),
-                thread_pool,
-                gate: Arc::new(FairGate::new(workers)),
             }),
         }
     }
@@ -161,6 +173,12 @@ impl Device {
         &self.inner.config
     }
 
+    /// The backend this device executes on.
+    #[must_use]
+    pub fn backend(&self) -> &Arc<dyn ComputeBackend> {
+        &self.inner.backend
+    }
+
     /// The device memory pool.
     #[must_use]
     pub fn memory(&self) -> &MemoryPool {
@@ -170,7 +188,7 @@ impl Device {
     /// The accumulated kernel profile.
     #[must_use]
     pub fn profile(&self) -> &DeviceProfile {
-        &self.inner.profile
+        self.inner.backend.profile()
     }
 
     /// Number of worker threads a kernel launch on this device can occupy: the
@@ -179,7 +197,7 @@ impl Device {
     /// to the submission gate's capacity.
     #[must_use]
     pub fn effective_workers(&self) -> usize {
-        self.inner.gate.capacity()
+        self.inner.backend.gate().capacity()
     }
 
     /// The device's FIFO admission gate for concurrent job submitters.
@@ -190,12 +208,12 @@ impl Device {
     /// flight at once and they are admitted in arrival order.
     #[must_use]
     pub fn submission_gate(&self) -> &FairGate {
-        &self.inner.gate
+        self.inner.backend.gate()
     }
 
-    /// A handle to this device that shares its workers, submission gate,
-    /// profile and configuration but draws from a **fresh, full-capacity
-    /// memory pool**.
+    /// A handle to this device that shares its backend — workers, submission
+    /// gate, profile and configuration — but draws from a **fresh,
+    /// full-capacity memory pool**.
     ///
     /// This is the per-job memory model of the batch execution engine: each
     /// concurrent job sees the same empty, full-capacity pool it would see if
@@ -209,101 +227,80 @@ impl Device {
         Device {
             inner: Arc::new(DeviceInner {
                 config: self.inner.config.clone(),
-                memory: MemoryPool::new(self.inner.config.memory_capacity),
-                profile: Arc::clone(&self.inner.profile),
-                thread_pool: self.inner.thread_pool.clone(),
-                gate: Arc::clone(&self.inner.gate),
+                backend: Arc::clone(&self.inner.backend),
+                memory: self.inner.backend.alloc_memory_view(),
             }),
         }
     }
 
-    fn run_in_pool<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
-        match &self.inner.thread_pool {
-            Some(pool) => pool.install(op),
-            None => op(),
+    fn default_config(&self, grid_size: usize) -> LaunchConfig {
+        LaunchConfig {
+            grid_size,
+            block_size: self.inner.config.default_block_size,
         }
     }
 
-    /// The one execution path every kernel launch goes through: validate the
-    /// launch, serialise the grid into waves of at most `max_resident_blocks`
-    /// blocks, run each wave in parallel inside the device's worker pool, and
-    /// record wall time, block count and wave count in the profile.
-    fn execute_grid<T, F>(
-        &self,
-        kernel: &'static str,
-        config: LaunchConfig,
-        body: &F,
-    ) -> DeviceResult<Vec<T>>
-    where
-        T: Send,
-        F: Fn(BlockContext) -> T + Sync,
-    {
-        if config.grid_size == 0 {
-            return Err(DeviceError::EmptyLaunch { kernel });
-        }
-        if config.block_size == 0 {
-            return Err(DeviceError::InvalidLaunchConfig {
-                reason: format!("kernel `{kernel}` launched with zero threads per block"),
-            });
-        }
-        let grid_size = config.grid_size;
-        let block_size = config.block_size;
-        let wave_cap = self.inner.config.max_resident_blocks.max(1);
-        let waves = grid_size.div_ceil(wave_cap);
-        let run_block = |block_idx: usize| {
-            body(BlockContext {
-                block_idx,
-                grid_size,
-                block_size,
-            })
-        };
-        let start = Instant::now();
-        let out = self.run_in_pool(|| {
-            if waves == 1 {
-                (0..grid_size).into_par_iter().map(run_block).collect()
-            } else {
-                let mut out = Vec::with_capacity(grid_size);
-                for wave in 0..waves {
-                    let wave_start = wave * wave_cap;
-                    let wave_end = grid_size.min(wave_start + wave_cap);
-                    let wave_out: Vec<T> = (wave_start..wave_end)
-                        .into_par_iter()
-                        .map(run_block)
-                        .collect();
-                    out.extend(wave_out);
-                }
-                out
-            }
-        });
-        self.inner
-            .profile
-            .record_launch(kernel, grid_size, waves, start.elapsed());
-        Ok(out)
-    }
-
-    /// Launch `grid_size` blocks of the default block size; see [`Device::launch_with`].
+    /// Launch a pure side-effect kernel: run `body` once per block of a
+    /// `grid_size`-block grid of the default block size, in parallel, and
+    /// block until the whole grid has completed.  Grids larger than the
+    /// device's `max_resident_blocks` execute as consecutive waves of at
+    /// most that many blocks.  Wall time is recorded in the profile under
+    /// `kernel`.
     ///
     /// # Errors
-    /// Returns [`DeviceError::EmptyLaunch`] for an empty grid.
+    /// Returns [`crate::DeviceError::EmptyLaunch`] for an empty grid.
     pub fn launch<F>(&self, kernel: &'static str, grid_size: usize, body: F) -> DeviceResult<()>
     where
         F: Fn(BlockContext) + Sync,
     {
-        let cfg = LaunchConfig {
-            grid_size,
-            block_size: self.inner.config.default_block_size,
-        };
-        self.launch_with(kernel, cfg, body)
+        self.inner.backend.launch_batch(
+            kernel,
+            self.default_config(grid_size),
+            0,
+            &mut [],
+            &|ctx, _| body(ctx),
+        )
     }
 
-    /// Launch a kernel: run `body` once per block of `config`, in parallel, and block
-    /// until the whole grid has completed.  Grids larger than the device's
-    /// `max_resident_blocks` execute as consecutive waves of at most that many
-    /// blocks.  Wall time is recorded in the profile under `kernel`.
+    /// Launch a batched structure-of-arrays kernel: every block `i` of a
+    /// `grid_size`-block grid writes its `lanes` output values into
+    /// `out[i*lanes .. (i+1)*lanes]`.  This is the shape of PAGANI's
+    /// `evaluate` kernel — one launch covers a whole generation of regions,
+    /// with the per-region estimates landing in flat, reusable buffers.
+    ///
+    /// Blocks never share output cells, so the convention is race-free by
+    /// construction; combine across blocks on the host with
+    /// [`Device::reduce_sum`] and friends.
     ///
     /// # Errors
-    /// Returns [`DeviceError::EmptyLaunch`] for an empty grid and
-    /// [`DeviceError::InvalidLaunchConfig`] for a zero block size.
+    /// Returns [`crate::DeviceError::EmptyLaunch`] for an empty grid and
+    /// [`crate::DeviceError::InvalidLaunchConfig`] when
+    /// `out.len() != grid_size * lanes`.
+    pub fn launch_batch<F>(
+        &self,
+        kernel: &'static str,
+        grid_size: usize,
+        lanes: usize,
+        out: &mut [f64],
+        body: F,
+    ) -> DeviceResult<()>
+    where
+        F: Fn(BlockContext, &mut [f64]) + Sync,
+    {
+        self.inner
+            .backend
+            .launch_batch(kernel, self.default_config(grid_size), lanes, out, &body)
+    }
+
+    /// Launch a side-effect kernel with an explicit [`LaunchConfig`].
+    ///
+    /// # Errors
+    /// Returns [`crate::DeviceError::EmptyLaunch`] for an empty grid and
+    /// [`crate::DeviceError::InvalidLaunchConfig`] for a zero block size.
+    #[deprecated(
+        note = "go through `Device::launch`, or `ComputeBackend::launch_batch` when a \
+                non-default block size is required"
+    )]
     pub fn launch_with<F>(
         &self,
         kernel: &'static str,
@@ -313,16 +310,20 @@ impl Device {
     where
         F: Fn(BlockContext) + Sync,
     {
-        self.execute_grid::<(), _>(kernel, config, &|ctx| body(ctx))
-            .map(|_| ())
+        self.inner
+            .backend
+            .launch_batch(kernel, config, 0, &mut [], &|ctx, _| body(ctx))
     }
 
     /// Launch a kernel in which every block produces one output value; the outputs are
-    /// returned in block order (waves preserve it).  This is the shape of PAGANI's
-    /// `evaluate` kernel (one block evaluates one region and produces its estimates).
+    /// returned in block order (waves preserve it).
     ///
     /// # Errors
-    /// Returns [`DeviceError::EmptyLaunch`] for an empty grid.
+    /// Returns [`crate::DeviceError::EmptyLaunch`] for an empty grid.
+    #[deprecated(
+        note = "per-block return values cost an allocation per launch; write lane values \
+                into a flat buffer with `Device::launch_batch` instead"
+    )]
     pub fn launch_map<T, F>(
         &self,
         kernel: &'static str,
@@ -333,27 +334,69 @@ impl Device {
         T: Send,
         F: Fn(BlockContext) -> T + Sync,
     {
-        let cfg = LaunchConfig {
-            grid_size,
-            block_size: self.inner.config.default_block_size,
-        };
-        self.execute_grid(kernel, cfg, &body)
+        let slots: Vec<parking_lot::Mutex<Option<T>>> = (0..grid_size)
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
+        self.inner.backend.launch_batch(
+            kernel,
+            self.default_config(grid_size),
+            0,
+            &mut [],
+            &|ctx, _| {
+                *slots[ctx.block_idx].lock() = Some(body(ctx));
+            },
+        )?;
+        Ok(slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every launched block produces a value")
+            })
+            .collect())
+    }
+
+    /// Deterministic sum reduction on the device's backend.
+    #[must_use]
+    pub fn reduce_sum(&self, values: &[f64]) -> f64 {
+        self.inner.backend.reduce_sum(values)
+    }
+
+    /// Deterministic masked sum reduction on the device's backend.
+    #[must_use]
+    pub fn reduce_masked_sum(&self, values: &[f64], mask: &[u8]) -> f64 {
+        self.inner.backend.reduce_masked_sum(values, mask)
+    }
+
+    /// Deterministic `(min, max)` reduction on the device's backend.
+    #[must_use]
+    pub fn reduce_min_max(&self, values: &[f64]) -> Option<(f64, f64)> {
+        self.inner.backend.reduce_min_max(values)
+    }
+
+    /// Exclusive prefix scan on the device's backend.
+    #[must_use]
+    pub fn scan_exclusive(&self, values: &[usize]) -> (Vec<usize>, usize) {
+        self.inner.backend.scan_exclusive(values)
     }
 
     /// Run a host-side parallel section inside the device's worker pool and record it
     /// in the profile.  Used for the Thrust-style primitives so that their time shows
     /// up in the §4.3.2 breakdown.
     pub fn timed_section<R: Send>(&self, kernel: &str, op: impl FnOnce() -> R + Send) -> R {
-        let start = Instant::now();
-        let out = self.run_in_pool(op);
-        self.inner.profile.record(kernel, 1, start.elapsed());
-        out
+        let mut op = Some(op);
+        let mut slot: Option<R> = None;
+        self.inner.backend.timed(kernel, &mut || {
+            slot = Some((op.take().expect("timed section body runs once"))());
+        });
+        slot.expect("backend ran the timed section body")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::CountingBackend;
+    use crate::DeviceError;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -369,7 +412,22 @@ mod tests {
     }
 
     #[test]
-    fn launch_map_preserves_block_order() {
+    fn launch_batch_preserves_block_order() {
+        let device = Device::test_small();
+        let mut out = vec![0.0; 64];
+        device
+            .launch_batch("square", 64, 1, &mut out, |ctx, slot| {
+                slot[0] = (ctx.block_idx * ctx.block_idx) as f64;
+            })
+            .unwrap();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as f64);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn launch_map_shim_preserves_block_order() {
         let device = Device::test_small();
         let out = device
             .launch_map("square", 64, |ctx| ctx.block_idx * ctx.block_idx)
@@ -381,15 +439,21 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn empty_launch_is_an_error() {
         let device = Device::test_small();
         let err = device.launch("noop", 0, |_| {}).unwrap_err();
         assert_eq!(err, DeviceError::EmptyLaunch { kernel: "noop" });
         let err = device.launch_map::<usize, _>("noop", 0, |_| 0).unwrap_err();
         assert_eq!(err, DeviceError::EmptyLaunch { kernel: "noop" });
+        let err = device
+            .launch_batch("noop", 0, 1, &mut [], |_, _| {})
+            .unwrap_err();
+        assert_eq!(err, DeviceError::EmptyLaunch { kernel: "noop" });
     }
 
     #[test]
+    #[allow(deprecated)]
     fn zero_block_size_is_rejected() {
         let device = Device::test_small();
         let cfg = LaunchConfig::grid(4).with_block_size(0);
@@ -437,11 +501,13 @@ mod tests {
     fn wave_execution_preserves_block_order_and_coverage() {
         let device = Device::test_small();
         // 2.5 waves worth of blocks; outputs must still arrive in block order.
-        let out = device
-            .launch_map("waved.map", 2560, |ctx| ctx.block_idx)
+        let mut out = vec![0.0; 2560];
+        device
+            .launch_batch("waved.map", 2560, 1, &mut out, |ctx, slot| {
+                slot[0] = ctx.block_idx as f64;
+            })
             .unwrap();
-        assert_eq!(out.len(), 2560);
-        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as f64));
         let t = device.profile().kernel("waved.map").unwrap();
         assert_eq!(t.waves, 3);
     }
@@ -466,6 +532,24 @@ mod tests {
         let out = device.timed_section("reduce.sum", || 21 * 2);
         assert_eq!(out, 42);
         assert!(device.profile().kernel("reduce.sum").is_some());
+    }
+
+    #[test]
+    fn reduction_wrappers_delegate_to_the_backend() {
+        let device = Device::test_small();
+        let values: Vec<f64> = (0..3000).map(|i| i as f64 * 0.5).collect();
+        assert_eq!(
+            device.reduce_sum(&values).to_bits(),
+            crate::reduce::sum(&values).to_bits()
+        );
+        let mask: Vec<u8> = (0..3000).map(|i| u8::from(i % 2 == 0)).collect();
+        assert_eq!(
+            device.reduce_masked_sum(&values, &mask).to_bits(),
+            crate::reduce::masked_sum(&values, &mask).to_bits()
+        );
+        assert_eq!(device.reduce_min_max(&[]), None);
+        let counts = vec![1usize, 2, 3];
+        assert_eq!(device.scan_exclusive(&counts), (vec![0, 1, 3], 6));
     }
 
     #[test]
@@ -510,5 +594,38 @@ mod tests {
         assert_eq!(device.effective_workers(), 3);
         let shared = Device::test_small();
         assert!(shared.effective_workers() >= 1);
+    }
+
+    #[test]
+    fn with_backend_synthesises_the_config_from_caps() {
+        let backend = Arc::new(CpuBackend::new(
+            DeviceConfig::test_small().with_worker_threads(2),
+        ));
+        let device = Device::with_backend(backend);
+        assert_eq!(device.config().name, "simulated-test");
+        assert_eq!(device.config().worker_threads, Some(2));
+        assert_eq!(device.effective_workers(), 2);
+        assert_eq!(device.memory().capacity(), 8 * (1 << 20));
+    }
+
+    #[test]
+    fn counting_backend_device_runs_all_existing_paths() {
+        let counting = Arc::new(CountingBackend::new(Arc::new(CpuBackend::new(
+            DeviceConfig::test_small(),
+        ))));
+        let device = Device::with_backend(Arc::clone(&counting) as Arc<dyn ComputeBackend>);
+        let mut out = vec![0.0; 4];
+        device
+            .launch_batch("counted", 4, 1, &mut out, |ctx, slot| {
+                slot[0] = ctx.block_idx as f64 + 1.0;
+            })
+            .unwrap();
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(counting.launches_for("counted"), 1);
+        let view = device.isolated_memory_view();
+        view.launch("counted", 2, |_| {}).unwrap();
+        assert_eq!(counting.launches_for("counted"), 2);
+        // Two views: the device's own plus the isolated one.
+        assert_eq!(counting.memory_views(), 2);
     }
 }

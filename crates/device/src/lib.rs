@@ -7,12 +7,17 @@
 //! prefix scans.  Stable Rust has no mature path to custom GPU kernels, so this crate
 //! models the *behaviourally relevant* properties of that device on a multi-core CPU:
 //!
-//! * [`Device`] owns a [`MemoryPool`] with a configurable byte capacity.  Every region
+//! * [`backend::ComputeBackend`] is the pluggable substrate seam: batched launches
+//!   over flat buffers, memory accounting, reductions and scans as a dyn-safe trait,
+//!   with [`backend::CpuBackend`] as the reference implementation.
+//! * [`Device`] is a thin handle over an `Arc<dyn ComputeBackend>` plus a
+//!   [`MemoryPool`] accounting view with a configurable byte capacity.  Every region
 //!   list allocation is charged against the pool, so memory exhaustion — which drives
 //!   several of the paper's experiments — happens exactly where it would on the GPU.
-//! * [`Device::launch`] runs a *grid* of independent blocks on a Rayon thread pool,
-//!   mirroring the bulk-synchronous kernel-launch model (all blocks finish before the
-//!   host continues).
+//! * [`Device::launch_batch`] runs a *grid* of independent blocks on a Rayon thread
+//!   pool, mirroring the bulk-synchronous kernel-launch model (all blocks finish
+//!   before the host continues), with each block writing its outputs into its own
+//!   slot of one flat structure-of-arrays buffer.
 //! * [`reduce`] and [`scan`] provide the Thrust-equivalent parallel primitives used by
 //!   PAGANI's post-processing (sum reductions, dot-product reductions, min/max,
 //!   exclusive prefix scans, stream compaction).
@@ -26,6 +31,7 @@
 #![warn(unreachable_pub)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod error;
 pub mod gate;
 pub mod launch;
@@ -36,6 +42,7 @@ pub mod scan;
 
 mod device;
 
+pub use backend::{BackendCaps, ComputeBackend, CountingBackend, CpuBackend};
 pub use device::{Device, DeviceConfig};
 pub use error::{DeviceError, DeviceResult};
 pub use gate::{FairGate, GatePermit};

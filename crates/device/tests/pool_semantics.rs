@@ -50,8 +50,9 @@ fn nested_reduce_inside_kernel_body_respects_worker_threads_cap() {
     let expected_bits = reduce::sum(&values).to_bits();
 
     let gauge = Gauge::default();
-    let sums: Vec<u64> = device
-        .launch_map("nested.sum", 8, |_ctx| {
+    let mut sums = vec![0.0f64; 8];
+    device
+        .launch_batch("nested.sum", 8, 1, &mut sums, |_ctx, slot| {
             // Inside a kernel body we must still be inside the device's
             // 1-thread pool, not the machine-wide default.
             assert_eq!(rayon::current_num_threads(), 1);
@@ -63,7 +64,7 @@ fn nested_reduce_inside_kernel_body_respects_worker_threads_cap() {
             });
             // And exercise the real nested workload from the issue: a
             // deterministic parallel reduction over a >CHUNK slice.
-            reduce::sum(&values).to_bits()
+            slot[0] = reduce::sum(&values);
         })
         .unwrap();
 
@@ -72,7 +73,7 @@ fn nested_reduce_inside_kernel_body_respects_worker_threads_cap() {
         1,
         "nested parallel call escaped the worker_threads(1) cap"
     );
-    assert!(sums.iter().all(|&bits| bits == expected_bits));
+    assert!(sums.iter().all(|&sum| sum.to_bits() == expected_bits));
 }
 
 #[test]
@@ -122,16 +123,18 @@ where
 }
 
 #[test]
-fn device_launch_map_is_identical_across_worker_counts() {
+fn device_launch_batch_is_identical_across_worker_counts() {
     let results: Vec<Vec<u64>> = [1usize, 2, 8]
         .iter()
         .map(|&n| {
             let device = Device::new(DeviceConfig::test_small().with_worker_threads(n));
+            let mut out = vec![0.0f64; 3000];
             device
-                .launch_map("det.map", 3000, |ctx| {
-                    ((ctx.block_idx as f64).sin() * 1e9).to_bits()
+                .launch_batch("det.map", 3000, 1, &mut out, |ctx, slot| {
+                    slot[0] = (ctx.block_idx as f64).sin() * 1e9;
                 })
-                .unwrap()
+                .unwrap();
+            out.iter().map(|v| v.to_bits()).collect()
         })
         .collect();
     assert_eq!(results[0], results[1]);

@@ -89,6 +89,30 @@
 //! assert!(outputs.iter().all(|o| o.result.converged()));
 //! ```
 //!
+//! ## Pluggable compute backends
+//!
+//! The simulated device is one implementation of the [`ComputeBackend`]
+//! trait — the four-primitive seam (batched launch over flat lane buffers,
+//! memory views, reductions, scans) every layer above is written against.
+//! Wrap or replace the backend without touching the algorithm; the bundled
+//! [`CountingBackend`] proves the point by counting launches:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pagani::prelude::*;
+//! use pagani::{CountingBackend, CpuBackend};
+//!
+//! let counting = Arc::new(CountingBackend::new(Arc::new(CpuBackend::new(
+//!     DeviceConfig::test_small(),
+//! ))));
+//! let device = Device::with_backend(counting.clone());
+//! let pagani = Pagani::new(device, PaganiConfig::test_small(Tolerances::rel(1e-4)));
+//! let out = pagani.integrate(&FnIntegrand::new(2, |x: &[f64]| x[0] + x[1]));
+//!
+//! // Structure-of-arrays evaluation: exactly one batched launch per iteration.
+//! assert_eq!(counting.launches_for("evaluate"), out.result.iterations);
+//! ```
+//!
 //! The `examples/` directory contains runnable end-to-end scenarios (quick start, a
 //! cosmology-flavoured likelihood normalisation, a basket-option payoff, a
 //! batch-throughput demo, the threshold search trace of the paper's Figure 3 and a
@@ -108,10 +132,11 @@ pub use pagani_quadrature as quadrature;
 pub use pagani_baselines::{IntegratorBuilder, MethodConfig};
 pub use pagani_core::batch::integrate_batch;
 pub use pagani_core::{
-    Capabilities, CostKey, CostModel, DeadlineInfeasible, DispatchMode, IntegrationService,
-    Integrator, IntegratorFactory, JobHandle, MultiDeviceService, Priority, QueueFull, Rejected,
-    ServiceMetrics, ServicePolicy, WaitStats,
+    Capabilities, CostKey, CostModel, DeadlineInfeasible, DispatchMode, Evaluation,
+    IntegrationService, Integrator, IntegratorFactory, JobHandle, MultiDeviceService, Priority,
+    QueueFull, RegionPack, Rejected, ServiceMetrics, ServicePolicy, WaitStats, EVAL_LANES,
 };
+pub use pagani_device::{BackendCaps, ComputeBackend, CountingBackend, CpuBackend};
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
@@ -126,7 +151,7 @@ pub mod prelude {
         PaganiOutput, Priority, QueueFull, Rejected, ScratchArena, ServiceMetrics, ServicePolicy,
         WaitStats,
     };
-    pub use pagani_device::{Device, DeviceConfig};
+    pub use pagani_device::{ComputeBackend, Device, DeviceConfig};
     pub use pagani_integrands::paper::PaperIntegrand;
     pub use pagani_integrands::workloads::{BasketOption, GaussianLikelihood};
     pub use pagani_quadrature::{

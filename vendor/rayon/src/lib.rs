@@ -6,7 +6,7 @@
 //!
 //! * `(a..b).into_par_iter()` with `for_each` / `map(..).collect()`,
 //! * `slice.par_chunks(n)` / `par_chunks_mut(n)` / `par_iter()` with
-//!   `zip` / `map` / `for_each` / `collect` / `sum` / `reduce`,
+//!   `zip` / `enumerate` / `map` / `for_each` / `collect` / `sum` / `reduce`,
 //! * `ThreadPool` / `ThreadPoolBuilder` with `install`, and
 //!   [`current_num_threads`].
 //!
@@ -63,12 +63,14 @@ fn split_items<I>(items: Vec<I>) -> Vec<Vec<I>> {
     }
     let per_span = len.div_ceil(len.min(pool::MAX_SPANS));
     let mut spans = Vec::with_capacity(len.div_ceil(per_span));
-    let mut rest = items;
-    while rest.len() > per_span {
-        let tail = rest.split_off(per_span);
-        spans.push(std::mem::replace(&mut rest, tail));
+    let mut items = items.into_iter();
+    loop {
+        let span: Vec<I> = items.by_ref().take(per_span).collect();
+        if span.is_empty() {
+            break;
+        }
+        spans.push(span);
     }
-    spans.push(rest);
     spans
 }
 
@@ -172,6 +174,14 @@ impl<I: Send> ParIter<I> {
     pub fn zip<J: Send>(self, other: ParIter<J>) -> ParIter<(I, J)> {
         ParIter {
             items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Pair every item with its input-order index, like
+    /// `IndexedParallelIterator::enumerate`.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
         }
     }
 
@@ -467,6 +477,17 @@ mod tests {
                 }
             });
         assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn enumerate_pairs_items_with_input_order_indices() {
+        let mut out = vec![0usize; 500];
+        out.par_chunks_mut(7).enumerate().for_each(|(k, chunk)| {
+            for slot in chunk {
+                *slot = k;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i / 7));
     }
 
     #[test]
