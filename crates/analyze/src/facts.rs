@@ -373,11 +373,7 @@ fn scan_launch_accums(tokens: &[Token], facts: &mut FileFacts) {
         let Some(name) = ident_at(tokens, i + 1) else {
             continue;
         };
-        if !matches!(
-            name,
-            "launch" | "launch_with" | "launch_map" | "launch_batch"
-        ) || !is_punct(tokens, i + 2, "(")
-        {
+        if !matches!(name, "launch" | "launch_batch") || !is_punct(tokens, i + 2, "(") {
             continue;
         }
         let end = skip_parens(tokens, i + 2);
@@ -856,7 +852,7 @@ mod tests {
 
     #[test]
     fn launch_accumulation_is_flagged() {
-        let f = facts_of("fn f(d: &Device) { d.launch_map(\"k\", n, |ctx| { acc += x; }); }");
+        let f = facts_of("fn f(d: &Device) { d.launch(\"k\", n, |ctx| { acc += x; }); }");
         assert_eq!(f.launch_accums.len(), 1);
     }
 
@@ -869,7 +865,7 @@ mod tests {
     #[test]
     fn closure_local_accumulator_is_the_blessed_form() {
         let f = facts_of(
-            "fn f(d: &Device) { d.launch_map(\"k\", n, |ctx| { \
+            "fn f(d: &Device) { d.launch(\"k\", n, |ctx| { \
                  let mut sum = 0.0; sum += x; sum }); }",
         );
         assert!(f.launch_accums.is_empty());
@@ -883,7 +879,7 @@ mod tests {
 
     #[test]
     fn indexed_captured_accumulation_is_flagged() {
-        let f = facts_of("fn f(d: &Device) { d.launch_map(\"k\", n, |ctx| { out[i] += x; }); }");
+        let f = facts_of("fn f(d: &Device) { d.launch(\"k\", n, |ctx| { out[i] += x; }); }");
         assert_eq!(f.launch_accums.len(), 1);
     }
 

@@ -26,10 +26,14 @@
 
 pub mod engine;
 pub mod facts;
-pub mod json;
 pub mod lexer;
 pub mod minitoml;
 pub mod rules;
+
+// The JSON machinery moved to `pagani-persist` so analyzer reports and
+// driver snapshots share one implementation; re-export it so downstream
+// `pagani_analyze::json` paths keep working.
+pub use pagani_persist::json;
 
 pub use engine::{analyze, find_workspace_root, Analysis};
 pub use minitoml::{parse_allows, Allow};

@@ -1,7 +1,7 @@
 //! R3 true negatives: the blessed per-block accumulation forms — a
 //! closure-local `let mut` accumulator and a fold-style closure parameter.
 fn block_local(device: &Device) {
-    device.launch_map("kernel", 4, |ctx| {
+    device.launch("kernel", 4, |ctx| {
         let mut sum = 0.0;
         let mut sum_sq = 0.0;
         for value in ctx.samples() {

@@ -1,7 +1,7 @@
 //! R3 true positives: compound assignment to *captured* state inside a
 //! launch closure — the order-dependent pattern that breaks bit-identity.
 fn captured_scalar(device: &Device, mut acc: f64) {
-    device.launch_map("kernel", 4, |ctx| {
+    device.launch("kernel", 4, |ctx| {
         acc += ctx.value;
     });
 }

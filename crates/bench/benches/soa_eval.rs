@@ -4,22 +4,23 @@
 //! launches (one boxed `RuleEstimate` per block, collected into a fresh `Vec`
 //! every generation) with one batched `launch_batch` over packed
 //! centre/half-width buffers.  This group pins the payoff: `scalar_*`
-//! replicates the pre-refactor path on the deprecated `launch_map` shim,
-//! `batched_*` is the live SoA path, both on the same 8-worker device over an
-//! identical generation.  The workload is deliberately launch-bound (2-D rule,
+//! replicates the pre-refactor path — per-block locked slots collected into a
+//! `Vec` after the launch — `batched_*` is the live SoA path, both on the
+//! same 8-worker device over an identical generation.  The workload is deliberately launch-bound (2-D rule,
 //! 17 points per region, thousands of regions) so the per-block bookkeeping —
 //! not the integrand — dominates, which is exactly the regime where the flat
 //! lane convention earns its keep.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pagani_core::evaluate::evaluate_all_in;
 use pagani_core::region_list::RegionList;
 use pagani_core::ScratchArena;
 use pagani_device::{Device, DeviceConfig};
-use pagani_quadrature::{EvalScratch, FnIntegrand, GenzMalik, Integrand, Region};
+use pagani_quadrature::{EvalScratch, FnIntegrand, GenzMalik, Integrand, Region, RuleEstimate};
 
 /// The pre-refactor per-block scratch: rule workspace plus centre/half-width
 /// staging buffers, cached per worker thread exactly as the old path did.
@@ -56,10 +57,13 @@ fn evaluate_all_scalar<F: Integrand + ?Sized>(
     arena: &ScratchArena,
 ) -> f64 {
     let dim = list.dim();
-    #[allow(deprecated)] // the scalar baseline deliberately pins the old path
-    let estimates = device
-        .launch_map("soa_eval.scalar", list.len(), |ctx| {
-            with_block_scratch(dim, |block| {
+    // One locked slot per block, exactly what the old per-block-return shim
+    // allocated internally: the cost being pinned here.
+    let slots: Vec<Mutex<Option<RuleEstimate>>> =
+        (0..list.len()).map(|_| Mutex::new(None)).collect();
+    device
+        .launch("soa_eval.scalar", list.len(), |ctx| {
+            let est = with_block_scratch(dim, |block| {
                 list.centered_view(ctx.block_idx, &mut block.center, &mut block.halfwidth);
                 rule.evaluate_centered(
                     integrand,
@@ -67,9 +71,20 @@ fn evaluate_all_scalar<F: Integrand + ?Sized>(
                     &block.halfwidth,
                     &mut block.scratch,
                 )
-            })
+            });
+            *slots[ctx.block_idx]
+                .lock()
+                .expect("slot lock never poisons") = Some(est);
         })
         .expect("scalar launch is never empty");
+    let estimates: Vec<RuleEstimate> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock never poisons")
+                .expect("every launched block produces a value")
+        })
+        .collect();
     let mut integrals = arena.take_f64(estimates.len());
     let mut errors = arena.take_f64(estimates.len());
     let mut split_axes = arena.take_axes(estimates.len());

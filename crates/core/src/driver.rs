@@ -5,6 +5,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use pagani_device::{scan, Device, DeviceError};
+use pagani_persist::{Snapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION};
 use pagani_quadrature::two_level::refine_generation;
 use pagani_quadrature::{GenzMalik, Integrand, IntegrationResult, Region, Termination};
 
@@ -14,6 +15,7 @@ use crate::config::{HeuristicFiltering, PaganiConfig};
 use crate::evaluate::evaluate_all_in;
 use crate::integrator::{check_cancelled, ensure_matching_dims};
 use crate::region_list::RegionList;
+use crate::resume::{ResumableOutput, ResumeError};
 use crate::threshold::{threshold_classify, ThresholdPolicy};
 use crate::trace::{ExecutionTrace, IterationRecord, ThresholdSearchRecord, ThresholdTrigger};
 
@@ -59,6 +61,81 @@ pub struct PaganiOutput {
     /// Per-iteration statistics and threshold-search probes (empty when
     /// `collect_trace` is disabled).
     pub trace: ExecutionTrace,
+}
+
+/// Loop-carried driver state, split out so a resumed run can restore it from
+/// a [`Snapshot`] and a fresh run can start it from zero.  The region list
+/// itself travels separately (it lives in device memory).
+struct LoopInit {
+    finished_estimate: f64,
+    finished_error: f64,
+    threshold_frozen_error: f64,
+    function_evaluations: u64,
+    regions_generated: u64,
+    previous_cumulative: Option<f64>,
+    parent_integrals: Option<Vec<f64>>,
+    start_iteration: usize,
+    latest_estimate: f64,
+    latest_error: f64,
+}
+
+impl LoopInit {
+    fn fresh(initial_regions: u64) -> Self {
+        LoopInit {
+            finished_estimate: 0.0,
+            finished_error: 0.0,
+            threshold_frozen_error: 0.0,
+            function_evaluations: 0,
+            regions_generated: initial_regions,
+            previous_cumulative: None,
+            parent_integrals: None,
+            start_iteration: 0,
+            latest_estimate: 0.0,
+            latest_error: f64::INFINITY,
+        }
+    }
+
+    fn from_snapshot(snapshot: &Snapshot) -> Self {
+        LoopInit {
+            finished_estimate: snapshot.finished_estimate,
+            finished_error: snapshot.finished_error,
+            threshold_frozen_error: snapshot.threshold_frozen_error,
+            function_evaluations: snapshot.function_evaluations,
+            regions_generated: snapshot.regions_generated,
+            previous_cumulative: snapshot.previous_cumulative,
+            parent_integrals: snapshot.parent_integrals.clone(),
+            start_iteration: snapshot.next_iteration,
+            latest_estimate: snapshot.latest_estimate,
+            latest_error: snapshot.latest_error,
+        }
+    }
+}
+
+/// What (if anything) to snapshot during a run.  `None` is the plain path:
+/// no capture code runs at all, so non-resumable results stay bit-identical
+/// to what they were before snapshots existed.
+struct SnapshotPlan<'a> {
+    /// Capture a checkpoint every this many generations (0 = only capture at
+    /// exit points).
+    checkpoint_every: usize,
+    integrand_id: String,
+    region: &'a Region,
+}
+
+/// The loop-carried scalars a snapshot records, bundled so each capture site
+/// can pass either the values saved at the top of the iteration or the
+/// current ones.  All `Copy`, so saving them every iteration is free of float
+/// arithmetic and heap traffic.
+#[derive(Clone, Copy)]
+struct SnapAccumulators {
+    finished_estimate: f64,
+    finished_error: f64,
+    threshold_frozen_error: f64,
+    function_evaluations: u64,
+    regions_generated: u64,
+    previous_cumulative: Option<f64>,
+    latest_estimate: f64,
+    latest_error: f64,
 }
 
 /// The PAGANI integrator.
@@ -159,69 +236,263 @@ impl Pagani {
     ) -> PaganiOutput {
         ensure_matching_dims(f, region);
         let start = Instant::now();
-        let dim = f.dim();
+        match self.start_list(f.dim(), region, arena) {
+            Ok(list) => {
+                let init = LoopInit::fresh(list.len() as u64);
+                self.run_from(f, arena, cancel, list, init, None, start)
+                    .output
+            }
+            Err(err) => self.bail_out(
+                0.0,
+                0.0,
+                Termination::MemoryExhausted,
+                0,
+                0,
+                0,
+                start,
+                ExecutionTrace::default(),
+                Some(err),
+            ),
+        }
+    }
+
+    /// Integrate `f` over an explicit region while capturing resumable
+    /// [`Snapshot`]s of the region tree.
+    ///
+    /// `checkpoint_every > 0` captures a checkpoint every that many
+    /// generations (state "about to run generation k"); `0` captures only at
+    /// exit points.  Either way the returned
+    /// [`final_snapshot`](ResumableOutput::final_snapshot) holds the tree at
+    /// the end of the run whenever it is still resumable — after
+    /// cancellation, memory or iteration exhaustion, and after convergence
+    /// (so a tighter-tolerance request can warm-start from it).
+    ///
+    /// The result itself is bit-identical to
+    /// [`Pagani::integrate_region_with`]: snapshot capture copies state but
+    /// performs no float arithmetic.
+    ///
+    /// # Panics
+    /// Panics if the region dimension does not match the integrand dimension.
+    pub fn integrate_resumable<F: Integrand + ?Sized>(
+        &self,
+        f: &F,
+        region: &Region,
+        arena: &ScratchArena,
+        cancel: &CancelToken,
+        checkpoint_every: usize,
+    ) -> ResumableOutput {
+        ensure_matching_dims(f, region);
+        let start = Instant::now();
+        let plan = SnapshotPlan {
+            checkpoint_every,
+            integrand_id: f.name(),
+            region,
+        };
+        match self.start_list(f.dim(), region, arena) {
+            Ok(list) => {
+                let init = LoopInit::fresh(list.len() as u64);
+                self.run_from(f, arena, cancel, list, init, Some(&plan), start)
+            }
+            Err(err) => ResumableOutput {
+                output: self.bail_out(
+                    0.0,
+                    0.0,
+                    Termination::MemoryExhausted,
+                    0,
+                    0,
+                    0,
+                    start,
+                    ExecutionTrace::default(),
+                    Some(err),
+                ),
+                checkpoints: Vec::new(),
+                final_snapshot: None,
+            },
+        }
+    }
+
+    /// Resume an integration from a [`Snapshot`], continuing exactly where
+    /// the captured run stopped.
+    ///
+    /// The integrand must match the one the snapshot was taken from: the
+    /// driver checks dimensionality and structural consistency, but the
+    /// function body itself is the caller's responsibility (snapshots store
+    /// only the integrand's name).  Given the same integrand, configuration
+    /// and an equivalently provisioned device, the continuation performs the
+    /// same float operations in the same order as the uninterrupted run, so
+    /// estimate/error/counters match it to the bit.
+    ///
+    /// # Errors
+    /// Returns [`ResumeError`] when the snapshot does not fit this integrand
+    /// or device rather than computing a wrong answer.
+    pub fn resume_from<F: Integrand + ?Sized>(
+        &self,
+        f: &F,
+        snapshot: &Snapshot,
+        arena: &ScratchArena,
+        cancel: &CancelToken,
+    ) -> Result<ResumableOutput, ResumeError> {
+        let start = Instant::now();
+        snapshot.validate().map_err(|e| match e {
+            SnapshotError::Schema(what) => ResumeError::Corrupt(what),
+            _ => ResumeError::Corrupt("snapshot failed validation"),
+        })?;
+        if snapshot.dim != f.dim() {
+            return Err(ResumeError::DimensionMismatch {
+                expected: f.dim(),
+                found: snapshot.dim,
+            });
+        }
+        if snapshot.lefts.is_empty() {
+            return Err(ResumeError::EmptySnapshot);
+        }
+        let region = Region::new(snapshot.region_lo.clone(), snapshot.region_hi.clone());
+        let pool = self.device.memory().clone();
+        let list = RegionList::from_flat_in(
+            snapshot.dim,
+            &snapshot.lefts,
+            &snapshot.lengths,
+            &pool,
+            arena,
+        )
+        .map_err(|_| ResumeError::OutOfMemory)?;
+        let plan = SnapshotPlan {
+            checkpoint_every: 0,
+            integrand_id: f.name(),
+            region: &region,
+        };
+        let init = LoopInit::from_snapshot(snapshot);
+        Ok(self.run_from(f, arena, cancel, list, init, Some(&plan), start))
+    }
+
+    /// Initial uniform split (Algorithm 2, lines 2-4), backing off the
+    /// per-axis split count under memory pressure.
+    fn start_list(
+        &self,
+        dim: usize,
+        region: &Region,
+        arena: &ScratchArena,
+    ) -> Result<RegionList, DeviceError> {
+        let pool = self.device.memory().clone();
+        let mut d = self.config.resolve_splits_per_axis(dim);
+        loop {
+            match RegionList::initial_split_in(region, d, &pool, arena) {
+                Ok(list) => return Ok(list),
+                Err(DeviceError::OutOfDeviceMemory { .. }) if d > 1 => d -= 1,
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// The breadth-first driver loop (Algorithm 2, lines 5-24), entered at
+    /// `init.start_iteration` with loop-carried state from `init` — zeroed
+    /// for a fresh run, restored from a snapshot for a resumed one.  With
+    /// `plan: None` no capture code runs and the float path is exactly the
+    /// historical `integrate_region_with` body.
+    #[allow(clippy::too_many_arguments)]
+    fn run_from<F: Integrand + ?Sized>(
+        &self,
+        f: &F,
+        arena: &ScratchArena,
+        cancel: &CancelToken,
+        mut list: RegionList,
+        init: LoopInit,
+        plan: Option<&SnapshotPlan<'_>>,
+        start: Instant,
+    ) -> ResumableOutput {
+        let dim = list.dim();
         let rule = GenzMalik::new(dim);
         let pool = self.device.memory().clone();
         let tolerances = self.config.tolerances;
         let mut trace = ExecutionTrace::default();
-
-        // --- Initial uniform split (Algorithm 2, lines 2-4). ---------------------
-        let mut d = self.config.resolve_splits_per_axis(dim);
-        let mut list = loop {
-            match RegionList::initial_split_in(region, d, &pool, arena) {
-                Ok(list) => break list,
-                Err(DeviceError::OutOfDeviceMemory { .. }) if d > 1 => d -= 1,
-                Err(err) => {
-                    return self.bail_out(
-                        0.0,
-                        0.0,
-                        Termination::MemoryExhausted,
-                        0,
-                        0,
-                        0,
-                        start,
-                        trace,
-                        Some(err),
-                    )
-                }
-            }
-        };
+        let mut checkpoints: Vec<Snapshot> = Vec::new();
+        let mut final_snapshot: Option<Snapshot> = None;
 
         // Finished-region accumulators (v_f, e_f) and per-run counters.
-        let mut finished_estimate = 0.0f64;
-        let mut finished_error = 0.0f64;
+        let mut finished_estimate = init.finished_estimate;
+        let mut finished_error = init.finished_error;
         // Error frozen specifically by the heuristic threshold classification.  It is
         // capped at half of the allowed total error so that relative-error filtering
         // (whose commitments are proportional to the frozen integral mass) always has
         // headroom left and convergence is never ruled out by the heuristic alone.
-        let mut threshold_frozen_error = 0.0f64;
-        let mut function_evaluations = 0u64;
-        let mut regions_generated = list.len() as u64;
-        let mut previous_cumulative: Option<f64> = None;
+        let mut threshold_frozen_error = init.threshold_frozen_error;
+        let mut function_evaluations = init.function_evaluations;
+        let mut regions_generated = init.regions_generated;
+        let mut previous_cumulative: Option<f64> = init.previous_cumulative;
         // Parent integral estimates aligned with the sibling layout of `list`
         // (None on the first iteration, which has no parents).
-        let mut parent_integrals: Option<Vec<f64>> = None;
+        let mut parent_integrals: Option<Vec<f64>> = init.parent_integrals;
 
-        let mut iterations_run = 0usize;
+        let mut iterations_run = init.start_iteration;
         let mut termination = Termination::MaxIterations;
         // Best cumulative estimates seen so far (active + finished); this is what a
         // non-converged run reports, matching the paper's "return the latest integral
         // and error estimate with a flag" behaviour (§3.5.2).
-        let mut latest_estimate = 0.0f64;
-        let mut latest_error = f64::INFINITY;
+        let mut latest_estimate = init.latest_estimate;
+        let mut latest_error = init.latest_error;
 
-        for iteration in 0..self.config.max_iterations {
+        for iteration in init.start_iteration..self.config.max_iterations {
+            // Loop-carried scalars as of the top of this iteration: every
+            // capture that means "about to run iteration `iteration`" uses
+            // these, so a resumed run re-enters with untouched state.
+            let entry_acc = SnapAccumulators {
+                finished_estimate,
+                finished_error,
+                threshold_frozen_error,
+                function_evaluations,
+                regions_generated,
+                previous_cumulative,
+                latest_estimate,
+                latest_error,
+            };
             // --- Cooperative cancellation (iteration boundary). -----------------
             if let Some(cancelled) = check_cancelled(cancel) {
                 termination = cancelled;
+                if let Some(plan) = plan {
+                    final_snapshot = Some(self.capture_snapshot(
+                        plan,
+                        &list,
+                        parent_integrals.as_deref(),
+                        entry_acc,
+                        iteration,
+                        false,
+                    ));
+                }
                 break;
+            }
+            if let Some(plan) = plan {
+                if plan.checkpoint_every > 0
+                    && iteration > init.start_iteration
+                    && (iteration - init.start_iteration) % plan.checkpoint_every == 0
+                {
+                    checkpoints.push(self.capture_snapshot(
+                        plan,
+                        &list,
+                        parent_integrals.as_deref(),
+                        entry_acc,
+                        iteration,
+                        false,
+                    ));
+                }
             }
             iterations_run = iteration + 1;
 
             // --- Evaluate all regions (line 10). --------------------------------
             let evaluation = match evaluate_all_in(&self.device, &rule, f, &list, arena) {
                 Ok(e) => e,
-                Err(_) => break,
+                Err(_) => {
+                    if let Some(plan) = plan {
+                        final_snapshot = Some(self.capture_snapshot(
+                            plan,
+                            &list,
+                            parent_integrals.as_deref(),
+                            entry_acc,
+                            iteration,
+                            false,
+                        ));
+                    }
+                    break;
+                }
             };
             function_evaluations += evaluation.function_evaluations;
             let integrals = evaluation.integrals;
@@ -275,6 +546,18 @@ impl Pagani {
                     finished_error,
                     false,
                 );
+                if let Some(plan) = plan {
+                    // Pre-fold state: resuming re-runs this generation, so a
+                    // tighter tolerance can keep refining the same tree.
+                    final_snapshot = Some(self.capture_snapshot(
+                        plan,
+                        &list,
+                        parent_integrals.as_deref(),
+                        entry_acc,
+                        iteration,
+                        true,
+                    ));
+                }
                 finished_estimate = cumulative_estimate;
                 finished_error = cumulative_error;
                 arena.put_f64(integrals);
@@ -383,6 +666,18 @@ impl Pagani {
                 } else {
                     Termination::MaxIterations
                 };
+                if let Some(plan) = plan {
+                    // The folded totals are final, but the pre-fold tree is
+                    // still the right warm-start state for a tighter run.
+                    final_snapshot = Some(self.capture_snapshot(
+                        plan,
+                        &list,
+                        parent_integrals.as_deref(),
+                        entry_acc,
+                        iteration,
+                        termination == Termination::Converged,
+                    ));
+                }
                 arena.put_f64(integrals);
                 arena.put_f64(errors);
                 arena.put_axes(split_axes);
@@ -396,6 +691,16 @@ impl Pagani {
                 Ok(filtered) => filtered,
                 Err(_) => {
                     termination = Termination::MemoryExhausted;
+                    if let Some(plan) = plan {
+                        final_snapshot = Some(self.capture_snapshot(
+                            plan,
+                            &list,
+                            parent_integrals.as_deref(),
+                            entry_acc,
+                            iteration,
+                            false,
+                        ));
+                    }
                     break;
                 }
             };
@@ -422,6 +727,30 @@ impl Pagani {
                     // Memory exhausted and no further subdivision possible (§3.5.2).
                     termination = Termination::MemoryExhausted;
                     list = filtered;
+                    if let Some(plan) = plan {
+                        // The pre-split geometry is gone; persist the
+                        // filtered survivors with this iteration's
+                        // accumulators instead.  No parents: the first
+                        // resumed generation skips two-level refinement.
+                        let acc = SnapAccumulators {
+                            finished_estimate,
+                            finished_error,
+                            threshold_frozen_error,
+                            function_evaluations,
+                            regions_generated,
+                            previous_cumulative,
+                            latest_estimate,
+                            latest_error,
+                        };
+                        final_snapshot = Some(self.capture_snapshot(
+                            plan,
+                            &list,
+                            None,
+                            acc,
+                            iterations_run,
+                            false,
+                        ));
+                    }
                     break;
                 }
             }
@@ -432,6 +761,30 @@ impl Pagani {
             arena.put_axes(split_axes);
             arena.put_mask(mask);
             arena.put_axes(active_axes);
+        }
+        // Natural iteration exhaustion: no break captured a snapshot, but the
+        // surviving generation is still a valid resume point.
+        if let Some(plan) = plan {
+            if final_snapshot.is_none() && !list.is_empty() {
+                let acc = SnapAccumulators {
+                    finished_estimate,
+                    finished_error,
+                    threshold_frozen_error,
+                    function_evaluations,
+                    regions_generated,
+                    previous_cumulative,
+                    latest_estimate,
+                    latest_error,
+                };
+                final_snapshot = Some(self.capture_snapshot(
+                    plan,
+                    &list,
+                    parent_integrals.as_deref(),
+                    acc,
+                    iterations_run,
+                    false,
+                ));
+            }
         }
         // The surviving list and parent array go back to the arena so the next
         // job on this arena starts from recycled storage.
@@ -460,7 +813,46 @@ impl Pagani {
                 .map_or(0, |r| r.active_after_classify),
             wall_time: start.elapsed(),
         };
-        PaganiOutput { result, trace }
+        ResumableOutput {
+            output: PaganiOutput { result, trace },
+            checkpoints,
+            final_snapshot,
+        }
+    }
+
+    /// Copy driver state into a [`Snapshot`].  Pure data movement — no float
+    /// arithmetic — so capture cannot perturb the result.
+    fn capture_snapshot(
+        &self,
+        plan: &SnapshotPlan<'_>,
+        list: &RegionList,
+        parent_integrals: Option<&[f64]>,
+        acc: SnapAccumulators,
+        next_iteration: usize,
+        converged: bool,
+    ) -> Snapshot {
+        Snapshot {
+            version: SNAPSHOT_FORMAT_VERSION,
+            integrand_id: plan.integrand_id.clone(),
+            region_lo: plan.region.lo().to_vec(),
+            region_hi: plan.region.hi().to_vec(),
+            rel_tol: self.config.tolerances.rel,
+            abs_tol: self.config.tolerances.abs,
+            converged,
+            dim: list.dim(),
+            lefts: list.lefts().to_vec(),
+            lengths: list.lengths().to_vec(),
+            parent_integrals: parent_integrals.map(<[f64]>::to_vec),
+            finished_estimate: acc.finished_estimate,
+            finished_error: acc.finished_error,
+            threshold_frozen_error: acc.threshold_frozen_error,
+            function_evaluations: acc.function_evaluations,
+            regions_generated: acc.regions_generated,
+            previous_cumulative: acc.previous_cumulative,
+            next_iteration,
+            latest_estimate: acc.latest_estimate,
+            latest_error: acc.latest_error,
+        }
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -45,6 +45,7 @@ pub mod evaluate;
 pub mod integrator;
 pub mod multi_device;
 pub mod region_list;
+pub mod resume;
 pub mod service;
 pub mod threshold;
 pub mod trace;
@@ -61,7 +62,11 @@ pub use integrator::{check_cancelled, Capabilities, Integrator, IntegratorFactor
 pub use multi_device::{
     plan_dispatch, DispatchMode, MultiDeviceOutput, MultiDevicePagani, MultiDeviceService,
 };
+// Persistence types, re-exported so service callers need not depend on
+// `pagani-persist` directly.
+pub use pagani_persist::{CacheKey, CachedResult, ResultCache, Snapshot, WarmStartInfo};
 pub use region_list::RegionList;
+pub use resume::{ResumableOutput, ResumeError};
 pub use service::{
     DeadlineInfeasible, IntegrationService, JobHandle, Priority, QueueFull, Rejected,
     ServiceMetrics, ServicePolicy, WaitStats,

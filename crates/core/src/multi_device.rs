@@ -41,6 +41,7 @@ use crate::driver::{Pagani, PaganiOutput};
 use crate::integrator::ensure_matching_dims;
 use crate::service::{IntegrationService, JobHandle, Rejected, ServiceMetrics, ServicePolicy};
 use pagani_device::Device;
+use pagani_persist::ResultCache;
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
@@ -141,6 +142,9 @@ pub struct MultiDeviceService {
     /// One measured cost model shared by every lane: a wall time observed on
     /// any device prices that job family on all of them.
     model: Arc<CostModel>,
+    /// The pool-wide result cache, when one was supplied — shared by every
+    /// lane so any device's work serves the whole pool.
+    cache: Option<Arc<ResultCache>>,
 }
 
 impl MultiDeviceService {
@@ -176,6 +180,34 @@ impl MultiDeviceService {
         mode: DispatchMode,
         policy: ServicePolicy,
     ) -> Self {
+        Self::build(devices, config, mode, policy, None)
+    }
+
+    /// Start a service whose lanes all share one [`ResultCache`]: a result
+    /// computed (or a partial tree persisted) on any device serves exact hits
+    /// and warm starts on every device.  See
+    /// [`IntegrationService::with_cache`] for the per-lane cache semantics.
+    ///
+    /// # Panics
+    /// Panics if `devices` is empty.
+    #[must_use]
+    pub fn with_cache(
+        devices: Vec<Device>,
+        config: PaganiConfig,
+        mode: DispatchMode,
+        policy: ServicePolicy,
+        cache: Arc<ResultCache>,
+    ) -> Self {
+        Self::build(devices, config, mode, policy, Some(cache))
+    }
+
+    fn build(
+        devices: Vec<Device>,
+        config: PaganiConfig,
+        mode: DispatchMode,
+        policy: ServicePolicy,
+        cache: Option<Arc<ResultCache>>,
+    ) -> Self {
         assert!(!devices.is_empty(), "at least one device is required");
         let default_tolerances = config.tolerances;
         let model = Arc::new(CostModel::new());
@@ -187,6 +219,7 @@ impl MultiDeviceService {
                     config.clone(),
                     policy,
                     Arc::clone(&model),
+                    cache.clone(),
                 ),
                 outstanding: Arc::new(Mutex::new(0.0)),
             })
@@ -197,6 +230,7 @@ impl MultiDeviceService {
             round_robin_next: AtomicUsize::new(0),
             default_tolerances,
             model,
+            cache,
         }
     }
 
@@ -238,6 +272,13 @@ impl MultiDeviceService {
     #[must_use]
     pub fn cost_model(&self) -> &Arc<CostModel> {
         &self.model
+    }
+
+    /// The pool-wide [`ResultCache`], when the service was built with
+    /// [`MultiDeviceService::with_cache`].
+    #[must_use]
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache>> {
+        self.cache.as_ref()
     }
 
     /// Pick the lane the next submission goes to; advances the round-robin

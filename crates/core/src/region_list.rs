@@ -137,6 +137,41 @@ impl RegionList {
         })
     }
 
+    /// Rebuild a list from flat region-major geometry (the snapshot/resume
+    /// path): `lefts[i*dim + axis]` / `lengths[i*dim + axis]` exactly as
+    /// [`Self::lefts`] / [`Self::lengths`] expose them.
+    ///
+    /// # Errors
+    /// Returns `OutOfDeviceMemory` if the regions do not fit in the pool; the
+    /// staging buffers are shelved back into the arena on failure.
+    ///
+    /// # Panics
+    /// Panics if `dim` is zero, the buffers disagree in length, the length is
+    /// not a multiple of `dim`, or the geometry is empty.
+    pub fn from_flat_in(
+        dim: usize,
+        lefts: &[f64],
+        lengths: &[f64],
+        pool: &MemoryPool,
+        arena: &ScratchArena,
+    ) -> DeviceResult<Self> {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(lefts.len(), lengths.len(), "geometry buffers must match");
+        assert_eq!(lefts.len() % dim, 0, "geometry must be region-major");
+        assert!(!lefts.is_empty(), "region list cannot be empty");
+        let mut left_buf = arena.take_f64(lefts.len());
+        left_buf.extend_from_slice(lefts);
+        let mut length_buf = arena.take_f64(lengths.len());
+        length_buf.extend_from_slice(lengths);
+        let (left_buf, length_buf) = adopt_pair(pool, arena, left_buf, length_buf)?;
+        Ok(Self {
+            dim,
+            len: lefts.len() / dim,
+            lefts: left_buf,
+            lengths: length_buf,
+        })
+    }
+
     /// Number of regions in the list.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -75,12 +75,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pagani_device::Device;
-use pagani_quadrature::{IntegrationResult, Termination};
+use pagani_persist::{CacheKey, CachedResult, ResultCache, Snapshot, WarmStartInfo};
+use pagani_quadrature::{IntegrationResult, Termination, Tolerances};
 
 use crate::arena::ScratchArena;
 use crate::batch::BatchJob;
 use crate::config::PaganiConfig;
-use crate::cost::{cost_ceiling, CostModel, Ewma};
+use crate::cost::{cost_ceiling, CostKey, CostModel, Ewma};
 use crate::driver::{CancelToken, Pagani, PaganiOutput};
 use crate::trace::ExecutionTrace;
 
@@ -289,6 +290,23 @@ pub struct ServiceMetrics {
     /// Per-priority wait statistics, indexed `[Low, Normal, High]` — use
     /// [`ServiceMetrics::wait`] for by-priority access.
     pub waits: [WaitStats; 3],
+    /// Jobs served straight from the [`ResultCache`] without touching a
+    /// device (always 0 on a cache-less service).
+    pub cache_hits: u64,
+    /// Cache-enabled jobs that found no exact result and went to a device.
+    pub cache_misses: u64,
+    /// Jobs that warm-started from a cached snapshot instead of starting
+    /// from the root region.
+    pub warm_starts: u64,
+    /// Warm starts whose snapshot came from a *partial* (non-converged) run —
+    /// the crash/shed-recovery path.
+    pub resumed: u64,
+    /// Snapshots persisted into the cache (converged trees and partial trees
+    /// from cancelled or memory-exhausted runs alike).
+    pub checkpoints_written: u64,
+    /// Integrand evaluations avoided via the cache: the full cost of every
+    /// exact hit plus the banked evaluations inherited by every warm start.
+    pub evals_saved: u64,
 }
 
 impl ServiceMetrics {
@@ -362,6 +380,12 @@ struct Observability {
     outstanding_micros: Mutex<f64>,
     prediction_error: Mutex<Ewma>,
     waits: Mutex<[WaitReservoir; 3]>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    warm_starts: AtomicU64,
+    resumed: AtomicU64,
+    checkpoints_written: AtomicU64,
+    evals_saved: AtomicU64,
 }
 
 impl Observability {
@@ -380,6 +404,12 @@ impl Observability {
                 WaitReservoir::default(),
                 WaitReservoir::default(),
             ]),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            warm_starts: AtomicU64::new(0),
+            resumed: AtomicU64::new(0),
+            checkpoints_written: AtomicU64::new(0),
+            evals_saved: AtomicU64::new(0),
         }
     }
 }
@@ -610,6 +640,9 @@ struct ServiceShared {
     policy: ServicePolicy,
     worker_count: usize,
     cost_model: Arc<CostModel>,
+    /// Shared result/snapshot cache; `None` (the default) disables all cache
+    /// and persistence behaviour, leaving the historical job path untouched.
+    cache: Option<Arc<ResultCache>>,
     obs: Observability,
     queue: Mutex<QueueState>,
     /// Wakes workers when a job is queued (or shutdown begins).
@@ -659,18 +692,60 @@ impl IntegrationService {
     /// Start a service with an explicit [`ServicePolicy`].
     #[must_use]
     pub fn with_policy(device: Device, config: PaganiConfig, policy: ServicePolicy) -> Self {
-        Self::with_policy_and_model(device, config, policy, Arc::new(CostModel::new()))
+        Self::with_policy_and_model(device, config, policy, Arc::new(CostModel::new()), None)
     }
 
-    /// Start a service sharing an externally owned [`CostModel`] — the
-    /// multi-device dispatcher passes one model to every lane so buckets pool
-    /// their learning across devices.
+    /// Start a service backed by a shared [`ResultCache`].
+    ///
+    /// With a cache attached the default job path changes in three ways (all
+    /// invisible to callers except in wall time and [`ServiceMetrics`]):
+    ///
+    /// 1. an **exact hit** — same integrand name, region and tolerance as a
+    ///    cached converged run — is served without touching the device;
+    /// 2. a **miss with a usable snapshot** for the same integrand and region
+    ///    (any tolerance) *warm-starts* from that snapshot's region tree
+    ///    instead of the root, provided the snapshot's frozen error leaves
+    ///    headroom under this job's budget;
+    /// 3. every run **persists** its final tree — converged trees for future
+    ///    warm starts, partial trees from cancelled/deadline-shed runs so a
+    ///    retry continues rather than recomputes.
+    ///
+    /// Deadline admission prices jobs by *remaining* work: an exact hit costs
+    /// nothing, a feasible warm start costs its full prediction minus the
+    /// snapshot's predicted-work credit.
+    ///
+    /// Cache identity is `Integrand::name()` — callers mixing distinct
+    /// closures through one cached service must name them uniquely
+    /// (`FnIntegrand::named`).  Jobs with a per-job method override bypass
+    /// the cache entirely: the cache key cannot see the override's
+    /// configuration.
+    #[must_use]
+    pub fn with_cache(
+        device: Device,
+        config: PaganiConfig,
+        policy: ServicePolicy,
+        cache: Arc<ResultCache>,
+    ) -> Self {
+        Self::with_policy_and_model(
+            device,
+            config,
+            policy,
+            Arc::new(CostModel::new()),
+            Some(cache),
+        )
+    }
+
+    /// Start a service sharing an externally owned [`CostModel`] (and
+    /// optionally a [`ResultCache`]) — the multi-device dispatcher passes one
+    /// of each to every lane so buckets pool their learning and results
+    /// across devices.
     #[must_use]
     pub(crate) fn with_policy_and_model(
         device: Device,
         config: PaganiConfig,
         policy: ServicePolicy,
         cost_model: Arc<CostModel>,
+        cache: Option<Arc<ResultCache>>,
     ) -> Self {
         let worker_count = policy
             .workers
@@ -682,6 +757,7 @@ impl IntegrationService {
             policy,
             worker_count,
             cost_model,
+            cache,
             obs: Observability::new(),
             queue: Mutex::new(QueueState {
                 jobs: BinaryHeap::new(),
@@ -847,16 +923,57 @@ impl IntegrationService {
     /// The backlog term is deliberately simple (it ignores priorities and
     /// in-flight progress); it errs on the pessimistic side under load, which
     /// is the right bias for an admission gate.
+    /// With a [`ResultCache`] attached, the job's own term is priced by
+    /// *remaining* work: zero for an exact hit, and prediction minus the
+    /// cached snapshot's predicted-work credit for a feasible warm start.
     #[must_use]
     pub fn estimated_completion(&self, job: &BatchJob) -> Option<Duration> {
-        let own = self
-            .shared
-            .cost_model
-            .predict_job(job, self.shared.config.tolerances)?;
+        let own = self.predicted_remaining(job)?;
         let outstanding_micros = *lock(&self.shared.obs.outstanding_micros);
         let backlog =
             Duration::from_secs_f64(outstanding_micros / 1e6 / self.shared.worker_count as f64);
         Some(backlog + own)
+    }
+
+    /// The job's predicted duration, discounted by what the cache already
+    /// holds for it.  Uses non-bumping cache peeks so admission probes never
+    /// perturb LRU eviction order.  `None` while the cost model is cold.
+    fn predicted_remaining(&self, job: &BatchJob) -> Option<Duration> {
+        let full = self
+            .shared
+            .cost_model
+            .predict_job(job, self.shared.config.tolerances)?;
+        let Some(cache) = &self.shared.cache else {
+            return Some(full);
+        };
+        if job.method().is_some() {
+            return Some(full);
+        }
+        let key = job_cache_key(&self.shared, job);
+        if cache.contains_result(&key) {
+            return Some(Duration::ZERO);
+        }
+        let info =
+            cache.peek_warm_start(&key.integrand_id, &key.region_lo_bits, &key.region_hi_bits);
+        if let Some(info) = info {
+            if warm_info_feasible(&info, self.shared.config.tolerances) {
+                // Work banked at the snapshot's own tolerance is work this job
+                // will not redo.  Keep a 10% floor: resuming still re-runs the
+                // snapshot's final generation and the tail of refinement.
+                let banked = self.shared.cost_model.predict(&CostKey::new(
+                    &key.integrand_id,
+                    job.region().dim(),
+                    Tolerances {
+                        rel: info.rel_tol,
+                        abs: info.abs_tol,
+                    },
+                ));
+                if let Some(banked) = banked {
+                    return Some(full.saturating_sub(banked).max(full / 10));
+                }
+            }
+        }
+        Some(full)
     }
 
     /// A point-in-time [`ServiceMetrics`] snapshot.
@@ -898,7 +1015,19 @@ impl IntegrationService {
             outstanding_predicted: Duration::from_secs_f64(outstanding_micros.max(0.0) / 1e6),
             prediction_error_ewma: lock(&obs.prediction_error).value(),
             waits: [waits[0].stats(), waits[1].stats(), waits[2].stats()],
+            cache_hits: obs.cache_hits.load(AtomicOrdering::Relaxed),
+            cache_misses: obs.cache_misses.load(AtomicOrdering::Relaxed),
+            warm_starts: obs.warm_starts.load(AtomicOrdering::Relaxed),
+            resumed: obs.resumed.load(AtomicOrdering::Relaxed),
+            checkpoints_written: obs.checkpoints_written.load(AtomicOrdering::Relaxed),
+            evals_saved: obs.evals_saved.load(AtomicOrdering::Relaxed),
         }
+    }
+
+    /// The [`ResultCache`] this service serves from, when one is attached.
+    #[must_use]
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache>> {
+        self.shared.cache.as_ref()
     }
 
     /// The measured [`CostModel`] this service learns into (and admits from).
@@ -957,10 +1086,10 @@ impl IntegrationService {
         let state = Arc::new(JobState::new());
         let priority = job.priority();
         let deadline = job.deadline();
-        let predicted = self
-            .shared
-            .cost_model
-            .predict_job(&job, self.shared.config.tolerances);
+        // Cache-discounted (lock order: queue → cache — the cache never takes
+        // a service lock), so a warm-started job charges only its remaining
+        // work to the admission ledger.
+        let predicted = self.predicted_remaining(&job);
         // Whole microseconds in [0, cost_ceiling()] so charge/retire cycles
         // cancel exactly (see `cost_ceiling`); a cold model charges nothing.
         let charge_micros = predicted
@@ -1107,11 +1236,14 @@ fn worker_loop(shared: &ServiceShared) {
         // accounting.
         *lock(&shared.obs.outstanding_micros) -= charge_micros;
         shared.obs.completed.fetch_add(1, AtomicOrdering::Relaxed);
-        if let Ok(output) = &outcome {
+        if let Ok((output, from_cache)) = &outcome {
             if output.result.termination == Termination::Cancelled {
                 // A cancelled run's partial wall time would bias the model
                 // low: count it, learn nothing from it.
                 shared.obs.cancelled.fetch_add(1, AtomicOrdering::Relaxed);
+            } else if *from_cache {
+                // A cache hit's near-zero wall time says nothing about what
+                // computing this bucket costs: count nothing into the model.
             } else {
                 let wall_time = output.result.wall_time;
                 shared
@@ -1134,48 +1266,188 @@ fn worker_loop(shared: &ServiceShared) {
             hook();
         }
         state.complete(match outcome {
-            Ok(output) => JobOutcome::Finished(output),
+            Ok((output, _)) => JobOutcome::Finished(output),
             Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
         });
     }
 }
 
+/// Run one job, returning its output and whether it was served from the
+/// cache (cache-served jobs must not feed the cost model).
 fn run_job(
     shared: &ServiceShared,
     arena: &ScratchArena,
     job: &BatchJob,
     cancel: &CancelToken,
-) -> PaganiOutput {
+) -> (PaganiOutput, bool) {
     if cancel.is_cancelled() {
-        return cancelled_before_start();
+        return (cancelled_before_start(), false);
+    }
+    // Exact cache hit: served before the admission gate and before any
+    // memory view exists, so a hit performs zero device launches.
+    if job.method().is_none() {
+        if let Some(cache) = &shared.cache {
+            let key = job_cache_key(shared, job);
+            if let Some(hit) = cache.lookup_result(&key) {
+                shared.obs.cache_hits.fetch_add(1, AtomicOrdering::Relaxed);
+                shared
+                    .obs
+                    .evals_saved
+                    .fetch_add(hit.function_evaluations, AtomicOrdering::Relaxed);
+                return (output_from_cached(&hit), true);
+            }
+            shared
+                .obs
+                .cache_misses
+                .fetch_add(1, AtomicOrdering::Relaxed);
+        }
     }
     let Some(_permit) = shared
         .device
         .submission_gate()
         .acquire_unless(|| cancel.is_cancelled())
     else {
-        return cancelled_before_start();
+        return (cancelled_before_start(), false);
     };
     let view = shared.device.isolated_memory_view();
     match job.method() {
         // Per-job method override: build the configured integrator on the
         // job's isolated view and route through the trait's cancellable entry
-        // point.  Host-only methods simply ignore the view.
+        // point.  Host-only methods simply ignore the view.  Overridden jobs
+        // bypass the cache — the key cannot see the override's configuration.
         Some(factory) => {
             let integrator = factory.build(&view);
             let result =
                 integrator.integrate_region_cancellable(job.integrand(), job.region(), cancel);
-            PaganiOutput {
-                result,
-                trace: ExecutionTrace::default(),
-            }
+            (
+                PaganiOutput {
+                    result,
+                    trace: ExecutionTrace::default(),
+                },
+                false,
+            )
         }
         // Default path: the service's PAGANI configuration with the worker's
         // long-lived arena (bit-identical to the sequential single-shot API).
         None => {
             let pagani = Pagani::new(view, shared.config.clone());
-            pagani.integrate_region_with(job.integrand(), job.region(), arena, cancel)
+            match &shared.cache {
+                None => (
+                    pagani.integrate_region_with(job.integrand(), job.region(), arena, cancel),
+                    false,
+                ),
+                Some(cache) => (
+                    run_cached_job(shared, cache, &pagani, arena, job, cancel),
+                    false,
+                ),
+            }
         }
+    }
+}
+
+/// The cache-enabled default path: warm-start from the best feasible
+/// snapshot, fall back to a cold (but resumable) run, and persist whatever
+/// the run learned — a converged result plus tree, or a partial tree.
+fn run_cached_job(
+    shared: &ServiceShared,
+    cache: &ResultCache,
+    pagani: &Pagani,
+    arena: &ScratchArena,
+    job: &BatchJob,
+    cancel: &CancelToken,
+) -> PaganiOutput {
+    let key = job_cache_key(shared, job);
+    let warm = cache
+        .lookup_snapshot(&key.integrand_id, &key.region_lo_bits, &key.region_hi_bits)
+        .filter(|snap| warm_start_feasible(snap, shared.config.tolerances));
+    let resumable = match warm {
+        Some(snapshot) => match pagani.resume_from(job.integrand(), &snapshot, arena, cancel) {
+            Ok(out) => {
+                shared.obs.warm_starts.fetch_add(1, AtomicOrdering::Relaxed);
+                if !snapshot.converged {
+                    shared.obs.resumed.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+                shared
+                    .obs
+                    .evals_saved
+                    .fetch_add(snapshot.function_evaluations, AtomicOrdering::Relaxed);
+                out
+            }
+            // A snapshot this device cannot resume (it may be smaller than
+            // the one that wrote it): fall back to a cold run.
+            Err(_) => pagani.integrate_resumable(job.integrand(), job.region(), arena, cancel, 0),
+        },
+        None => pagani.integrate_resumable(job.integrand(), job.region(), arena, cancel, 0),
+    };
+    if let Some(snapshot) = resumable.final_snapshot {
+        let converged = resumable.output.result.termination == Termination::Converged;
+        let result = converged.then(|| cached_from_output(&resumable.output));
+        cache.store(key, result, Some(snapshot));
+        shared
+            .obs
+            .checkpoints_written
+            .fetch_add(1, AtomicOrdering::Relaxed);
+    }
+    resumable.output
+}
+
+/// The cache key of a default-path job: integrand name, region corners and
+/// the service-wide tolerances (per-job method overrides never reach the
+/// cache).
+fn job_cache_key(shared: &ServiceShared, job: &BatchJob) -> CacheKey {
+    let tolerances = shared.config.tolerances;
+    CacheKey::new(
+        &job.integrand().name(),
+        job.region().lo(),
+        job.region().hi(),
+        tolerances.rel,
+        tolerances.abs,
+    )
+}
+
+/// Whether a snapshot can still converge under `tolerances`: its frozen
+/// finished error must leave at least half the allowed total error as
+/// headroom for the regions still being refined.  A snapshot from a looser
+/// run may have committed more error than a tighter budget allows — resuming
+/// it could never converge, so such jobs run cold instead.
+fn warm_start_feasible(snapshot: &Snapshot, tolerances: Tolerances) -> bool {
+    let allowed = (snapshot.latest_estimate.abs() * tolerances.rel).max(tolerances.abs);
+    snapshot.finished_error <= 0.5 * allowed
+}
+
+/// [`warm_start_feasible`] over the cache's non-bumping peek summary.
+fn warm_info_feasible(info: &WarmStartInfo, tolerances: Tolerances) -> bool {
+    let allowed = (info.latest_estimate.abs() * tolerances.rel).max(tolerances.abs);
+    info.finished_error <= 0.5 * allowed
+}
+
+/// Rehydrate a cached converged result into a job output.  The trace is
+/// empty and the wall time is the (near-zero) serving time, but estimate,
+/// error and counters are exactly the original run's.
+fn output_from_cached(hit: &CachedResult) -> PaganiOutput {
+    PaganiOutput {
+        result: IntegrationResult {
+            estimate: hit.estimate,
+            error_estimate: hit.error_estimate,
+            termination: Termination::Converged,
+            iterations: hit.iterations,
+            function_evaluations: hit.function_evaluations,
+            regions_generated: hit.regions_generated,
+            active_regions_final: 0,
+            wall_time: Duration::ZERO,
+        },
+        trace: ExecutionTrace::default(),
+    }
+}
+
+/// The cacheable part of a converged output.
+fn cached_from_output(output: &PaganiOutput) -> CachedResult {
+    CachedResult {
+        estimate: output.result.estimate,
+        error_estimate: output.result.error_estimate,
+        iterations: output.result.iterations,
+        function_evaluations: output.result.function_evaluations,
+        regions_generated: output.result.regions_generated,
     }
 }
 

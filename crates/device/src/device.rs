@@ -292,69 +292,6 @@ impl Device {
             .launch_batch(kernel, self.default_config(grid_size), lanes, out, &body)
     }
 
-    /// Launch a side-effect kernel with an explicit [`LaunchConfig`].
-    ///
-    /// # Errors
-    /// Returns [`crate::DeviceError::EmptyLaunch`] for an empty grid and
-    /// [`crate::DeviceError::InvalidLaunchConfig`] for a zero block size.
-    #[deprecated(
-        note = "go through `Device::launch`, or `ComputeBackend::launch_batch` when a \
-                non-default block size is required"
-    )]
-    pub fn launch_with<F>(
-        &self,
-        kernel: &'static str,
-        config: LaunchConfig,
-        body: F,
-    ) -> DeviceResult<()>
-    where
-        F: Fn(BlockContext) + Sync,
-    {
-        self.inner
-            .backend
-            .launch_batch(kernel, config, 0, &mut [], &|ctx, _| body(ctx))
-    }
-
-    /// Launch a kernel in which every block produces one output value; the outputs are
-    /// returned in block order (waves preserve it).
-    ///
-    /// # Errors
-    /// Returns [`crate::DeviceError::EmptyLaunch`] for an empty grid.
-    #[deprecated(
-        note = "per-block return values cost an allocation per launch; write lane values \
-                into a flat buffer with `Device::launch_batch` instead"
-    )]
-    pub fn launch_map<T, F>(
-        &self,
-        kernel: &'static str,
-        grid_size: usize,
-        body: F,
-    ) -> DeviceResult<Vec<T>>
-    where
-        T: Send,
-        F: Fn(BlockContext) -> T + Sync,
-    {
-        let slots: Vec<parking_lot::Mutex<Option<T>>> = (0..grid_size)
-            .map(|_| parking_lot::Mutex::new(None))
-            .collect();
-        self.inner.backend.launch_batch(
-            kernel,
-            self.default_config(grid_size),
-            0,
-            &mut [],
-            &|ctx, _| {
-                *slots[ctx.block_idx].lock() = Some(body(ctx));
-            },
-        )?;
-        Ok(slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("every launched block produces a value")
-            })
-            .collect())
-    }
-
     /// Deterministic sum reduction on the device's backend.
     #[must_use]
     pub fn reduce_sum(&self, values: &[f64]) -> f64 {
@@ -426,25 +363,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn launch_map_shim_preserves_block_order() {
-        let device = Device::test_small();
-        let out = device
-            .launch_map("square", 64, |ctx| ctx.block_idx * ctx.block_idx)
-            .unwrap();
-        assert_eq!(out.len(), 64);
-        for (i, v) in out.iter().enumerate() {
-            assert_eq!(*v, i * i);
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
     fn empty_launch_is_an_error() {
         let device = Device::test_small();
         let err = device.launch("noop", 0, |_| {}).unwrap_err();
-        assert_eq!(err, DeviceError::EmptyLaunch { kernel: "noop" });
-        let err = device.launch_map::<usize, _>("noop", 0, |_| 0).unwrap_err();
         assert_eq!(err, DeviceError::EmptyLaunch { kernel: "noop" });
         let err = device
             .launch_batch("noop", 0, 1, &mut [], |_, _| {})
@@ -453,11 +374,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn zero_block_size_is_rejected() {
         let device = Device::test_small();
         let cfg = LaunchConfig::grid(4).with_block_size(0);
-        let err = device.launch_with("bad", cfg, |_| {}).unwrap_err();
+        let err = device
+            .backend()
+            .launch_batch("bad", cfg, 0, &mut [], &|_, _| {})
+            .unwrap_err();
         assert!(matches!(err, DeviceError::InvalidLaunchConfig { .. }));
     }
 

@@ -1,0 +1,459 @@
+//! Result cache: converged results and resumable snapshots, LRU-evicted
+//! under a byte budget.
+//!
+//! Production traffic is highly repetitive, so the service keeps a cache
+//! keyed by `(integrand id, region, tolerance)`.  Each entry can hold a
+//! converged [`CachedResult`] (served on an exact key hit without touching a
+//! device) and/or a [`Snapshot`] of the region tree (used to warm-start a
+//! request at a different tolerance over the same integrand and region).
+//!
+//! Two disciplines from ARCHITECTURE.md apply here: the cache uses a single
+//! internal mutex and never acquires another lock while holding it (rule R1,
+//! lock-order acyclicity), and recency is tracked with a logical counter
+//! rather than the wall clock (rule R4 — the clock must never influence
+//! result-producing control flow; eviction order is part of which snapshot a
+//! warm start sees).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::snapshot::Snapshot;
+
+/// Cache key: the exact identity of an integration request.
+///
+/// Region corners and tolerances are stored as `f64::to_bits` patterns so
+/// key equality is bit-exact (`-0.0` and `0.0` are *different* keys, NaN
+/// corners compare equal to themselves) and so the key can implement `Hash`
+/// and `Eq` without float caveats.
+///
+/// The integrand id is the integrand's `name()`.  Closure-built integrands
+/// share a default name, so callers that mix distinct closures through one
+/// cache must give them unique names — the cache cannot see function bodies.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Integrand identifier (`Integrand::name()`).
+    pub integrand_id: String,
+    /// Bit patterns of the region's lower corner, one per axis.
+    pub region_lo_bits: Vec<u64>,
+    /// Bit patterns of the region's upper corner, one per axis.
+    pub region_hi_bits: Vec<u64>,
+    /// Bit pattern of the relative tolerance.
+    pub rel_bits: u64,
+    /// Bit pattern of the absolute tolerance.
+    pub abs_bits: u64,
+}
+
+impl CacheKey {
+    /// Build a key from the request's raw floats.
+    pub fn new(integrand_id: &str, lo: &[f64], hi: &[f64], rel_tol: f64, abs_tol: f64) -> Self {
+        CacheKey {
+            integrand_id: integrand_id.to_string(),
+            region_lo_bits: lo.iter().map(|v| v.to_bits()).collect(),
+            region_hi_bits: hi.iter().map(|v| v.to_bits()).collect(),
+            rel_bits: rel_tol.to_bits(),
+            abs_bits: abs_tol.to_bits(),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.integrand_id.len()
+            + (self.region_lo_bits.len() + self.region_hi_bits.len() + 2)
+                * std::mem::size_of::<u64>()
+            + 64
+    }
+}
+
+/// A converged result stored for exact-hit serving.
+///
+/// Plain data rather than core's `IntegrationResult` so this crate stays
+/// free of driver types; the service layer converts on the way in and out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedResult {
+    /// Converged integral estimate.
+    pub estimate: f64,
+    /// Error estimate paired with the integral.
+    pub error_estimate: f64,
+    /// Iterations the original run took.
+    pub iterations: usize,
+    /// Integrand evaluations the original run spent (the savings of a hit).
+    pub function_evaluations: u64,
+    /// Regions the original run materialized.
+    pub regions_generated: u64,
+}
+
+/// Non-bumping summary of a cached snapshot, for admission-control peeks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStartInfo {
+    /// Relative tolerance the snapshotted run was configured with.
+    pub rel_tol: f64,
+    /// Absolute tolerance the snapshotted run was configured with.
+    pub abs_tol: f64,
+    /// Error already frozen into the snapshot's finished set.
+    pub finished_error: f64,
+    /// Best cumulative estimate the snapshotted run had observed.
+    pub latest_estimate: f64,
+    /// Evaluations banked in the snapshot (work a warm start inherits).
+    pub function_evaluations: u64,
+    /// Whether the snapshotted run converged.
+    pub converged: bool,
+}
+
+struct Entry {
+    result: Option<CachedResult>,
+    snapshot: Option<Snapshot>,
+    /// Logical-clock stamp of the last hit or store (rule R4: no `Instant`).
+    last_used: u64,
+    bytes: usize,
+}
+
+fn entry_bytes(
+    key: &CacheKey,
+    result: &Option<CachedResult>,
+    snapshot: &Option<Snapshot>,
+) -> usize {
+    key.approx_bytes()
+        + result
+            .as_ref()
+            .map_or(0, |_| std::mem::size_of::<CachedResult>())
+        + snapshot.as_ref().map_or(0, Snapshot::approx_bytes)
+}
+
+struct CacheState {
+    map: HashMap<CacheKey, Entry>,
+    clock: u64,
+    bytes_used: usize,
+    byte_budget: usize,
+    evictions: u64,
+}
+
+/// Shared LRU result cache with a byte budget.
+///
+/// All operations take the single internal mutex for their whole duration;
+/// there is no lock ordering to get wrong because the cache never calls out
+/// while holding it.
+pub struct ResultCache {
+    state: Mutex<CacheState>,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.lock();
+        f.debug_struct("ResultCache")
+            .field("entries", &state.map.len())
+            .field("bytes_used", &state.bytes_used)
+            .field("byte_budget", &state.byte_budget)
+            .field("evictions", &state.evictions)
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// Create a cache that evicts least-recently-used entries once the
+    /// approximate footprint exceeds `byte_budget`.
+    pub fn new(byte_budget: usize) -> Self {
+        ResultCache {
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                clock: 0,
+                bytes_used: 0,
+                byte_budget,
+                evictions: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        // The cache holds plain data and never panics while locked, but be
+        // robust to a poisoned mutex from a panicking caller thread anyway.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Look up a converged result by exact key, bumping its recency.
+    pub fn lookup_result(&self, key: &CacheKey) -> Option<CachedResult> {
+        let mut state = self.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        let entry = state.map.get_mut(key)?;
+        let hit = entry.result.clone()?;
+        entry.last_used = clock;
+        Some(hit)
+    }
+
+    /// Find the best snapshot for `(integrand, region)` at *any* tolerance,
+    /// bumping the owning entry's recency.
+    ///
+    /// "Best" is the snapshot with the most banked evaluations — the deepest
+    /// tree, which gives a warm start the largest head start.
+    pub fn lookup_snapshot(
+        &self,
+        integrand_id: &str,
+        region_lo_bits: &[u64],
+        region_hi_bits: &[u64],
+    ) -> Option<Snapshot> {
+        let mut state = self.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        let entry = state
+            .map
+            .iter_mut()
+            .filter(|(k, e)| {
+                e.snapshot.is_some()
+                    && k.integrand_id == integrand_id
+                    && k.region_lo_bits == region_lo_bits
+                    && k.region_hi_bits == region_hi_bits
+            })
+            .max_by_key(|(_, e)| e.snapshot.as_ref().map_or(0, |s| s.function_evaluations))?
+            .1;
+        entry.last_used = clock;
+        entry.snapshot.clone()
+    }
+
+    /// Whether an exact converged result exists for `key`, without bumping
+    /// recency (admission control must not perturb eviction order).
+    pub fn contains_result(&self, key: &CacheKey) -> bool {
+        let state = self.lock();
+        state.map.get(key).is_some_and(|e| e.result.is_some())
+    }
+
+    /// Summarize the best warm-start snapshot for `(integrand, region)`
+    /// without bumping recency, for admission-control cost discounting.
+    pub fn peek_warm_start(
+        &self,
+        integrand_id: &str,
+        region_lo_bits: &[u64],
+        region_hi_bits: &[u64],
+    ) -> Option<WarmStartInfo> {
+        let state = self.lock();
+        state
+            .map
+            .iter()
+            .filter_map(|(k, e)| {
+                let snap = e.snapshot.as_ref()?;
+                (k.integrand_id == integrand_id
+                    && k.region_lo_bits == region_lo_bits
+                    && k.region_hi_bits == region_hi_bits)
+                    .then_some(snap)
+            })
+            .max_by_key(|s| s.function_evaluations)
+            .map(|s| WarmStartInfo {
+                rel_tol: s.rel_tol,
+                abs_tol: s.abs_tol,
+                finished_error: s.finished_error,
+                latest_estimate: s.latest_estimate,
+                function_evaluations: s.function_evaluations,
+                converged: s.converged,
+            })
+    }
+
+    /// Store a result and/or snapshot under `key`, merging with any existing
+    /// entry (a `None` part leaves the existing part in place) and evicting
+    /// least-recently-used entries until the byte budget is met.
+    pub fn store(&self, key: CacheKey, result: Option<CachedResult>, snapshot: Option<Snapshot>) {
+        if result.is_none() && snapshot.is_none() {
+            return;
+        }
+        let mut state = self.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        let mut entry = state.map.remove(&key).unwrap_or(Entry {
+            result: None,
+            snapshot: None,
+            last_used: clock,
+            bytes: 0,
+        });
+        state.bytes_used -= entry.bytes;
+        if result.is_some() {
+            entry.result = result;
+        }
+        if snapshot.is_some() {
+            entry.snapshot = snapshot;
+        }
+        entry.bytes = entry_bytes(&key, &entry.result, &entry.snapshot);
+        entry.last_used = clock;
+        state.bytes_used += entry.bytes;
+        state.map.insert(key.clone(), entry);
+        while state.bytes_used > state.byte_budget && !state.map.is_empty() {
+            let victim = state
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map has a minimum");
+            let evicted = state.map.remove(&victim).expect("victim exists");
+            state.bytes_used -= evicted.bytes;
+            state.evictions += 1;
+            if victim == key {
+                // The fresh entry alone exceeds the budget; drop it outright
+                // rather than evicting the rest of the cache for nothing.
+                break;
+            }
+        }
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().map.is_empty()
+    }
+
+    /// Approximate bytes currently held.
+    pub fn bytes_used(&self) -> usize {
+        self.lock().bytes_used
+    }
+
+    /// The configured byte budget.
+    pub fn byte_budget(&self) -> usize {
+        self.lock().byte_budget
+    }
+
+    /// Entries evicted so far to satisfy the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SNAPSHOT_FORMAT_VERSION;
+
+    fn key(id: &str, rel: f64) -> CacheKey {
+        CacheKey::new(id, &[0.0, 0.0], &[1.0, 1.0], rel, 1e-20)
+    }
+
+    fn result(evals: u64) -> CachedResult {
+        CachedResult {
+            estimate: 1.0,
+            error_estimate: 1e-9,
+            iterations: 4,
+            function_evaluations: evals,
+            regions_generated: 100,
+        }
+    }
+
+    fn snapshot(evals: u64, regions: usize) -> Snapshot {
+        Snapshot {
+            version: SNAPSHOT_FORMAT_VERSION,
+            integrand_id: "f".to_string(),
+            region_lo: vec![0.0, 0.0],
+            region_hi: vec![1.0, 1.0],
+            rel_tol: 1e-3,
+            abs_tol: 1e-20,
+            converged: false,
+            dim: 2,
+            lefts: vec![0.0; regions * 2],
+            lengths: vec![1.0; regions * 2],
+            parent_integrals: None,
+            finished_estimate: 0.0,
+            finished_error: 0.0,
+            threshold_frozen_error: 0.0,
+            function_evaluations: evals,
+            regions_generated: regions as u64,
+            previous_cumulative: None,
+            next_iteration: 1,
+            latest_estimate: 1.0,
+            latest_error: 1e-3,
+        }
+    }
+
+    #[test]
+    fn exact_hits_require_bitwise_key_equality() {
+        let cache = ResultCache::new(1 << 20);
+        cache.store(key("f", 1e-3), Some(result(17)), None);
+        assert_eq!(cache.lookup_result(&key("f", 1e-3)), Some(result(17)));
+        assert_eq!(cache.lookup_result(&key("f", 1e-4)), None);
+        assert_eq!(cache.lookup_result(&key("g", 1e-3)), None);
+        let negated = CacheKey::new("f", &[-0.0, 0.0], &[1.0, 1.0], 1e-3, 1e-20);
+        assert_eq!(cache.lookup_result(&negated), None);
+    }
+
+    #[test]
+    fn snapshot_lookup_spans_tolerances_and_prefers_deepest() {
+        let cache = ResultCache::new(1 << 20);
+        cache.store(key("f", 1e-2), None, Some(snapshot(100, 4)));
+        cache.store(key("f", 1e-3), None, Some(snapshot(900, 16)));
+        let k = key("f", 1e-6); // tolerance absent from the cache
+        let best = cache
+            .lookup_snapshot(&k.integrand_id, &k.region_lo_bits, &k.region_hi_bits)
+            .unwrap();
+        assert_eq!(best.function_evaluations, 900);
+        let info = cache
+            .peek_warm_start(&k.integrand_id, &k.region_lo_bits, &k.region_hi_bits)
+            .unwrap();
+        assert_eq!(info.function_evaluations, 900);
+        assert_eq!(info.rel_tol, 1e-3);
+    }
+
+    #[test]
+    fn store_merges_result_and_snapshot_parts() {
+        let cache = ResultCache::new(1 << 20);
+        cache.store(key("f", 1e-3), None, Some(snapshot(50, 2)));
+        cache.store(key("f", 1e-3), Some(result(60)), None);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup_result(&key("f", 1e-3)).is_some());
+        let k = key("f", 1e-3);
+        assert!(cache
+            .lookup_snapshot(&k.integrand_id, &k.region_lo_bits, &k.region_hi_bits)
+            .is_some());
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        let probe = snapshot(1, 64);
+        let one_entry = entry_bytes(&key("a", 1e-3), &None, &Some(probe.clone()));
+        // Room for two entries but not three.
+        let cache = ResultCache::new(one_entry * 2 + one_entry / 2);
+        cache.store(key("a", 1e-3), None, Some(probe.clone()));
+        cache.store(key("b", 1e-3), None, Some(probe.clone()));
+        // Touch "a" so "b" is the LRU victim when "c" arrives.
+        assert!(cache
+            .lookup_snapshot(
+                "a",
+                &key("a", 1e-3).region_lo_bits,
+                &key("a", 1e-3).region_hi_bits
+            )
+            .is_some());
+        cache.store(key("c", 1e-3), None, Some(probe));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(!cache.contains_result(&key("b", 1e-3)));
+        let kb = key("b", 1e-3);
+        assert!(cache
+            .lookup_snapshot(&kb.integrand_id, &kb.region_lo_bits, &kb.region_hi_bits)
+            .is_none());
+    }
+
+    #[test]
+    fn oversized_entry_is_dropped_not_cached() {
+        let cache = ResultCache::new(64);
+        cache.store(key("big", 1e-3), None, Some(snapshot(1, 1024)));
+        assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.bytes_used() <= cache.byte_budget());
+    }
+
+    #[test]
+    fn peeks_do_not_perturb_lru_order() {
+        let probe = snapshot(1, 64);
+        let one_entry = entry_bytes(&key("a", 1e-3), &None, &Some(probe.clone()));
+        let cache = ResultCache::new(one_entry * 2 + one_entry / 2);
+        cache.store(key("a", 1e-3), None, Some(probe.clone()));
+        cache.store(key("b", 1e-3), None, Some(probe.clone()));
+        // Peek "a" (non-bumping): "a" must still be the LRU victim.
+        let ka = key("a", 1e-3);
+        assert!(cache
+            .peek_warm_start(&ka.integrand_id, &ka.region_lo_bits, &ka.region_hi_bits)
+            .is_some());
+        assert!(!cache.contains_result(&ka));
+        cache.store(key("c", 1e-3), None, Some(probe));
+        let gone = cache.lookup_snapshot(&ka.integrand_id, &ka.region_lo_bits, &ka.region_hi_bits);
+        assert!(
+            gone.is_none(),
+            "peeked entry should have been evicted first"
+        );
+    }
+}

@@ -1,11 +1,12 @@
 //! Minimal JSON value type, serializer and parser.
 //!
-//! `ANALYZE_report.json` must be machine-readable without pulling `serde`
-//! into the offline workspace, so the report is built from this `Value` type
-//! and serialized by hand.  The parser exists so the test suite (and any
-//! downstream tooling) can prove the emitted report round-trips:
-//! `parse(serialize(v)) == v` and `serialize(parse(s)) == s` for the
-//! analyzer's own output.
+//! Snapshots and `ANALYZE_report.json` must be machine-readable without
+//! pulling `serde` into the offline workspace, so both are built from this
+//! `Value` type and serialized by hand.  (The module started life inside
+//! `pagani-analyze` and moved here so the analyzer report and driver
+//! snapshots share one implementation.)  The parser exists so the test
+//! suites (and any downstream tooling) can prove emitted documents
+//! round-trip: `parse(serialize(v)) == v` and `serialize(parse(s)) == s`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

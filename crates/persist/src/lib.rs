@@ -1,0 +1,32 @@
+//! `pagani-persist`: the persistence layer.
+//!
+//! PAGANI's region tree *is* the algorithm's state: a partially refined tree
+//! is a valid starting point for further refinement, so persisting it buys
+//! crash recovery, warm starts and a progressive-accuracy API all at once.
+//! This crate holds the pieces that make that possible without any external
+//! dependencies:
+//!
+//! - [`json`] — the hand-rolled `Value` serializer/parser shared with
+//!   `pagani-analyze` (extracted from there so reports and snapshots use one
+//!   implementation).
+//! - [`Snapshot`] — a versioned, bit-exact serialization of driver state:
+//!   `RegionList` geometry, accumulated estimates, and iteration counters,
+//!   with every `f64` round-tripped via `to_bits` so a resumed run can be
+//!   bit-identical to an uninterrupted one.
+//! - [`ResultCache`] — an LRU cache with a byte budget, keyed by
+//!   `(integrand id, region, tolerance)`, storing converged results for
+//!   exact-hit serving and snapshots for warm-started resumption.
+//!
+//! The crate is deliberately free of device/driver types: `pagani-core`
+//! converts to and from its own state, which keeps this layer reusable by
+//! tooling (and by the analyzer, which must not depend on core).
+
+#![forbid(unsafe_code)]
+#![warn(unreachable_pub)]
+
+pub mod cache;
+pub mod json;
+pub mod snapshot;
+
+pub use cache::{CacheKey, CachedResult, ResultCache, WarmStartInfo};
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION};

@@ -8,7 +8,9 @@
 //! * Genz–Malik embedded cubature, two-level error estimation and 1-D quadrature
 //!   ([`quadrature`]),
 //! * the paper's test-integrand suite with analytic reference values ([`integrands`]),
-//! * the PAGANI algorithm itself ([`core`]), and
+//! * the PAGANI algorithm itself ([`core`]),
+//! * bit-exact region-tree snapshots, a result cache and warm-start resumable
+//!   integration ([`persist`]), and
 //! * the baselines it is compared against: sequential Cuhre, the two-phase GPU method,
 //!   randomized quasi-Monte Carlo and plain Monte Carlo ([`baselines`]).
 //!
@@ -127,6 +129,7 @@ pub use pagani_baselines as baselines;
 pub use pagani_core as core;
 pub use pagani_device as device;
 pub use pagani_integrands as integrands;
+pub use pagani_persist as persist;
 pub use pagani_quadrature as quadrature;
 
 pub use pagani_baselines::{IntegratorBuilder, MethodConfig};
@@ -134,9 +137,11 @@ pub use pagani_core::batch::integrate_batch;
 pub use pagani_core::{
     Capabilities, CostKey, CostModel, DeadlineInfeasible, DispatchMode, Evaluation,
     IntegrationService, Integrator, IntegratorFactory, JobHandle, MultiDeviceService, Priority,
-    QueueFull, RegionPack, Rejected, ServiceMetrics, ServicePolicy, WaitStats, EVAL_LANES,
+    QueueFull, RegionPack, Rejected, ResumableOutput, ResumeError, ServiceMetrics, ServicePolicy,
+    WaitStats, EVAL_LANES,
 };
 pub use pagani_device::{BackendCaps, ComputeBackend, CountingBackend, CpuBackend};
+pub use pagani_persist::{CacheKey, CachedResult, ResultCache, Snapshot, WarmStartInfo};
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
@@ -148,8 +153,8 @@ pub mod prelude {
         integrate_batch, BatchJob, BatchRunner, CancelToken, Capabilities, CostKey, CostModel,
         DispatchMode, HeuristicFiltering, IntegrationService, Integrator, IntegratorFactory,
         JobHandle, MultiDeviceOutput, MultiDevicePagani, MultiDeviceService, Pagani, PaganiConfig,
-        PaganiOutput, Priority, QueueFull, Rejected, ScratchArena, ServiceMetrics, ServicePolicy,
-        WaitStats,
+        PaganiOutput, Priority, QueueFull, Rejected, ResultCache, ScratchArena, ServiceMetrics,
+        ServicePolicy, Snapshot, WaitStats,
     };
     pub use pagani_device::{ComputeBackend, Device, DeviceConfig};
     pub use pagani_integrands::paper::PaperIntegrand;

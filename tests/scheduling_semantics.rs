@@ -470,6 +470,49 @@ fn metrics_mid_run_deadline_miss_is_counted() {
 }
 
 #[test]
+fn metrics_cache_counters_track_hits_misses_and_checkpoints() {
+    // Without a cache every counter stays zero; with one, a repeated job is
+    // one miss then one hit, the converged tree is checkpointed into the
+    // cache, and the hit banks the original run's evaluations.
+    let plain = IntegrationService::with_workers(device_with_workers(2), config(), 2);
+    let _ = plain.submit(BatchJob::new(PaperIntegrand::f4(3))).wait();
+    let baseline = plain.metrics();
+    assert_eq!(baseline.cache_hits, 0);
+    assert_eq!(baseline.cache_misses, 0);
+    assert_eq!(baseline.warm_starts, 0);
+    assert_eq!(baseline.resumed, 0);
+    assert_eq!(baseline.checkpoints_written, 0);
+    assert_eq!(baseline.evals_saved, 0);
+    assert!(plain.result_cache().is_none());
+    plain.shutdown();
+
+    let cache = Arc::new(ResultCache::new(1 << 20));
+    let service = IntegrationService::with_cache(
+        device_with_workers(2),
+        config(),
+        ServicePolicy::default(),
+        cache,
+    );
+    let job =
+        || BatchJob::shared(Arc::new(PaperIntegrand::f4(3)) as Arc<dyn Integrand + Send + Sync>);
+    let cold = service.submit(job()).wait();
+    assert!(cold.result.converged());
+    let hit = service.submit(job()).wait();
+    assert!(hit.result.converged());
+    let metrics = service.metrics();
+    assert_eq!(metrics.cache_misses, 1, "{metrics:?}");
+    assert_eq!(metrics.cache_hits, 1, "{metrics:?}");
+    assert!(metrics.checkpoints_written >= 1, "{metrics:?}");
+    assert_eq!(metrics.evals_saved, cold.result.function_evaluations);
+    // An exact hit is free: admission promises zero remaining work for it.
+    let promised = service
+        .estimated_completion(&job())
+        .expect("idle service always estimates");
+    assert_eq!(promised, Duration::ZERO, "{metrics:?}");
+    service.shutdown();
+}
+
+#[test]
 fn deadline_mid_run_cancels_with_partial_stats_intact() {
     for workers in worker_matrix(&[1, 2]) {
         // Every evaluation dawdles, so the deadline fires mid-run; the
