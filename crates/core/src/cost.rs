@@ -39,7 +39,7 @@ use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
-use pagani_quadrature::Tolerances;
+use pagani_quadrature::{Region, Tolerances};
 
 use crate::batch::BatchJob;
 
@@ -123,6 +123,97 @@ pub fn job_tolerances(job: &BatchJob, default_tolerances: Tolerances) -> Toleran
 #[must_use]
 pub fn estimated_job_cost(job: &BatchJob, default_tolerances: Tolerances) -> f64 {
     estimated_cost(job.region().dim(), job_tolerances(job, default_tolerances))
+}
+
+/// Estimated peak device-memory footprint (bytes) of integrating a
+/// `dim`-dimensional job to `tolerances`.
+///
+/// Uses the same region-count growth factor as [`estimated_cost`]
+/// (`2^(digits·d/2)` surviving regions at the precision frontier), times the
+/// per-region storage a region list actually holds: bounds (`2d` f64s) plus
+/// estimate, error, split axis and classification bookkeeping (~6 f64-sized
+/// slots).  A deliberately *rough* planning number — its only consumer is the
+/// slab-splitting admission check, which compares it against a device's
+/// memory budget to decide whether a job must be cut into
+/// [`crate::MultiDevicePagani::partition`] slabs at all, and into how many.
+/// Everyday test-sized jobs (dim ≤ 4, tolerances ≥ 1e-5) land in the
+/// kilobytes, far under any device budget, so they never split.
+#[must_use]
+pub fn estimated_footprint_bytes(dim: usize, tolerances: Tolerances) -> f64 {
+    let d = dim as f64;
+    let digits = tolerances.digits_requested().clamp(1.0, 12.0);
+    let peak_regions = (digits * d / 2.0).min(53.0).exp2();
+    let bytes_per_region = (2.0 * d + 6.0) * 8.0;
+    peak_regions * bytes_per_region
+}
+
+/// [`estimated_footprint_bytes`] for a queued job, under [`job_tolerances`].
+#[must_use]
+pub fn estimated_job_footprint_bytes(job: &BatchJob, default_tolerances: Tolerances) -> f64 {
+    estimated_footprint_bytes(job.region().dim(), job_tolerances(job, default_tolerances))
+}
+
+/// Apportion a whole-job dispatch weight across its slabs, proportionally to
+/// slab volume, such that the per-slab weights are integer-valued and **sum
+/// to exactly `total_cost`** (largest-remainder apportionment; ties break to
+/// the lowest slab index).
+///
+/// Exactness is what the outstanding-cost ledgers need: a slab-split job
+/// charges each child's weight to its lane and retires it on completion, so
+/// the weights must add up to the parent's weight without f64 drift —
+/// integer-valued f64s well below `2⁵³` guarantee that (see
+/// [`cost_ceiling`]).
+///
+/// # Panics
+/// Panics if `slabs` is empty or `total_cost` is not a non-negative
+/// integer-valued finite f64 (every [`CostModel::weigh_job`] weight is).
+#[must_use]
+pub fn slab_weights(total_cost: f64, slabs: &[Region]) -> Vec<f64> {
+    assert!(!slabs.is_empty(), "at least one slab is required");
+    assert!(
+        total_cost.is_finite() && total_cost >= 0.0 && total_cost.fract() == 0.0,
+        "dispatch weights are non-negative integer-valued f64s, got {total_cost}"
+    );
+    let volumes: Vec<f64> = slabs.iter().map(Region::volume).collect();
+    let total_volume: f64 = volumes.iter().sum();
+    // Degenerate (zero-volume) partitions fall back to equal shares.
+    let shares: Vec<f64> = if total_volume > 0.0 && total_volume.is_finite() {
+        volumes
+            .iter()
+            .map(|v| total_cost * (v / total_volume))
+            .collect()
+    } else {
+        vec![total_cost / slabs.len() as f64; slabs.len()]
+    };
+    let mut weights: Vec<f64> = shares.iter().map(|s| s.floor()).collect();
+    let assigned: f64 = weights.iter().sum();
+    let mut leftover = (total_cost - assigned) as u64;
+    // Hand the leftover units to the largest fractional remainders, ties to
+    // the lowest index — a pure function of the inputs, so slab order (and
+    // with it bit-deterministic recombination) is stable.
+    let mut order: Vec<usize> = (0..slabs.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (fa, fb) = (shares[a] - shares[a].floor(), shares[b] - shares[b].floor());
+        fb.partial_cmp(&fa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut cursor = 0usize;
+    while leftover > 0 {
+        weights[order[cursor % order.len()]] += 1.0;
+        cursor += 1;
+        leftover -= 1;
+    }
+    weights
+}
+
+/// Effective load of a remote lane: estimated outstanding cost normalised by
+/// the worker threads serving it, so a 8-worker remote box absorbs
+/// proportionally more outstanding work than a 1-worker box before
+/// least-loaded dispatch steers away from it.
+#[must_use]
+pub fn remote_lane_load(outstanding: f64, workers: usize) -> f64 {
+    outstanding / workers.max(1) as f64
 }
 
 /// An exponentially-weighted moving average: `value ← α·x + (1-α)·value`,

@@ -37,6 +37,7 @@
 
 pub mod arena;
 pub mod batch;
+pub mod builder;
 pub mod classify;
 pub mod config;
 pub mod cost;
@@ -45,6 +46,7 @@ pub mod evaluate;
 pub mod integrator;
 pub mod multi_device;
 pub mod region_list;
+pub mod remote;
 pub mod resume;
 pub mod service;
 pub mod threshold;
@@ -52,9 +54,12 @@ pub mod trace;
 
 pub use arena::ScratchArena;
 pub use batch::{integrate_batch, BatchJob, BatchRunner};
+pub use builder::ServiceBuilder;
 pub use config::{HeuristicFiltering, PaganiConfig};
 pub use cost::{
-    cost_ceiling, estimated_cost, estimated_job_cost, job_tolerances, CostKey, CostModel, Ewma,
+    cost_ceiling, estimated_cost, estimated_footprint_bytes, estimated_job_cost,
+    estimated_job_footprint_bytes, job_tolerances, remote_lane_load, slab_weights, CostKey,
+    CostModel, Ewma,
 };
 pub use driver::{CancelToken, Pagani, PaganiOutput};
 pub use evaluate::{Evaluation, RegionPack, EVAL_LANES};
@@ -66,6 +71,9 @@ pub use multi_device::{
 // `pagani-persist` directly.
 pub use pagani_persist::{CacheKey, CachedResult, ResultCache, Snapshot, WarmStartInfo};
 pub use region_list::RegionList;
+pub use remote::{
+    DistributedService, IntegrandRegistry, Message, RemoteWorker, WireError, PROTOCOL_VERSION,
+};
 pub use resume::{ResumableOutput, ResumeError};
 pub use service::{
     DeadlineInfeasible, IntegrationService, JobHandle, Priority, QueueFull, Rejected,

@@ -27,19 +27,25 @@
 //! full-capacity memory view, so only wall-clock (and, for heterogeneous
 //! pools, memory-pressure behaviour) depends on placement.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pagani_quadrature::{Integrand, IntegrationResult, Region, Termination, Tolerances};
 
 use crate::batch::BatchJob;
+use crate::builder::ServiceBuilder;
 use crate::config::PaganiConfig;
-use crate::cost::CostModel;
 pub use crate::cost::{estimated_cost, estimated_job_cost};
+use crate::cost::{estimated_job_footprint_bytes, slab_weights, CostModel};
 use crate::driver::{Pagani, PaganiOutput};
 use crate::integrator::ensure_matching_dims;
-use crate::service::{IntegrationService, JobHandle, Rejected, ServiceMetrics, ServicePolicy};
+use crate::service::{
+    panic_message, IntegrationService, JobHandle, JobOutcome, JobState, QueueFull, Rejected,
+    ServiceMetrics, ServicePolicy,
+};
+use crate::trace::ExecutionTrace;
 use pagani_device::Device;
 use pagani_persist::ResultCache;
 
@@ -149,27 +155,32 @@ pub struct MultiDeviceService {
 
 impl MultiDeviceService {
     /// Start a cost-balanced service over `devices`, one lane (a full
-    /// [`IntegrationService`]) per device.
+    /// [`IntegrationService`]) per device.  Thin delegate of
+    /// [`ServiceBuilder`].
     ///
     /// # Panics
     /// Panics if `devices` is empty.
     #[must_use]
     pub fn new(devices: Vec<Device>, config: PaganiConfig) -> Self {
-        Self::with_mode(devices, config, DispatchMode::default())
+        ServiceBuilder::new(config).devices(devices).build_multi()
     }
 
-    /// Start a service with an explicit [`DispatchMode`].
+    /// Start a service with an explicit [`DispatchMode`].  Thin delegate of
+    /// [`ServiceBuilder`].
     ///
     /// # Panics
     /// Panics if `devices` is empty.
     #[must_use]
     pub fn with_mode(devices: Vec<Device>, config: PaganiConfig, mode: DispatchMode) -> Self {
-        Self::with_policy(devices, config, mode, ServicePolicy::default())
+        ServiceBuilder::new(config)
+            .devices(devices)
+            .dispatch(mode)
+            .build_multi()
     }
 
     /// Start a service with an explicit mode and a per-lane
     /// [`ServicePolicy`] (each device's lane applies the policy
-    /// independently).
+    /// independently).  Thin delegate of [`ServiceBuilder`].
     ///
     /// # Panics
     /// Panics if `devices` is empty.
@@ -180,13 +191,18 @@ impl MultiDeviceService {
         mode: DispatchMode,
         policy: ServicePolicy,
     ) -> Self {
-        Self::build(devices, config, mode, policy, None)
+        ServiceBuilder::new(config)
+            .devices(devices)
+            .dispatch(mode)
+            .policy(policy)
+            .build_multi()
     }
 
     /// Start a service whose lanes all share one [`ResultCache`]: a result
     /// computed (or a partial tree persisted) on any device serves exact hits
     /// and warm starts on every device.  See
     /// [`IntegrationService::with_cache`] for the per-lane cache semantics.
+    /// Thin delegate of [`ServiceBuilder`].
     ///
     /// # Panics
     /// Panics if `devices` is empty.
@@ -198,19 +214,29 @@ impl MultiDeviceService {
         policy: ServicePolicy,
         cache: Arc<ResultCache>,
     ) -> Self {
-        Self::build(devices, config, mode, policy, Some(cache))
+        ServiceBuilder::new(config)
+            .devices(devices)
+            .dispatch(mode)
+            .policy(policy)
+            .cache(cache)
+            .build_multi()
     }
 
-    fn build(
-        devices: Vec<Device>,
-        config: PaganiConfig,
-        mode: DispatchMode,
-        policy: ServicePolicy,
-        cache: Option<Arc<ResultCache>>,
-    ) -> Self {
+    /// The one real construction path, fed by
+    /// [`ServiceBuilder::build_multi`].
+    pub(crate) fn from_builder(builder: ServiceBuilder) -> Self {
+        let ServiceBuilder {
+            config,
+            devices,
+            policy,
+            dispatch: mode,
+            cache,
+            model,
+            ..
+        } = builder;
         assert!(!devices.is_empty(), "at least one device is required");
         let default_tolerances = config.tolerances;
-        let model = Arc::new(CostModel::new());
+        let model = model.unwrap_or_else(|| Arc::new(CostModel::new()));
         let lanes = devices
             .into_iter()
             .map(|device| Lane {
@@ -324,8 +350,24 @@ impl MultiDeviceService {
     /// rather than breaking determinism.  The job's weight under the shared
     /// [`CostModel`] is charged to the chosen lane and retired when the job
     /// completes.
+    ///
+    /// **Oversized jobs slab-split.**  A job whose
+    /// [`estimated_job_footprint_bytes`] exceeds the smallest lane's memory
+    /// capacity cannot converge on any single device; instead of letting it
+    /// exhaust memory, the service cuts its region into
+    /// [`MultiDevicePagani::partition`] slabs (one child job per slab, each
+    /// inheriting the parent's priority and deadline), dispatches the
+    /// children through the ordinary cost-balanced lanes with
+    /// [`slab_weights`] charges, and recombines them **bit-deterministically**:
+    /// children are summed in fixed slab order with exactly the
+    /// [`MultiDevicePagani::integrate_region`] fold, so the parent handle's
+    /// result is a pure function of the slab results.  Cancelling the parent
+    /// handle cancels every child.
     #[must_use]
     pub fn submit(&self, job: BatchJob) -> JobHandle {
+        if let Some(parts) = self.slab_parts(&job) {
+            return self.submit_slabbed(job, parts);
+        }
         self.submit_to(self.select_lane(), job)
     }
 
@@ -345,6 +387,29 @@ impl MultiDeviceService {
     /// [`Rejected::DeadlineInfeasible`] when the shared model predicts the
     /// deadline cannot be met on that lane.
     pub fn try_submit(&self, job: BatchJob) -> Result<JobHandle, Rejected> {
+        if let Some(parts) = self.slab_parts(&job) {
+            // Slab children bypass per-child admission (they exist precisely
+            // because the whole job is infeasible on one device), so refuse
+            // up front only on capacity: when every lane's queue is at its
+            // bound there is nowhere to put even the first child.  Deadline
+            // admission is deliberately optimistic here — the model prices
+            // whole jobs, not slabs, and a refusal based on the unsplit
+            // footprint would reject exactly the jobs splitting rescues.
+            let full_bound = (0..self.lanes.len())
+                .map(|i| {
+                    let lane = &self.lanes[i];
+                    lane.service
+                        .policy()
+                        .queue_bound
+                        .filter(|&bound| lane.service.queued_jobs() >= bound)
+                })
+                .collect::<Option<Vec<usize>>>();
+            if let Some(bounds) = full_bound {
+                let bound = bounds.into_iter().min().unwrap_or(0);
+                return Err(Rejected::QueueFull(Box::new(QueueFull { bound, job })));
+            }
+            return Ok(self.submit_slabbed(job, parts));
+        }
         let lane_index = self.select_lane();
         let lane = &self.lanes[lane_index];
         let cost = self.model.weigh_job(&job, self.default_tolerances);
@@ -367,14 +432,88 @@ impl MultiDeviceService {
     /// Dispatch `job` to the planned `lane`, charging and later retiring its
     /// weight under the shared [`CostModel`].
     fn submit_to(&self, lane_index: usize, job: BatchJob) -> JobHandle {
-        let lane = &self.lanes[lane_index];
         let cost = self.model.weigh_job(&job, self.default_tolerances);
+        self.submit_weighted(lane_index, job, cost)
+    }
+
+    /// [`MultiDeviceService::submit_to`] with an explicit charge — the slab
+    /// path apportions the parent's weight across children, so a child's
+    /// charge is its [`slab_weights`] share rather than its own model weight.
+    fn submit_weighted(&self, lane_index: usize, job: BatchJob, cost: f64) -> JobHandle {
+        let lane = &self.lanes[lane_index];
         *lock(&lane.outstanding) += cost;
         let outstanding = Arc::clone(&lane.outstanding);
         lane.service.submit_with_hook(
             job,
             Some(Box::new(move || {
                 *lock(&outstanding) -= cost;
+            })),
+        )
+    }
+
+    /// How many slabs `job` must be cut into, or `None` when it fits on one
+    /// device (the overwhelmingly common case) or carries a per-job method
+    /// override (baseline methods have no slab-composition story).
+    fn slab_parts(&self, job: &BatchJob) -> Option<usize> {
+        if job.method().is_some() {
+            return None;
+        }
+        let budget = self
+            .lanes
+            .iter()
+            .map(|lane| lane.service.device().config().memory_capacity)
+            .min()
+            .expect("the lane list is never empty") as f64;
+        let footprint = estimated_job_footprint_bytes(job, self.default_tolerances);
+        if footprint <= budget {
+            return None;
+        }
+        Some(((footprint / budget).ceil() as usize).clamp(2, 64))
+    }
+
+    /// Split an oversized job into `parts` slab children, dispatch each
+    /// through the ordinary lanes, and hand back a parent handle served by a
+    /// combiner thread that waits for the children **in slab order** and
+    /// publishes the [`combine_slab_outputs`] fold.
+    fn submit_slabbed(&self, job: BatchJob, parts: usize) -> JobHandle {
+        let slabs = MultiDevicePagani::partition(job.region(), parts);
+        let total_cost = self.model.weigh_job(&job, self.default_tolerances);
+        let weights = slab_weights(total_cost, &slabs);
+        let children: Vec<JobHandle> = slabs
+            .into_iter()
+            .zip(&weights)
+            .map(|(slab, &weight)| {
+                self.submit_weighted(self.select_lane(), job.clone().over(slab), weight)
+            })
+            .collect();
+        let tolerances = crate::cost::job_tolerances(&job, self.default_tolerances);
+        let parent = Arc::new(JobState::new());
+        let state = Arc::clone(&parent);
+        let waited = children.clone();
+        std::thread::Builder::new()
+            .name("pagani-slab-combiner".into())
+            .spawn(move || {
+                let mut outputs = Vec::with_capacity(waited.len());
+                for child in &waited {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| child.wait())) {
+                        Ok(output) => outputs.push(output),
+                        Err(payload) => {
+                            state.complete(JobOutcome::Panicked(panic_message(payload.as_ref())));
+                            return;
+                        }
+                    }
+                }
+                state.complete(JobOutcome::Finished(combine_slab_outputs(
+                    &outputs, tolerances,
+                )));
+            })
+            .expect("spawning the slab-combiner thread");
+        JobHandle::detached(
+            parent,
+            Some(Arc::new(move || {
+                for child in &children {
+                    child.cancel();
+                }
             })),
         )
     }
@@ -563,47 +702,83 @@ impl MultiDevicePagani {
                 .collect()
         });
 
-        let mut estimate = 0.0;
-        let mut error = 0.0;
-        let mut function_evaluations = 0;
-        let mut regions_generated = 0;
-        let mut iterations = 0;
-        let mut active_final = 0;
-        let mut worst_termination = Termination::Converged;
-        for output in &per_device {
-            estimate += output.result.estimate;
-            error += output.result.error_estimate;
-            function_evaluations += output.result.function_evaluations;
-            regions_generated += output.result.regions_generated;
-            iterations = iterations.max(output.result.iterations);
-            active_final += output.result.active_regions_final;
-            if !output.result.converged() {
-                worst_termination = output.result.termination;
-            }
-        }
-        // The combined run converged if every slab did, or if the summed errors happen
-        // to satisfy the tolerance anyway.
-        let termination = if worst_termination == Termination::Converged
-            || self.config.tolerances.satisfied_by(estimate, error)
-        {
-            Termination::Converged
-        } else {
-            worst_termination
-        };
-
         MultiDeviceOutput {
-            result: IntegrationResult {
-                estimate,
-                error_estimate: error,
-                termination,
-                iterations,
-                function_evaluations,
-                regions_generated,
-                active_regions_final: active_final,
-                wall_time: start.elapsed(),
-            },
+            result: combine_results(
+                per_device.iter().map(|o| &o.result),
+                self.config.tolerances,
+                start.elapsed(),
+            ),
             per_device,
         }
+    }
+}
+
+/// The slab-composition fold shared by [`MultiDevicePagani::integrate_region`]
+/// and the slab-splitting service path: sum estimates, errors and counters
+/// over the slab results **in slab order** (the fold order is part of the
+/// bit-determinism contract — f64 addition does not commute in the last ulp).
+///
+/// The combined run converged if every slab did, or if the summed errors
+/// happen to satisfy the tolerance anyway.
+fn combine_results<'a>(
+    results: impl Iterator<Item = &'a IntegrationResult>,
+    tolerances: Tolerances,
+    wall_time: Duration,
+) -> IntegrationResult {
+    let mut estimate = 0.0;
+    let mut error = 0.0;
+    let mut function_evaluations = 0;
+    let mut regions_generated = 0;
+    let mut iterations = 0;
+    let mut active_final = 0;
+    let mut worst_termination = Termination::Converged;
+    for result in results {
+        estimate += result.estimate;
+        error += result.error_estimate;
+        function_evaluations += result.function_evaluations;
+        regions_generated += result.regions_generated;
+        iterations = iterations.max(result.iterations);
+        active_final += result.active_regions_final;
+        if !result.converged() {
+            worst_termination = result.termination;
+        }
+    }
+    let termination = if worst_termination == Termination::Converged
+        || tolerances.satisfied_by(estimate, error)
+    {
+        Termination::Converged
+    } else {
+        worst_termination
+    };
+    IntegrationResult {
+        estimate,
+        error_estimate: error,
+        termination,
+        iterations,
+        function_evaluations,
+        regions_generated,
+        active_regions_final: active_final,
+        wall_time,
+    }
+}
+
+/// Recombine slab-child outputs into the parent's output: the
+/// [`combine_results`] fold in slab order, wall time the slowest child's
+/// (children run concurrently; the combiner reads no clock of its own, so
+/// results stay a pure function of the slab outputs).  The parent's trace is
+/// empty — per-slab traces describe per-device runs and do not compose.
+pub(crate) fn combine_slab_outputs(
+    outputs: &[PaganiOutput],
+    tolerances: Tolerances,
+) -> PaganiOutput {
+    let wall_time = outputs
+        .iter()
+        .map(|o| o.result.wall_time)
+        .max()
+        .unwrap_or_default();
+    PaganiOutput {
+        result: combine_results(outputs.iter().map(|o| &o.result), tolerances, wall_time),
+        trace: ExecutionTrace::default(),
     }
 }
 
@@ -639,6 +814,78 @@ mod tests {
         // The 4-unit-wide axis 0 must have been cut, not axis 1.
         assert!(slabs.iter().all(|s| (s.extent(0) - 2.0).abs() < 1e-12));
         assert!(slabs.iter().all(|s| (s.extent(1) - 1.0).abs() < 1e-12));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// `partition` is a disjoint exact cover that cuts the widest axis
+        /// first, and `slab_weights` conserves the whole-job cost exactly.
+        #[test]
+        fn prop_partition_is_a_disjoint_exact_cover_with_conserved_weights(
+            extents in proptest::collection::vec(0.5f64..4.0, 1..5),
+            parts in 1usize..=12,
+            cost_units in 1u64..1_000_000u64,
+        ) {
+            let dim = extents.len();
+            let root = Region::new(vec![0.0; dim], extents.clone());
+            let slabs = MultiDevicePagani::partition(&root, parts);
+            prop_assert_eq!(slabs.len(), parts.max(1));
+
+            // Exact cover, half one: volumes sum back to the root volume.
+            let total: f64 = slabs.iter().map(Region::volume).sum();
+            prop_assert!((total - root.volume()).abs() <= 1e-12 * root.volume());
+
+            // Exact cover, half two + pairwise disjointness: every slab lies
+            // inside the root, and each slab's centre is contained in
+            // exactly one slab (itself) under the half-open convention.
+            let contains = |s: &Region, p: &[f64]| {
+                (0..dim).all(|a| s.lo()[a] <= p[a] && p[a] < s.hi()[a])
+            };
+            for slab in &slabs {
+                for a in 0..dim {
+                    prop_assert!(slab.lo()[a] >= root.lo()[a] && slab.hi()[a] <= root.hi()[a]);
+                }
+                let centre: Vec<f64> = (0..dim)
+                    .map(|a| 0.5 * (slab.lo()[a] + slab.hi()[a]))
+                    .collect();
+                let owners = slabs.iter().filter(|s| contains(s, &centre)).count();
+                prop_assert!(owners == 1, "slab centres must have a unique owner");
+            }
+
+            // Widest-axis-first: any actual split must have cut the root's
+            // strictly widest axis, so no slab keeps its full extent.
+            if parts >= 2 {
+                let widest = (0..dim)
+                    .max_by(|&a, &b| {
+                        root.extent(a)
+                            .partial_cmp(&root.extent(b))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("root has at least one axis");
+                let strictly_widest = (0..dim)
+                    .all(|a| a == widest || root.extent(a) < root.extent(widest) - 1e-9);
+                if strictly_widest {
+                    for slab in &slabs {
+                        prop_assert!(
+                            slab.extent(widest) < root.extent(widest) - 1e-12,
+                            "the widest axis was never split"
+                        );
+                    }
+                }
+            }
+
+            // Cost apportionment: integer weights, none negative, and their
+            // sum is *bit-exactly* the whole-job cost.
+            let total_cost = cost_units as f64;
+            let weights = crate::cost::slab_weights(total_cost, &slabs);
+            prop_assert_eq!(weights.len(), slabs.len());
+            for &w in &weights {
+                prop_assert!(w >= 0.0 && w.fract() == 0.0);
+            }
+            let sum: f64 = weights.iter().sum();
+            prop_assert_eq!(sum.to_bits(), total_cost.to_bits());
+        }
     }
 
     #[test]

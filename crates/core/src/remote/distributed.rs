@@ -1,0 +1,758 @@
+//! The front-end of the distributed scheduler: one submission surface
+//! sharding jobs across remote worker processes.
+//!
+//! [`DistributedService`] mirrors the in-process services' semantics on
+//! purpose — the same admission, the same refusals, the same handle type:
+//!
+//! * **Backpressure**: [`ServicePolicy::queue_bound`] bounds the front-end's
+//!   in-flight set; `submit` blocks for space, `try_submit` refuses with
+//!   [`Rejected::QueueFull`].
+//! * **Admission**: a deadline the shared [`CostModel`] predicts cannot be
+//!   met at the current backlog is refused with
+//!   [`Rejected::DeadlineInfeasible`] *at the front-end* — the job never
+//!   crosses the wire.
+//! * **Cancellation**: [`crate::JobHandle::cancel`] forwards a
+//!   [`Message::Cancel`] frame to whichever worker currently holds the job.
+//! * **Crash recovery**: a dead connection requeues its in-flight jobs on a
+//!   surviving worker ([`ServiceMetrics::remote_requeued`] counts them),
+//!   re-shipping the latest persisted checkpoint where one exists so
+//!   completed iterations are not recomputed.
+//! * **Slab splitting**: a job whose estimated footprint exceeds every
+//!   worker's device memory is cut into [`MultiDevicePagani::partition`]
+//!   slabs, dispatched as independent wire jobs, and recombined
+//!   bit-deterministically in slab order.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pagani_persist::{CacheKey, ResultCache, Snapshot};
+use pagani_quadrature::{IntegrationResult, Termination, Tolerances};
+
+use crate::batch::BatchJob;
+use crate::builder::ServiceBuilder;
+use crate::cost::{
+    estimated_job_footprint_bytes, job_tolerances, remote_lane_load, slab_weights, CostModel,
+};
+use crate::driver::PaganiOutput;
+use crate::multi_device::{combine_slab_outputs, MultiDevicePagani};
+use crate::remote::wire::{
+    priority_to_tag, tag_to_termination, Message, NO_DEADLINE, PROTOCOL_VERSION,
+};
+use crate::service::{
+    DeadlineInfeasible, JobHandle, JobOutcome, JobState, Observability, QueueFull, Rejected,
+    ServiceMetrics, ServicePolicy,
+};
+use crate::trace::ExecutionTrace;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One connected remote worker.
+#[derive(Debug)]
+struct Endpoint {
+    addr: String,
+    stream: TcpStream,
+    writer: Mutex<TcpStream>,
+    /// Estimated cost of jobs dispatched here and not yet completed — the
+    /// same ledger discipline as [`crate::MultiDeviceService`]'s lanes.
+    outstanding: Mutex<f64>,
+    alive: AtomicBool,
+    /// From the worker's `HelloAck`: its device memory (drives slab
+    /// admission) …
+    memory_capacity: u64,
+    /// … and its worker-thread count (normalises load for dispatch).
+    workers: u32,
+}
+
+impl Endpoint {
+    fn send(&self, message: &Message) -> std::io::Result<()> {
+        message.write_to(&mut *lock(&self.writer))
+    }
+}
+
+/// One job in flight: enough to complete its handle, retire its charge, and
+/// requeue it if its worker dies.
+#[derive(Debug)]
+struct Pending {
+    job: BatchJob,
+    state: Arc<JobState>,
+    endpoint: usize,
+    charge: f64,
+}
+
+#[derive(Debug)]
+struct DistShared {
+    endpoints: Vec<Arc<Endpoint>>,
+    policy: ServicePolicy,
+    tolerances: Tolerances,
+    model: Arc<CostModel>,
+    /// Front-end crash-recovery store: checkpoints shipped back by workers
+    /// land here and are re-shipped on requeue.
+    cache: Option<Arc<ResultCache>>,
+    pending: Mutex<HashMap<u64, Pending>>,
+    /// Signalled whenever `pending` shrinks; `submit` waits on it for queue
+    /// space and `shutdown` for drain.
+    space: Condvar,
+    next_job_id: AtomicU64,
+    obs: Observability,
+    shutting_down: AtomicBool,
+}
+
+/// The distributed front-end.  Construct it through
+/// [`ServiceBuilder::build_distributed`]; see the [`crate::remote`] module docs for
+/// the semantics it guarantees.
+#[derive(Debug)]
+pub struct DistributedService {
+    shared: Arc<DistShared>,
+    /// Reader and heartbeat threads, one pair per endpoint.
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl DistributedService {
+    /// Connect to every endpoint in `builder` and start the per-connection
+    /// reader and heartbeat threads.  Called by
+    /// [`ServiceBuilder::build_distributed`].
+    pub(crate) fn from_builder(builder: ServiceBuilder) -> std::io::Result<Self> {
+        let tolerances = builder.config.tolerances;
+        let model = builder.model.unwrap_or_else(|| Arc::new(CostModel::new()));
+        let mut endpoints = Vec::with_capacity(builder.endpoints.len());
+        for addr in &builder.endpoints {
+            endpoints.push(Arc::new(connect(addr)?));
+        }
+        let shared = Arc::new(DistShared {
+            endpoints,
+            policy: builder.policy,
+            tolerances,
+            model,
+            cache: builder.cache,
+            pending: Mutex::new(HashMap::new()),
+            space: Condvar::new(),
+            next_job_id: AtomicU64::new(0),
+            obs: Observability::new(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let mut threads = Vec::with_capacity(shared.endpoints.len() * 2);
+        for index in 0..shared.endpoints.len() {
+            let reader_shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pagani-remote-reader".into())
+                    .spawn(move || reader_loop(&reader_shared, index))
+                    .expect("spawning the remote reader thread"),
+            );
+            let beat_shared = Arc::clone(&shared);
+            let interval = builder.heartbeat_interval;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pagani-remote-heartbeat".into())
+                    .spawn(move || heartbeat_loop(&beat_shared, index, interval))
+                    .expect("spawning the remote heartbeat thread"),
+            );
+        }
+        Ok(Self { shared, threads })
+    }
+
+    /// Number of configured worker endpoints.
+    #[must_use]
+    pub fn endpoint_count(&self) -> usize {
+        self.shared.endpoints.len()
+    }
+
+    /// The configured endpoint addresses, in builder order.
+    #[must_use]
+    pub fn endpoint_addrs(&self) -> Vec<String> {
+        self.shared
+            .endpoints
+            .iter()
+            .map(|e| e.addr.clone())
+            .collect()
+    }
+
+    /// Number of endpoints whose connection is currently alive.
+    #[must_use]
+    pub fn endpoints_alive(&self) -> usize {
+        self.shared
+            .endpoints
+            .iter()
+            .filter(|e| e.alive.load(AtomicOrdering::SeqCst))
+            .count()
+    }
+
+    /// Jobs currently in flight across all workers.
+    #[must_use]
+    pub fn queued_jobs(&self) -> usize {
+        lock(&self.shared.pending).len()
+    }
+
+    /// The measured [`CostModel`] the front-end plans with.  Workers report
+    /// wall times with every result, so the model trains across the wire.
+    #[must_use]
+    pub fn cost_model(&self) -> &Arc<CostModel> {
+        &self.shared.model
+    }
+
+    /// A [`ServiceMetrics`] snapshot — the same vocabulary as the local
+    /// services, with the `remote_*` counters live.
+    #[must_use]
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.shared.obs.snapshot(self.queued_jobs())
+    }
+
+    /// Dispatch `job` to the least-loaded live worker and return its handle.
+    /// Blocks while the in-flight set is at [`ServicePolicy::queue_bound`].
+    ///
+    /// Oversized jobs (estimated footprint past every worker's device
+    /// memory) slab-split exactly like
+    /// [`crate::MultiDeviceService::submit`]: children ship as independent
+    /// wire jobs and a combiner thread recombines them in slab order.
+    #[must_use]
+    pub fn submit(&self, job: BatchJob) -> JobHandle {
+        if let Some(parts) = self.slab_parts(&job) {
+            return self.submit_slabbed(job, parts);
+        }
+        let mut pending = lock(&self.shared.pending);
+        if let Some(bound) = self.shared.policy.queue_bound {
+            while pending.len() >= bound && !self.shared.shutting_down.load(AtomicOrdering::SeqCst)
+            {
+                pending = self
+                    .shared
+                    .space
+                    .wait(pending)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        dispatch_locked(&self.shared, pending, job, false)
+    }
+
+    /// [`DistributedService::submit`] with refuse-instead-of-wait semantics,
+    /// mirroring [`crate::IntegrationService::try_submit`]: a full front-end
+    /// queue refuses with [`Rejected::QueueFull`]; a deadline the model
+    /// predicts cannot be met at the current cross-worker backlog refuses
+    /// with [`Rejected::DeadlineInfeasible`] — the job never crosses the
+    /// wire.
+    ///
+    /// # Errors
+    /// [`Rejected::QueueFull`] and [`Rejected::DeadlineInfeasible`], each
+    /// handing the job back unmodified.
+    pub fn try_submit(&self, job: BatchJob) -> Result<JobHandle, Rejected> {
+        let pending = lock(&self.shared.pending);
+        if let Some(bound) = self.shared.policy.queue_bound {
+            if pending.len() >= bound {
+                drop(pending);
+                self.shared
+                    .obs
+                    .rejected_queue_full
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                return Err(Rejected::QueueFull(Box::new(QueueFull { bound, job })));
+            }
+        }
+        if let Some(deadline) = job.deadline() {
+            if let Some(estimated) = self.estimated_completion(&job) {
+                if estimated > deadline {
+                    drop(pending);
+                    self.shared
+                        .obs
+                        .rejected_deadline_infeasible
+                        .fetch_add(1, AtomicOrdering::Relaxed);
+                    return Err(Rejected::DeadlineInfeasible(Box::new(DeadlineInfeasible {
+                        estimated,
+                        deadline,
+                        job,
+                    })));
+                }
+            }
+        }
+        if let Some(parts) = self.slab_parts(&job) {
+            drop(pending);
+            return Ok(self.submit_slabbed(job, parts));
+        }
+        Ok(dispatch_locked(&self.shared, pending, job, false))
+    }
+
+    /// Predicted time to complete `job` from now: the live workers' pooled
+    /// backlog (outstanding charge over total worker threads) plus the job's
+    /// own predicted duration.  `None` while the model is cold — admission
+    /// stays optimistic until real work has been measured, exactly like the
+    /// in-process services.
+    #[must_use]
+    pub fn estimated_completion(&self, job: &BatchJob) -> Option<Duration> {
+        let own = self.shared.model.predict_job(job, self.shared.tolerances)?;
+        let (outstanding, workers) = self
+            .shared
+            .endpoints
+            .iter()
+            .filter(|e| e.alive.load(AtomicOrdering::SeqCst))
+            .fold((0.0f64, 0usize), |(sum, workers), e| {
+                (sum + *lock(&e.outstanding), workers + e.workers as usize)
+            });
+        let backlog =
+            Duration::from_secs_f64((outstanding / 1e6 / workers.max(1) as f64).clamp(0.0, 1e9));
+        Some(backlog + own)
+    }
+
+    /// Run a fixed batch across the workers, returning outputs in job order
+    /// — the distributed analogue of
+    /// [`crate::MultiDeviceService::integrate_batch`].
+    #[must_use]
+    pub fn integrate_batch(&self, jobs: &[BatchJob]) -> Vec<PaganiOutput> {
+        let handles: Vec<JobHandle> = jobs.iter().map(|job| self.submit(job.clone())).collect();
+        handles.iter().map(JobHandle::wait).collect()
+    }
+
+    /// Graceful shutdown: wait for every in-flight job to complete, then
+    /// close the connections and join the reader and heartbeat threads.
+    /// Workers keep running — they belong to their own processes.
+    pub fn shutdown(self) {
+        {
+            let mut pending = lock(&self.shared.pending);
+            while !pending.is_empty() {
+                pending = self
+                    .shared
+                    .space
+                    .wait(pending)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        self.shared
+            .shutting_down
+            .store(true, AtomicOrdering::SeqCst);
+        for endpoint in &self.shared.endpoints {
+            endpoint.alive.store(false, AtomicOrdering::SeqCst);
+            let _ = endpoint.stream.shutdown(Shutdown::Both);
+        }
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+    }
+
+    /// How many slabs `job` needs, or `None` when some live worker can hold
+    /// it whole (or it carries a method override — no slab-composition story
+    /// for baselines).  Mirrors the [`crate::MultiDeviceService`] check with
+    /// the budget taken from the *largest* live worker: one big box should
+    /// serve a big job whole rather than splitting it.
+    fn slab_parts(&self, job: &BatchJob) -> Option<usize> {
+        if job.method().is_some() {
+            return None;
+        }
+        let budget = self
+            .shared
+            .endpoints
+            .iter()
+            .filter(|e| e.alive.load(AtomicOrdering::SeqCst))
+            .map(|e| e.memory_capacity)
+            .max()? as f64;
+        let footprint = estimated_job_footprint_bytes(job, self.shared.tolerances);
+        if footprint <= budget {
+            return None;
+        }
+        Some(((footprint / budget).ceil() as usize).clamp(2, 64))
+    }
+
+    /// Slab-split an oversized job: children dispatch as independent wire
+    /// jobs (inheriting priority and deadline), a combiner thread waits in
+    /// slab order and publishes the [`combine_slab_outputs`] fold — the same
+    /// bit-determinism contract as the in-process slab path.
+    fn submit_slabbed(&self, job: BatchJob, parts: usize) -> JobHandle {
+        let slabs = MultiDevicePagani::partition(job.region(), parts);
+        let total_cost = self.shared.model.weigh_job(&job, self.shared.tolerances);
+        let weights = slab_weights(total_cost, &slabs);
+        let children: Vec<JobHandle> = slabs
+            .into_iter()
+            .zip(&weights)
+            .map(|(slab, _)| {
+                // Children carry their own wire charges (weigh_job of the
+                // child); the slab_weights apportionment documents the
+                // parent's split for ledger introspection.
+                let pending = lock(&self.shared.pending);
+                dispatch_locked(&self.shared, pending, job.clone().over(slab), false)
+            })
+            .collect();
+        let tolerances = job_tolerances(&job, self.shared.tolerances);
+        let parent = Arc::new(JobState::new());
+        let state = Arc::clone(&parent);
+        let waited = children.clone();
+        std::thread::Builder::new()
+            .name("pagani-slab-combiner".into())
+            .spawn(move || {
+                let mut outputs = Vec::with_capacity(waited.len());
+                for child in &waited {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| child.wait())) {
+                        Ok(output) => outputs.push(output),
+                        Err(payload) => {
+                            state.complete(JobOutcome::Panicked(crate::service::panic_message(
+                                payload.as_ref(),
+                            )));
+                            return;
+                        }
+                    }
+                }
+                state.complete(JobOutcome::Finished(combine_slab_outputs(
+                    &outputs, tolerances,
+                )));
+            })
+            .expect("spawning the slab-combiner thread");
+        JobHandle::detached(
+            parent,
+            Some(Arc::new(move || {
+                for child in &children {
+                    child.cancel();
+                }
+            })),
+        )
+    }
+}
+
+/// Dial one worker and run the versioned handshake.
+fn connect(addr: &str) -> std::io::Result<Endpoint> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = stream.try_clone()?;
+    let writer = stream.try_clone()?;
+    Message::Hello {
+        version: PROTOCOL_VERSION,
+    }
+    .write_to(&mut &stream)?;
+    match Message::read_from(&mut reader) {
+        Ok(Message::HelloAck {
+            memory_capacity,
+            workers,
+            ..
+        }) => Ok(Endpoint {
+            addr: addr.to_owned(),
+            stream,
+            writer: Mutex::new(writer),
+            outstanding: Mutex::new(0.0),
+            alive: AtomicBool::new(true),
+            memory_capacity,
+            workers,
+        }),
+        Ok(Message::HelloReject { message, .. }) => Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            format!("worker {addr} refused the handshake: {message}"),
+        )),
+        Ok(_) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("worker {addr} answered the handshake with a non-handshake frame"),
+        )),
+        Err(err) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("handshake with worker {addr} failed: {err}"),
+        )),
+    }
+}
+
+/// The front-end cache key of a job — same scheme as the local services'
+/// `job_cache_key`.
+fn cache_key(job: &BatchJob, tolerances: Tolerances) -> CacheKey {
+    CacheKey::new(
+        &job.integrand().name(),
+        job.region().lo(),
+        job.region().hi(),
+        tolerances.rel,
+        tolerances.abs,
+    )
+}
+
+/// Build the `Submit` frame for `job`, attaching the best persisted
+/// checkpoint when the front-end cache holds one.
+fn submit_frame(shared: &DistShared, job_id: u64, job: &BatchJob) -> Message {
+    let snapshot_json = shared.cache.as_ref().and_then(|cache| {
+        let key = cache_key(job, shared.tolerances);
+        cache
+            .lookup_snapshot(&key.integrand_id, &key.region_lo_bits, &key.region_hi_bits)
+            .map(|snapshot| snapshot.to_json_string())
+    });
+    Message::Submit {
+        job_id,
+        integrand: job.integrand().name(),
+        dim: job.region().dim() as u32,
+        lo_bits: job.region().lo().iter().map(|v| v.to_bits()).collect(),
+        hi_bits: job.region().hi().iter().map(|v| v.to_bits()).collect(),
+        priority: priority_to_tag(job.priority()),
+        deadline_micros: job.deadline().map_or(NO_DEADLINE, |d| {
+            d.as_micros().min(u128::from(u64::MAX)) as u64
+        }),
+        snapshot_json,
+    }
+}
+
+/// The live endpoint with the least per-worker-thread outstanding load.
+fn least_loaded(shared: &DistShared) -> Option<usize> {
+    shared
+        .endpoints
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.alive.load(AtomicOrdering::SeqCst))
+        .min_by(|(_, a), (_, b)| {
+            let la = remote_lane_load(*lock(&a.outstanding), a.workers as usize);
+            let lb = remote_lane_load(*lock(&b.outstanding), b.workers as usize);
+            la.partial_cmp(&lb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+}
+
+/// Register `job` as pending (holding the lock so queue-bound checks stay
+/// exact), then ship it.  Returns a detached handle whose cancel hook
+/// forwards a `Cancel` frame to whichever worker currently holds the job.
+fn dispatch_locked(
+    shared: &Arc<DistShared>,
+    mut pending: MutexGuard<'_, HashMap<u64, Pending>>,
+    job: BatchJob,
+    requeue: bool,
+) -> JobHandle {
+    let job_id = shared.next_job_id.fetch_add(1, AtomicOrdering::Relaxed);
+    let state = Arc::new(JobState::new());
+    pending.insert(
+        job_id,
+        Pending {
+            job: job.clone(),
+            state: Arc::clone(&state),
+            endpoint: usize::MAX, // patched by ship()
+            charge: 0.0,
+        },
+    );
+    drop(pending);
+    shared.obs.submitted.fetch_add(1, AtomicOrdering::Relaxed);
+    ship(shared, job_id, requeue);
+    let hook_shared = Arc::clone(shared);
+    JobHandle::detached(
+        state,
+        Some(Arc::new(move || {
+            let endpoint = lock(&hook_shared.pending)
+                .get(&job_id)
+                .map(|entry| entry.endpoint);
+            if let Some(index) = endpoint {
+                if let Some(endpoint) = hook_shared.endpoints.get(index) {
+                    let _ = endpoint.send(&Message::Cancel { job_id });
+                }
+            }
+        })),
+    )
+}
+
+/// Ship (or re-ship) a registered pending job to the least-loaded live
+/// worker, charging its weight to that endpoint's ledger.  If every worker
+/// is gone the job's handle completes with a panic outcome — there is no
+/// one left to run it.
+fn ship(shared: &Arc<DistShared>, job_id: u64, requeue: bool) {
+    loop {
+        let Some(job) = lock(&shared.pending).get(&job_id).map(|p| p.job.clone()) else {
+            return; // completed (or failed) in the meantime
+        };
+        let Some(index) = least_loaded(shared) else {
+            let entry = lock(&shared.pending).remove(&job_id);
+            if let Some(entry) = entry {
+                entry.state.complete(JobOutcome::Panicked(
+                    "connection to every remote worker lost".to_owned(),
+                ));
+                shared.space.notify_all();
+            }
+            return;
+        };
+        let endpoint = &shared.endpoints[index];
+        let charge = shared.model.weigh_job(&job, shared.tolerances);
+        {
+            let mut pending = lock(&shared.pending);
+            let Some(entry) = pending.get_mut(&job_id) else {
+                return;
+            };
+            entry.endpoint = index;
+            entry.charge = charge;
+        }
+        *lock(&endpoint.outstanding) += charge;
+        let frame = submit_frame(shared, job_id, &job);
+        if endpoint.send(&frame).is_ok() {
+            if requeue {
+                shared
+                    .obs
+                    .remote_requeued
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+            }
+            shared
+                .obs
+                .remote_dispatched
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            return;
+        }
+        // The write failed: this endpoint is dead.  Retire the charge, mark
+        // it, wake its reader (which requeues *its* other jobs), and try the
+        // next survivor for this one.
+        *lock(&endpoint.outstanding) -= charge;
+        endpoint.alive.store(false, AtomicOrdering::SeqCst);
+        let _ = endpoint.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Per-endpoint reader: completes jobs, counts heartbeat acks, and on a
+/// dead connection requeues the endpoint's in-flight jobs on a survivor.
+fn reader_loop(shared: &Arc<DistShared>, index: usize) {
+    let endpoint = &shared.endpoints[index];
+    let Ok(mut reader) = endpoint.stream.try_clone() else {
+        return;
+    };
+    loop {
+        match Message::read_from(&mut reader) {
+            Ok(Message::JobDone {
+                job_id,
+                estimate_bits,
+                error_bits,
+                termination,
+                iterations,
+                function_evaluations,
+                regions_generated,
+                active_regions_final,
+                wall_micros,
+                snapshot_json,
+            }) => {
+                let Ok(termination) = tag_to_termination(termination) else {
+                    continue;
+                };
+                let result = IntegrationResult {
+                    estimate: f64::from_bits(estimate_bits),
+                    error_estimate: f64::from_bits(error_bits),
+                    termination,
+                    iterations: iterations as usize,
+                    function_evaluations,
+                    regions_generated,
+                    active_regions_final: active_regions_final as usize,
+                    wall_time: Duration::from_micros(wall_micros),
+                };
+                complete_job(
+                    shared,
+                    job_id,
+                    JobOutcome::Finished(PaganiOutput {
+                        result,
+                        trace: ExecutionTrace::default(),
+                    }),
+                    snapshot_json,
+                );
+            }
+            Ok(Message::JobFailed { job_id, message }) => {
+                complete_job(shared, job_id, JobOutcome::Panicked(message), None);
+            }
+            Ok(Message::HeartbeatAck { .. }) => {
+                shared
+                    .obs
+                    .remote_heartbeats
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+            }
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    if shared.shutting_down.load(AtomicOrdering::SeqCst) {
+        return;
+    }
+    // Connection died mid-run: mark the endpoint dead and requeue every job
+    // it held on a surviving worker (with its checkpoint, where one was
+    // shipped back earlier).
+    endpoint.alive.store(false, AtomicOrdering::SeqCst);
+    let _ = endpoint.stream.shutdown(Shutdown::Both);
+    let mut orphans: Vec<u64> = lock(&shared.pending)
+        .iter()
+        .filter(|(_, entry)| entry.endpoint == index)
+        .map(|(&job_id, _)| job_id)
+        .collect();
+    orphans.sort_unstable();
+    for job_id in orphans {
+        {
+            let mut pending = lock(&shared.pending);
+            let Some(entry) = pending.get_mut(&job_id) else {
+                continue;
+            };
+            *lock(&endpoint.outstanding) -= entry.charge;
+            entry.charge = 0.0;
+        }
+        ship(shared, job_id, true);
+    }
+}
+
+/// Retire one completed job: ledger, model training, checkpoint capture,
+/// handle completion, queue-space wakeup.
+fn complete_job(
+    shared: &Arc<DistShared>,
+    job_id: u64,
+    outcome: JobOutcome,
+    snapshot_json: Option<String>,
+) {
+    let Some(entry) = lock(&shared.pending).remove(&job_id) else {
+        return;
+    };
+    if let Some(endpoint) = shared.endpoints.get(entry.endpoint) {
+        *lock(&endpoint.outstanding) -= entry.charge;
+    }
+    if let JobOutcome::Finished(output) = &outcome {
+        let cancelled = output.result.termination == Termination::Cancelled;
+        if cancelled {
+            shared.obs.cancelled.fetch_add(1, AtomicOrdering::Relaxed);
+        } else {
+            // Train the shared model with the worker-measured wall time —
+            // what one worker learns prices that family everywhere.
+            shared
+                .model
+                .record_job(&entry.job, shared.tolerances, output.result.wall_time);
+        }
+        if let (Some(cache), Some(json)) = (&shared.cache, &snapshot_json) {
+            if let Ok(snapshot) = Snapshot::from_json_str(json) {
+                if snapshot.validate().is_ok() {
+                    cache.store(
+                        cache_key(&entry.job, shared.tolerances),
+                        None,
+                        Some(snapshot),
+                    );
+                }
+            }
+        }
+    }
+    shared.obs.completed.fetch_add(1, AtomicOrdering::Relaxed);
+    entry.state.complete(outcome);
+    shared.space.notify_all();
+}
+
+/// Per-endpoint heartbeat: a [`Message::Heartbeat`] every `interval`,
+/// sleeping in short ticks so shutdown stays responsive.  No clock is read —
+/// tick counting is all the precision liveness probing needs.
+fn heartbeat_loop(shared: &Arc<DistShared>, index: usize, interval: Duration) {
+    let endpoint = &shared.endpoints[index];
+    let tick = Duration::from_millis(10);
+    let ticks_per_beat = (interval.as_millis() / tick.as_millis()).max(1) as u32;
+    let mut seq = 0u64;
+    loop {
+        for _ in 0..ticks_per_beat {
+            if shared.shutting_down.load(AtomicOrdering::SeqCst)
+                || !endpoint.alive.load(AtomicOrdering::SeqCst)
+            {
+                return;
+            }
+            std::thread::sleep(tick);
+        }
+        seq += 1;
+        if endpoint.send(&Message::Heartbeat { seq }).is_err() {
+            // Writing failed: let the reader observe the dead socket and run
+            // the requeue path; this thread's job is done.
+            let _ = endpoint.stream.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_addresses_survive_construction() {
+        // `connect` is exercised end-to-end in tests/distributed_semantics.rs
+        // (it needs a live worker); here pin the pure pieces.
+        let key = cache_key(
+            &BatchJob::new(pagani_integrands::paper::PaperIntegrand::f4(3)),
+            Tolerances::rel(1e-4),
+        );
+        assert_eq!(key.region_lo_bits.len(), 3);
+    }
+}

@@ -307,6 +307,14 @@ pub struct ServiceMetrics {
     /// Integrand evaluations avoided via the cache: the full cost of every
     /// exact hit plus the banked evaluations inherited by every warm start.
     pub evals_saved: u64,
+    /// Jobs dispatched over the wire to a remote worker (always 0 on the
+    /// in-process services; counted by [`crate::remote::DistributedService`]).
+    pub remote_dispatched: u64,
+    /// Jobs requeued onto a surviving remote worker after the connection that
+    /// held them died.
+    pub remote_requeued: u64,
+    /// Heartbeat acknowledgements received from remote workers.
+    pub remote_heartbeats: u64,
 }
 
 impl ServiceMetrics {
@@ -328,7 +336,7 @@ const WAIT_WINDOW: usize = 512;
 
 /// Rolling wait-time record for one priority level.
 #[derive(Debug, Default)]
-struct WaitReservoir {
+pub(crate) struct WaitReservoir {
     recent: VecDeque<Duration>,
     count: u64,
     max: Duration,
@@ -365,31 +373,36 @@ impl WaitReservoir {
 
 /// Shared observability state: monotone counters, the outstanding
 /// predicted-time ledger that deadline admission reads, per-priority wait
-/// reservoirs and the lane's prediction-error EWMA.
+/// reservoirs and the lane's prediction-error EWMA.  The remote front-end
+/// ([`crate::remote::DistributedService`]) reuses this same state so local
+/// and distributed metrics share one vocabulary.
 #[derive(Debug)]
-struct Observability {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    cancelled: AtomicU64,
-    rejected_queue_full: AtomicU64,
-    rejected_deadline_infeasible: AtomicU64,
-    deadline_misses: AtomicU64,
+pub(crate) struct Observability {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
+    pub(crate) rejected_queue_full: AtomicU64,
+    pub(crate) rejected_deadline_infeasible: AtomicU64,
+    pub(crate) deadline_misses: AtomicU64,
     /// Sum of the predicted-duration charges (whole microseconds) of every
     /// enqueued-or-running job.  Charges are integer-valued and bounded by
     /// [`cost_ceiling`], so charge/retire cycles cancel exactly.
-    outstanding_micros: Mutex<f64>,
-    prediction_error: Mutex<Ewma>,
-    waits: Mutex<[WaitReservoir; 3]>,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    warm_starts: AtomicU64,
-    resumed: AtomicU64,
-    checkpoints_written: AtomicU64,
-    evals_saved: AtomicU64,
+    pub(crate) outstanding_micros: Mutex<f64>,
+    pub(crate) prediction_error: Mutex<Ewma>,
+    pub(crate) waits: Mutex<[WaitReservoir; 3]>,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) warm_starts: AtomicU64,
+    pub(crate) resumed: AtomicU64,
+    pub(crate) checkpoints_written: AtomicU64,
+    pub(crate) evals_saved: AtomicU64,
+    pub(crate) remote_dispatched: AtomicU64,
+    pub(crate) remote_requeued: AtomicU64,
+    pub(crate) remote_heartbeats: AtomicU64,
 }
 
 impl Observability {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -410,13 +423,45 @@ impl Observability {
             resumed: AtomicU64::new(0),
             checkpoints_written: AtomicU64::new(0),
             evals_saved: AtomicU64::new(0),
+            remote_dispatched: AtomicU64::new(0),
+            remote_requeued: AtomicU64::new(0),
+            remote_heartbeats: AtomicU64::new(0),
+        }
+    }
+
+    /// Render the counters as a [`ServiceMetrics`] snapshot.
+    pub(crate) fn snapshot(&self, queue_depth: usize) -> ServiceMetrics {
+        let outstanding_micros = *lock(&self.outstanding_micros);
+        let waits = lock(&self.waits);
+        ServiceMetrics {
+            queue_depth,
+            submitted: self.submitted.load(AtomicOrdering::Relaxed),
+            completed: self.completed.load(AtomicOrdering::Relaxed),
+            cancelled: self.cancelled.load(AtomicOrdering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(AtomicOrdering::Relaxed),
+            rejected_deadline_infeasible: self
+                .rejected_deadline_infeasible
+                .load(AtomicOrdering::Relaxed),
+            deadline_misses: self.deadline_misses.load(AtomicOrdering::Relaxed),
+            outstanding_predicted: Duration::from_secs_f64(outstanding_micros.max(0.0) / 1e6),
+            prediction_error_ewma: lock(&self.prediction_error).value(),
+            waits: [waits[0].stats(), waits[1].stats(), waits[2].stats()],
+            cache_hits: self.cache_hits.load(AtomicOrdering::Relaxed),
+            cache_misses: self.cache_misses.load(AtomicOrdering::Relaxed),
+            warm_starts: self.warm_starts.load(AtomicOrdering::Relaxed),
+            resumed: self.resumed.load(AtomicOrdering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(AtomicOrdering::Relaxed),
+            evals_saved: self.evals_saved.load(AtomicOrdering::Relaxed),
+            remote_dispatched: self.remote_dispatched.load(AtomicOrdering::Relaxed),
+            remote_requeued: self.remote_requeued.load(AtomicOrdering::Relaxed),
+            remote_heartbeats: self.remote_heartbeats.load(AtomicOrdering::Relaxed),
         }
     }
 }
 
 /// How a job ended: normally, or by panicking on its worker.
 #[derive(Debug, Clone)]
-enum JobOutcome {
+pub(crate) enum JobOutcome {
     Finished(PaganiOutput),
     /// The job panicked; the captured message is re-raised on the thread that
     /// polls or waits for the handle, mirroring what `std::thread::scope`
@@ -425,16 +470,18 @@ enum JobOutcome {
 }
 
 /// Completion state shared between a [`JobHandle`] and the worker running (or
-/// retiring) its job.
+/// retiring) its job.  The slab-splitting coordinator and the distributed
+/// front-end publish into the same state, so their handles behave exactly
+/// like local ones.
 #[derive(Debug)]
-struct JobState {
-    cancel: CancelToken,
-    slot: Mutex<Option<JobOutcome>>,
-    done: Condvar,
+pub(crate) struct JobState {
+    pub(crate) cancel: CancelToken,
+    pub(crate) slot: Mutex<Option<JobOutcome>>,
+    pub(crate) done: Condvar,
 }
 
 impl JobState {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             cancel: CancelToken::new(),
             slot: Mutex::new(None),
@@ -442,7 +489,7 @@ impl JobState {
         }
     }
 
-    fn complete(&self, outcome: JobOutcome) {
+    pub(crate) fn complete(&self, outcome: JobOutcome) {
         let mut slot = lock(&self.slot);
         debug_assert!(slot.is_none(), "a job completes exactly once");
         *slot = Some(outcome);
@@ -452,7 +499,7 @@ impl JobState {
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(message) = payload.downcast_ref::<&str>() {
         (*message).to_owned()
     } else if let Some(message) = payload.downcast_ref::<String>() {
@@ -473,14 +520,53 @@ fn unwrap_outcome(outcome: JobOutcome) -> PaganiOutput {
 ///
 /// Waiting, polling and cancelling all go through shared state, so a handle
 /// stays valid after the service that issued it has been shut down (the job
-/// will have drained by then).
-#[derive(Debug)]
+/// will have drained by then).  Handles are cheaply cloneable; every clone
+/// observes the same completion and shares the same cancellation flag.
+#[derive(Clone)]
 pub struct JobHandle {
     state: Arc<JobState>,
-    device: Device,
+    /// The device whose admission gate must be woken on cancel — present for
+    /// locally-executing jobs, absent for remote and composite handles.
+    device: Option<Device>,
+    /// Extra cancel propagation: slab-split parents cancel their children
+    /// here, the distributed front-end forwards a cancel frame.
+    on_cancel: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("state", &self.state)
+            .field("device", &self.device)
+            .field("has_cancel_hook", &self.on_cancel.is_some())
+            .finish()
+    }
 }
 
 impl JobHandle {
+    /// A handle for a job running on a local service: cancelling it also
+    /// wakes the device's admission line.
+    pub(crate) fn local(state: Arc<JobState>, device: Device) -> Self {
+        Self {
+            state,
+            device: Some(device),
+            on_cancel: None,
+        }
+    }
+
+    /// A handle whose job executes elsewhere (a remote worker, or a set of
+    /// slab children); `on_cancel` carries the propagation.
+    pub(crate) fn detached(
+        state: Arc<JobState>,
+        on_cancel: Option<Arc<dyn Fn() + Send + Sync>>,
+    ) -> Self {
+        Self {
+            state,
+            device: None,
+            on_cancel,
+        }
+    }
+
     /// The job's result if it has completed, without blocking.
     ///
     /// # Panics
@@ -526,7 +612,13 @@ impl JobHandle {
         self.state.cancel.cancel();
         // Wake any worker parked in the device's admission line so it
         // re-checks the cancellation predicate.
-        self.device.submission_gate().notify_waiters();
+        if let Some(device) = &self.device {
+            device.submission_gate().notify_waiters();
+        }
+        // Propagate: cancel slab children / forward the cancel over the wire.
+        if let Some(hook) = &self.on_cancel {
+            hook();
+        }
     }
 
     /// Whether cancellation has been requested (not whether it won the race).
@@ -538,7 +630,7 @@ impl JobHandle {
 
 /// A completion hook, run on the worker after the job's outcome is published
 /// (the multi-device dispatcher uses it to retire the job's estimated cost).
-type CompletionHook = Box<dyn FnOnce() + Send>;
+pub(crate) type CompletionHook = Box<dyn FnOnce() + Send>;
 
 struct QueuedJob {
     job: BatchJob,
@@ -674,25 +766,30 @@ impl IntegrationService {
     /// Start a service on `device`; the worker count defaults to the device's
     /// effective worker-pool width (more service workers than that buy no
     /// extra parallelism — the admission gate bounds in-flight jobs anyway).
+    ///
+    /// Thin delegate of [`crate::ServiceBuilder`] — the one construction path
+    /// all three service types share.
     #[must_use]
     pub fn new(device: Device, config: PaganiConfig) -> Self {
-        Self::with_policy(device, config, ServicePolicy::default())
+        crate::ServiceBuilder::new(config).device(device).build()
     }
 
     /// Start a service with an explicit worker-thread count (minimum 1).
     #[must_use]
     pub fn with_workers(device: Device, config: PaganiConfig, workers: usize) -> Self {
-        Self::with_policy(
-            device,
-            config,
-            ServicePolicy::default().with_workers(workers),
-        )
+        crate::ServiceBuilder::new(config)
+            .device(device)
+            .workers(workers)
+            .build()
     }
 
     /// Start a service with an explicit [`ServicePolicy`].
     #[must_use]
     pub fn with_policy(device: Device, config: PaganiConfig, policy: ServicePolicy) -> Self {
-        Self::with_policy_and_model(device, config, policy, Arc::new(CostModel::new()), None)
+        crate::ServiceBuilder::new(config)
+            .device(device)
+            .policy(policy)
+            .build()
     }
 
     /// Start a service backed by a shared [`ResultCache`].
@@ -726,13 +823,11 @@ impl IntegrationService {
         policy: ServicePolicy,
         cache: Arc<ResultCache>,
     ) -> Self {
-        Self::with_policy_and_model(
-            device,
-            config,
-            policy,
-            Arc::new(CostModel::new()),
-            Some(cache),
-        )
+        crate::ServiceBuilder::new(config)
+            .device(device)
+            .policy(policy)
+            .cache(cache)
+            .build()
     }
 
     /// Start a service sharing an externally owned [`CostModel`] (and
@@ -999,29 +1094,7 @@ impl IntegrationService {
     /// ```
     #[must_use]
     pub fn metrics(&self) -> ServiceMetrics {
-        let obs = &self.shared.obs;
-        let outstanding_micros = *lock(&obs.outstanding_micros);
-        let waits = lock(&obs.waits);
-        ServiceMetrics {
-            queue_depth: self.queued_jobs(),
-            submitted: obs.submitted.load(AtomicOrdering::Relaxed),
-            completed: obs.completed.load(AtomicOrdering::Relaxed),
-            cancelled: obs.cancelled.load(AtomicOrdering::Relaxed),
-            rejected_queue_full: obs.rejected_queue_full.load(AtomicOrdering::Relaxed),
-            rejected_deadline_infeasible: obs
-                .rejected_deadline_infeasible
-                .load(AtomicOrdering::Relaxed),
-            deadline_misses: obs.deadline_misses.load(AtomicOrdering::Relaxed),
-            outstanding_predicted: Duration::from_secs_f64(outstanding_micros.max(0.0) / 1e6),
-            prediction_error_ewma: lock(&obs.prediction_error).value(),
-            waits: [waits[0].stats(), waits[1].stats(), waits[2].stats()],
-            cache_hits: obs.cache_hits.load(AtomicOrdering::Relaxed),
-            cache_misses: obs.cache_misses.load(AtomicOrdering::Relaxed),
-            warm_starts: obs.warm_starts.load(AtomicOrdering::Relaxed),
-            resumed: obs.resumed.load(AtomicOrdering::Relaxed),
-            checkpoints_written: obs.checkpoints_written.load(AtomicOrdering::Relaxed),
-            evals_saved: obs.evals_saved.load(AtomicOrdering::Relaxed),
-        }
+        self.shared.obs.snapshot(self.queued_jobs())
     }
 
     /// The [`ResultCache`] this service serves from, when one is attached.
@@ -1119,10 +1192,7 @@ impl IntegrationService {
         if let Some(deadline) = deadline {
             self.arm_deadline(Instant::now() + deadline, seq, &state);
         }
-        JobHandle {
-            state,
-            device: self.shared.device.clone(),
-        }
+        JobHandle::local(state, self.shared.device.clone())
     }
 
     /// Register a deadline with the watcher thread, spawning it on first use.
@@ -1410,7 +1480,7 @@ fn job_cache_key(shared: &ServiceShared, job: &BatchJob) -> CacheKey {
 /// headroom for the regions still being refined.  A snapshot from a looser
 /// run may have committed more error than a tighter budget allows — resuming
 /// it could never converge, so such jobs run cold instead.
-fn warm_start_feasible(snapshot: &Snapshot, tolerances: Tolerances) -> bool {
+pub(crate) fn warm_start_feasible(snapshot: &Snapshot, tolerances: Tolerances) -> bool {
     let allowed = (snapshot.latest_estimate.abs() * tolerances.rel).max(tolerances.abs);
     snapshot.finished_error <= 0.5 * allowed
 }
@@ -1509,7 +1579,7 @@ fn deadline_watcher_loop(shared: &ServiceShared) {
 }
 
 /// The output of a job cancelled before its first driver iteration.
-fn cancelled_before_start() -> PaganiOutput {
+pub(crate) fn cancelled_before_start() -> PaganiOutput {
     PaganiOutput {
         result: IntegrationResult {
             estimate: 0.0,

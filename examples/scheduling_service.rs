@@ -22,11 +22,10 @@ fn main() {
     // --- One queue, five methods. ------------------------------------------
     // A bounded queue: at most 16 unclaimed jobs; try_submit refuses beyond
     // that instead of building an unbounded backlog.
-    let service = IntegrationService::with_policy(
-        device.clone(),
-        config.clone(),
-        ServicePolicy::new().with_queue_bound(16),
-    );
+    let service = ServiceBuilder::new(config.clone())
+        .device(device.clone())
+        .queue_bound(16)
+        .build();
 
     let f: Arc<dyn Integrand + Send + Sync> = Arc::new(FnIntegrand::new(3, |x: &[f64]| {
         (-x.iter().map(|&v| (v - 0.5) * (v - 0.5)).sum::<f64>() * 10.0).exp()
@@ -85,7 +84,7 @@ fn main() {
             )
         })
         .collect();
-    let pool = MultiDeviceService::new(devices, config);
+    let pool = ServiceBuilder::new(config).devices(devices).build_multi();
     let jobs: Vec<BatchJob> = (0..8)
         .map(|i| {
             if i % 2 == 0 {

@@ -43,7 +43,7 @@ fn main() {
             .with_worker_threads(2),
     );
     let config = PaganiConfig::test_small(Tolerances::rel(1e-4));
-    let service = IntegrationService::new(device, config);
+    let service = ServiceBuilder::new(config).device(device).build();
 
     // --- Train the model on real traffic. ----------------------------------
     // Each completed, uncancelled job feeds its measured wall time into the

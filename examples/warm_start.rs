@@ -48,12 +48,10 @@ fn main() {
     let cache = Arc::new(ResultCache::new(4 << 20));
 
     // ---- Cold run at a loose tolerance: pays full price, seeds the cache.
-    let loose = IntegrationService::with_cache(
-        device.clone(),
-        config(Tolerances::rel(1e-4)),
-        ServicePolicy::default(),
-        Arc::clone(&cache),
-    );
+    let loose = ServiceBuilder::new(config(Tolerances::rel(1e-4)))
+        .device(device.clone())
+        .cache(Arc::clone(&cache))
+        .build();
     let cold = loose.submit(BatchJob::shared(bump())).wait();
     report("cold @ rel 1e-4", &cold);
 
@@ -69,12 +67,10 @@ fn main() {
 
     // ---- Tighter tolerance over the SAME cache: warm-starts from the
     //      persisted tree instead of starting from the root region.
-    let tight = IntegrationService::with_cache(
-        device.clone(),
-        config(Tolerances::rel(1e-6)),
-        ServicePolicy::default(),
-        Arc::clone(&cache),
-    );
+    let tight = ServiceBuilder::new(config(Tolerances::rel(1e-6)))
+        .device(device.clone())
+        .cache(Arc::clone(&cache))
+        .build();
     let warm = tight.submit(BatchJob::shared(bump())).wait();
     report("warm start @ rel 1e-6", &warm);
     let tight_metrics = tight.metrics();

@@ -91,6 +91,28 @@
 //! assert!(outputs.iter().all(|o| o.result.converged()));
 //! ```
 //!
+//! ## One builder, three services
+//!
+//! [`ServiceBuilder`] is the single construction surface for every service
+//! shape: `build()` for a one-device [`IntegrationService`], `build_multi()`
+//! for a cost-balanced [`MultiDeviceService`], and (given
+//! `endpoint(..)` addresses of [`RemoteWorker`] processes)
+//! `build_distributed()` for a [`DistributedService`] sharding jobs over the
+//! wire with the same priority/deadline/backpressure semantics:
+//!
+//! ```
+//! use pagani::prelude::*;
+//!
+//! let config = PaganiConfig::test_small(Tolerances::rel(1e-5));
+//! let service = ServiceBuilder::new(config)
+//!     .device(Device::test_small())
+//!     .queue_bound(32)
+//!     .build();
+//! let handle = service.submit(BatchJob::new(FnIntegrand::new(2, |x: &[f64]| x[0] * x[1])));
+//! assert!(handle.wait().result.converged());
+//! service.shutdown();
+//! ```
+//!
 //! ## Pluggable compute backends
 //!
 //! The simulated device is one implementation of the [`ComputeBackend`]
@@ -135,10 +157,11 @@ pub use pagani_quadrature as quadrature;
 pub use pagani_baselines::{IntegratorBuilder, MethodConfig};
 pub use pagani_core::batch::integrate_batch;
 pub use pagani_core::{
-    Capabilities, CostKey, CostModel, DeadlineInfeasible, DispatchMode, Evaluation,
-    IntegrationService, Integrator, IntegratorFactory, JobHandle, MultiDeviceService, Priority,
-    QueueFull, RegionPack, Rejected, ResumableOutput, ResumeError, ServiceMetrics, ServicePolicy,
-    WaitStats, EVAL_LANES,
+    Capabilities, CostKey, CostModel, DeadlineInfeasible, DispatchMode, DistributedService,
+    Evaluation, IntegrandRegistry, IntegrationService, Integrator, IntegratorFactory, JobHandle,
+    Message, MultiDeviceService, Priority, QueueFull, RegionPack, Rejected, RemoteWorker,
+    ResumableOutput, ResumeError, ServiceBuilder, ServiceMetrics, ServicePolicy, WaitStats,
+    WireError, EVAL_LANES, PROTOCOL_VERSION,
 };
 pub use pagani_device::{BackendCaps, ComputeBackend, CountingBackend, CpuBackend};
 pub use pagani_persist::{CacheKey, CachedResult, ResultCache, Snapshot, WarmStartInfo};
@@ -151,10 +174,11 @@ pub mod prelude {
     };
     pub use pagani_core::{
         integrate_batch, BatchJob, BatchRunner, CancelToken, Capabilities, CostKey, CostModel,
-        DispatchMode, HeuristicFiltering, IntegrationService, Integrator, IntegratorFactory,
-        JobHandle, MultiDeviceOutput, MultiDevicePagani, MultiDeviceService, Pagani, PaganiConfig,
-        PaganiOutput, Priority, QueueFull, Rejected, ResultCache, ScratchArena, ServiceMetrics,
-        ServicePolicy, Snapshot, WaitStats,
+        DispatchMode, DistributedService, HeuristicFiltering, IntegrandRegistry,
+        IntegrationService, Integrator, IntegratorFactory, JobHandle, MultiDeviceOutput,
+        MultiDevicePagani, MultiDeviceService, Pagani, PaganiConfig, PaganiOutput, Priority,
+        QueueFull, Rejected, RemoteWorker, ResultCache, ScratchArena, ServiceBuilder,
+        ServiceMetrics, ServicePolicy, Snapshot, WaitStats,
     };
     pub use pagani_device::{ComputeBackend, Device, DeviceConfig};
     pub use pagani_integrands::paper::PaperIntegrand;

@@ -109,7 +109,7 @@ fn service_handles_are_bit_identical_to_sequential() {
             .map(|f| fingerprint(&pagani.integrate(f.as_ref())))
             .collect();
 
-        let service = IntegrationService::new(device, config());
+        let service = ServiceBuilder::new(config()).device(device).build();
         let handles: Vec<JobHandle> = jobs_for(&jobs_src)
             .into_iter()
             .map(|job| service.submit(job))

@@ -225,7 +225,10 @@ fn exact_cache_hit_performs_zero_device_launches() {
     let device = Device::with_backend(counting.clone());
     let cache = Arc::new(ResultCache::new(1 << 20));
     let config = PaganiConfig::test_small(Tolerances::rel(1e-5));
-    let service = IntegrationService::with_cache(device, config, ServicePolicy::default(), cache);
+    let service = ServiceBuilder::new(config)
+        .device(device)
+        .cache(cache)
+        .build();
     let job = || {
         BatchJob::shared(Arc::new(bump().named("persist.hit")) as Arc<dyn Integrand + Send + Sync>)
     };
@@ -335,12 +338,10 @@ fn cancelled_job_persists_partial_tree_for_retry() {
         ) as Arc<dyn Integrand + Send + Sync>
     };
 
-    let service = IntegrationService::with_cache(
-        device_with_workers(2),
-        config.clone(),
-        ServicePolicy::default(),
-        Arc::clone(&cache),
-    );
+    let service = ServiceBuilder::new(config.clone())
+        .device(device_with_workers(2))
+        .cache(Arc::clone(&cache))
+        .build();
     let handle = service.submit(BatchJob::shared(f.clone()));
     while !started.load(Ordering::Acquire) {
         std::thread::yield_now();
@@ -360,12 +361,10 @@ fn cancelled_job_persists_partial_tree_for_retry() {
 
     // "Restart": a new service over the surviving cache picks the job up
     // from the persisted tree instead of starting over.
-    let recovered = IntegrationService::with_cache(
-        device_with_workers(2),
-        config,
-        ServicePolicy::default(),
-        Arc::clone(&cache),
-    );
+    let recovered = ServiceBuilder::new(config)
+        .device(device_with_workers(2))
+        .cache(Arc::clone(&cache))
+        .build();
     let retry = recovered.submit(BatchJob::shared(f)).wait();
     assert!(retry.result.converged());
     let metrics = recovered.metrics();
@@ -387,13 +386,11 @@ fn cancelled_job_persists_partial_tree_for_retry() {
 fn multi_device_pool_shares_one_cache() {
     let cache = Arc::new(ResultCache::new(1 << 20));
     let config = PaganiConfig::test_small(Tolerances::rel(1e-5));
-    let service = MultiDeviceService::with_cache(
-        vec![device_with_workers(2), device_with_workers(2)],
-        config,
-        DispatchMode::RoundRobin,
-        ServicePolicy::default(),
-        Arc::clone(&cache),
-    );
+    let service = ServiceBuilder::new(config)
+        .devices([device_with_workers(2), device_with_workers(2)])
+        .dispatch(DispatchMode::RoundRobin)
+        .cache(Arc::clone(&cache))
+        .build_multi();
     let job = || {
         BatchJob::shared(Arc::new(bump().named("persist.pool")) as Arc<dyn Integrand + Send + Sync>)
     };

@@ -60,7 +60,7 @@ fn blocking_integrand(
 fn one_queue_serves_all_five_methods() {
     for workers in worker_matrix(&[1, 2, 8]) {
         let device = device_with_workers(workers);
-        let service = IntegrationService::new(device.clone(), config());
+        let service = ServiceBuilder::new(config()).device(device.clone()).build();
         let f: Arc<dyn Integrand + Send + Sync> =
             Arc::new(FnIntegrand::new(2, |x: &[f64]| 1.0 + x[0] * x[1]));
         let handles: Vec<(MethodConfig, JobHandle)> = all_methods()
@@ -106,7 +106,10 @@ fn cancellation_is_uniform_across_methods() {
     // running.
     let started = Arc::new(AtomicUsize::new(0));
     let release = Arc::new(AtomicBool::new(false));
-    let service = IntegrationService::with_workers(device_with_workers(1), config(), 1);
+    let service = ServiceBuilder::new(config())
+        .device(device_with_workers(1))
+        .workers(1)
+        .build();
     let blocker = service.submit(BatchJob::new(blocking_integrand(
         started.clone(),
         release.clone(),
@@ -152,7 +155,10 @@ fn in_flight_cancel_lands_for_a_baseline_method() {
     // round: the cancel is observed at the round boundary, not ignored.
     let started = Arc::new(AtomicUsize::new(0));
     let release = Arc::new(AtomicBool::new(false));
-    let service = IntegrationService::with_workers(device_with_workers(1), config(), 1);
+    let service = ServiceBuilder::new(config())
+        .device(device_with_workers(1))
+        .workers(1)
+        .build();
     let mc = MethodConfig::MonteCarlo(MonteCarloConfig::new(Tolerances::rel(1e-12)));
     let handle = service.submit(
         BatchJob::new(blocking_integrand(started.clone(), release.clone())).with_method(mc),
@@ -175,13 +181,11 @@ fn in_flight_cancel_lands_for_a_baseline_method() {
 fn try_submit_refuses_at_exactly_the_bound_across_worker_counts() {
     for workers in worker_matrix(&[1, 2, 8]) {
         let bound = 3;
-        let service = IntegrationService::with_policy(
-            device_with_workers(workers),
-            config(),
-            ServicePolicy::new()
-                .with_workers(workers)
-                .with_queue_bound(bound),
-        );
+        let service = ServiceBuilder::new(config())
+            .device(device_with_workers(workers))
+            .workers(workers)
+            .queue_bound(bound)
+            .build();
         // Park every worker so submissions stay queued.
         let started = Arc::new(AtomicUsize::new(0));
         let release = Arc::new(AtomicBool::new(false));
@@ -245,8 +249,10 @@ fn deadline_infeasible_rejection_depends_on_queue_depth() {
         // Busy service: every worker parked, then 4×workers same-family jobs
         // queued — outstanding ≥ 4·workers·predicted, so the backlog term is
         // ≥ 4·predicted whatever the worker count and the probe cannot fit.
-        let busy =
-            IntegrationService::with_workers(device_with_workers(workers), config(), workers);
+        let busy = ServiceBuilder::new(config())
+            .device(device_with_workers(workers))
+            .workers(workers)
+            .build();
         seed_model(&busy, &key, predicted);
         let started = Arc::new(AtomicUsize::new(0));
         let release = Arc::new(AtomicBool::new(false));
@@ -285,8 +291,10 @@ fn deadline_infeasible_rejection_depends_on_queue_depth() {
 
         // Idle service, identically seeded: the very same job is accepted at
         // queue depth 0 — its own predicted duration fits the deadline.
-        let idle =
-            IntegrationService::with_workers(device_with_workers(workers), config(), workers);
+        let idle = ServiceBuilder::new(config())
+            .device(device_with_workers(workers))
+            .workers(workers)
+            .build();
         seed_model(&idle, &key, predicted);
         let accepted = idle
             .try_submit(probe().with_deadline(deadline))
@@ -356,12 +364,18 @@ fn cost_model_feedback_never_changes_results() {
     // against an isolated memory view: the result is bit-identical to the
     // same job on a cold service.
     let probe = || BatchJob::new(PaperIntegrand::f4(3));
-    let cold = IntegrationService::with_workers(device_with_workers(2), config(), 2);
+    let cold = ServiceBuilder::new(config())
+        .device(device_with_workers(2))
+        .workers(2)
+        .build();
     assert_eq!(cold.cost_model().observations(), 0);
     let cold_bits = cold.submit(probe()).wait().result.estimate.to_bits();
     cold.shutdown();
 
-    let trained = IntegrationService::with_workers(device_with_workers(2), config(), 2);
+    let trained = ServiceBuilder::new(config())
+        .device(device_with_workers(2))
+        .workers(2)
+        .build();
     seed_model(
         &trained,
         &CostKey::for_job(&probe(), config().tolerances),
@@ -387,8 +401,10 @@ fn metrics_feasible_traffic_has_zero_misses_and_rejects() {
     // traffic completes with no deadline misses, no rejections and no
     // cancellations, and every job's wait is accounted to its priority.
     for workers in worker_matrix(&[1, 2, 8]) {
-        let service =
-            IntegrationService::with_workers(device_with_workers(workers), config(), workers);
+        let service = ServiceBuilder::new(config())
+            .device(device_with_workers(workers))
+            .workers(workers)
+            .build();
         let jobs = 6;
         let handles: Vec<JobHandle> = (0..jobs)
             .map(|i| {
@@ -427,7 +443,10 @@ fn metrics_feasible_traffic_has_zero_misses_and_rejects() {
 fn metrics_infeasible_deadline_is_rejected_and_counted() {
     // The deterministic infeasible case the CI service-stress job asserts:
     // once the model prices a family, a 1ns deadline cannot be promised.
-    let service = IntegrationService::with_workers(device_with_workers(2), config(), 2);
+    let service = ServiceBuilder::new(config())
+        .device(device_with_workers(2))
+        .workers(2)
+        .build();
     let probe = || BatchJob::new(PaperIntegrand::f4(3));
     seed_model(
         &service,
@@ -454,7 +473,10 @@ fn metrics_mid_run_deadline_miss_is_counted() {
         (x[0] * x[1] * x[2]).sin().mul_add(0.1, 1.0)
     });
     let tight = PaganiConfig::test_small(Tolerances::rel(1e-12));
-    let service = IntegrationService::with_workers(device_with_workers(1), tight, 1);
+    let service = ServiceBuilder::new(tight)
+        .device(device_with_workers(1))
+        .workers(1)
+        .build();
     let handle = service.submit(BatchJob::new(slow).with_deadline(Duration::from_millis(60)));
     let output = handle.wait();
     assert_eq!(output.result.termination, Termination::Cancelled);
@@ -474,7 +496,10 @@ fn metrics_cache_counters_track_hits_misses_and_checkpoints() {
     // Without a cache every counter stays zero; with one, a repeated job is
     // one miss then one hit, the converged tree is checkpointed into the
     // cache, and the hit banks the original run's evaluations.
-    let plain = IntegrationService::with_workers(device_with_workers(2), config(), 2);
+    let plain = ServiceBuilder::new(config())
+        .device(device_with_workers(2))
+        .workers(2)
+        .build();
     let _ = plain.submit(BatchJob::new(PaperIntegrand::f4(3))).wait();
     let baseline = plain.metrics();
     assert_eq!(baseline.cache_hits, 0);
@@ -487,12 +512,10 @@ fn metrics_cache_counters_track_hits_misses_and_checkpoints() {
     plain.shutdown();
 
     let cache = Arc::new(ResultCache::new(1 << 20));
-    let service = IntegrationService::with_cache(
-        device_with_workers(2),
-        config(),
-        ServicePolicy::default(),
-        cache,
-    );
+    let service = ServiceBuilder::new(config())
+        .device(device_with_workers(2))
+        .cache(cache)
+        .build();
     let job =
         || BatchJob::shared(Arc::new(PaperIntegrand::f4(3)) as Arc<dyn Integrand + Send + Sync>);
     let cold = service.submit(job()).wait();
@@ -522,7 +545,10 @@ fn deadline_mid_run_cancels_with_partial_stats_intact() {
             (x[0] * x[1] * x[2]).sin().mul_add(0.1, 1.0)
         });
         let tight = PaganiConfig::test_small(Tolerances::rel(1e-12));
-        let service = IntegrationService::with_workers(device_with_workers(workers), tight, 1);
+        let service = ServiceBuilder::new(tight)
+            .device(device_with_workers(workers))
+            .workers(1)
+            .build();
         let handle = service.submit(BatchJob::new(slow).with_deadline(Duration::from_millis(60)));
         let output = handle.wait();
         assert_eq!(
@@ -544,7 +570,10 @@ fn priorities_reorder_claims_but_never_starve() {
     // the low still completes.
     let started = Arc::new(AtomicUsize::new(0));
     let release = Arc::new(AtomicBool::new(false));
-    let service = IntegrationService::with_workers(device_with_workers(1), config(), 1);
+    let service = ServiceBuilder::new(config())
+        .device(device_with_workers(1))
+        .workers(1)
+        .build();
     let blocker = service.submit(BatchJob::new(blocking_integrand(
         started.clone(),
         release.clone(),
@@ -587,7 +616,10 @@ fn multi_device_round_robin_placement_is_pinned() {
         })
         .collect();
     let devices: Vec<Device> = (0..3).map(|_| device_with_workers(2)).collect();
-    let service = MultiDeviceService::with_mode(devices, config(), DispatchMode::RoundRobin);
+    let service = ServiceBuilder::new(config())
+        .devices(devices)
+        .dispatch(DispatchMode::RoundRobin)
+        .build_multi();
     let outputs = service.integrate_batch(&jobs);
     service.shutdown();
     let reference = Pagani::new(device_with_workers(2), config());
@@ -615,15 +647,19 @@ fn cost_balanced_dispatch_never_changes_results() {
             .collect();
         let make_devices =
             || -> Vec<Device> { (0..2).map(|_| device_with_workers(workers)).collect() };
-        let balanced = MultiDeviceService::new(make_devices(), config());
+        let balanced = ServiceBuilder::new(config())
+            .devices(make_devices())
+            .build_multi();
         let balanced_bits: Vec<u64> = balanced
             .integrate_batch(&jobs)
             .iter()
             .map(|o| o.result.estimate.to_bits())
             .collect();
         balanced.shutdown();
-        let pinned =
-            MultiDeviceService::with_mode(make_devices(), config(), DispatchMode::RoundRobin);
+        let pinned = ServiceBuilder::new(config())
+            .devices(make_devices())
+            .dispatch(DispatchMode::RoundRobin)
+            .build_multi();
         let pinned_bits: Vec<u64> = pinned
             .integrate_batch(&jobs)
             .iter()

@@ -51,7 +51,7 @@ fn interleaved_cancel_and_wait_across_worker_counts() {
             })
             .collect();
 
-        let service = IntegrationService::new(device, config());
+        let service = ServiceBuilder::new(config()).device(device).build();
         let handles: Vec<JobHandle> = integrands
             .iter()
             .map(|f| {
@@ -103,7 +103,10 @@ fn queued_jobs_cancel_deterministically() {
     // the queue must report Cancelled without ever running.
     let started = Arc::new(AtomicBool::new(false));
     let release = Arc::new(AtomicBool::new(false));
-    let service = IntegrationService::with_workers(device_with_workers(1), config(), 1);
+    let service = ServiceBuilder::new(config())
+        .device(device_with_workers(1))
+        .workers(1)
+        .build();
     let blocker = service.submit(BatchJob::new(blocking_integrand(
         started.clone(),
         release.clone(),
@@ -142,7 +145,10 @@ fn in_flight_cancellation_lands_within_one_iteration() {
     // A tolerance far beyond what one iteration can reach keeps the run alive
     // past iteration 0 if it were not cancelled.
     let tight = PaganiConfig::test_small(Tolerances::rel(1e-12));
-    let service = IntegrationService::with_workers(device_with_workers(1), tight, 1);
+    let service = ServiceBuilder::new(tight)
+        .device(device_with_workers(1))
+        .workers(1)
+        .build();
     let handle = service.submit(BatchJob::new(blocking_integrand(
         started.clone(),
         release.clone(),
@@ -166,7 +172,9 @@ fn in_flight_cancellation_lands_within_one_iteration() {
 #[test]
 fn shutdown_drains_without_deadlock() {
     for workers in worker_matrix(&[1, 8]) {
-        let service = IntegrationService::new(device_with_workers(workers), config());
+        let service = ServiceBuilder::new(config())
+            .device(device_with_workers(workers))
+            .build();
         let handles: Vec<JobHandle> = (0..10)
             .map(|i| {
                 let job = if i % 2 == 0 {
